@@ -1,0 +1,40 @@
+//! Stream-depth ablation bench: sensitivity of the vectorised engine's
+//! throughput to the inter-stage FIFO depth (a design-space dimension
+//! called out in DESIGN.md).
+
+use cds_engine::prelude::*;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+
+fn bench_depth(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let options = PortfolioGenerator::uniform(BATCH, 5.5, PaymentFrequency::Quarterly, 0.40);
+
+    eprintln!("\n=== Stream-depth sweep (vectorised engine, {BATCH} options) ===");
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        let mut config = EngineVariant::Vectorised.config();
+        config.stream_depth = depth;
+        let engine = FpgaCdsEngine::new(market.clone(), config);
+        let rate = engine.price_batch(&options).options_per_second;
+        eprintln!("  depth={depth:<3} {rate:>10.2} opts/s");
+    }
+    eprintln!();
+
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(10);
+    for depth in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut config = EngineVariant::Vectorised.config();
+            config.stream_depth = depth;
+            let engine = FpgaCdsEngine::new(market.clone(), config);
+            b.iter(|| black_box(engine.price_batch(black_box(&options))).kernel_cycles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth);
+criterion_main!(benches);

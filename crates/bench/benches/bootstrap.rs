@@ -1,0 +1,33 @@
+//! Bootstrap bench: hazard-curve calibration from par quotes — the
+//! inverse problem a pricing service solves before any engine run.
+
+use cds_quant::bootstrap::{bootstrap_hazard, CdsQuote};
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn ladder(n: usize) -> Vec<CdsQuote> {
+    (1..=n)
+        .map(|i| CdsQuote {
+            maturity: i as f64,
+            spread_bps: 50.0 + 12.0 * i as f64,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        })
+        .collect()
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let rates = Curve::flat(0.02, 128, 30.0);
+    let mut group = c.benchmark_group("bootstrap_hazard");
+    for n in [1usize, 5, 10] {
+        let quotes = ladder(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &quotes, |b, q| {
+            b.iter(|| black_box(bootstrap_hazard(black_box(&rates), q).expect("solves")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Host CPU scaling bench — the real-machine counterpart of the paper's
+//! OpenMP engine: chunked multithreaded pricing at increasing thread
+//! counts, showing the same qualitatively sub-linear scaling the paper
+//! measured on its 24-core Cascade Lake.
+
+use cds_cpu::engine::CpuCdsEngine;
+use cds_cpu::parallel::price_parallel;
+use cds_cpu::soa::price_batch_soa;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BATCH: usize = 2048;
+
+fn bench_cpu_scaling(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let engine = CpuCdsEngine::new(&market);
+    let options = PortfolioGenerator::uniform(BATCH, 5.5, PaymentFrequency::Quarterly, 0.40);
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("cpu_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for threads in [1usize, 2, 4, 8, 16].into_iter().filter(|&t| t <= max_threads) {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(price_parallel(black_box(&engine), black_box(&options), t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_soa(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let engine = CpuCdsEngine::new(&market);
+    // Schedule-identical batch: the fused lane kernel applies throughout.
+    let options: Vec<CdsOption> = (0..BATCH)
+        .map(|i| CdsOption::new(5.5, PaymentFrequency::Quarterly, 0.2 + 0.0002 * i as f64))
+        .collect();
+
+    let mut group = c.benchmark_group("cpu_soa_vs_scalar");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("scalar", |b| {
+        b.iter(|| black_box(engine.price_batch(black_box(&options))));
+    });
+    group.bench_function("soa_fused", |b| {
+        b.iter(|| black_box(price_batch_soa(black_box(&engine), black_box(&options))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_scaling, bench_soa);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Constant-data size bench: the paper fixes 1024 curve knots; this
+//! sweep shows engine throughput scaling inversely with the table size
+//! (one full scan per time point) and measures simulator cost per size.
+
+use cds_engine::prelude::*;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BATCH: usize = 32;
+
+fn bench_curve_size(c: &mut Criterion) {
+    let options = PortfolioGenerator::uniform(BATCH, 5.5, PaymentFrequency::Quarterly, 0.40);
+
+    eprintln!("\n=== Curve-size sweep (inter-option engine, {BATCH} options) ===");
+    for knots in [256usize, 512, 1024, 2048, 4096] {
+        let market = MarketData::paper_workload_sized(42, knots);
+        let engine = FpgaCdsEngine::new(market, EngineVariant::InterOption.config());
+        let rate = engine.price_batch(&options).options_per_second;
+        eprintln!("  {knots:>5} knots: {rate:>10.2} opts/s");
+    }
+    eprintln!();
+
+    let mut group = c.benchmark_group("curve_size");
+    group.sample_size(10);
+    for knots in [512usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(knots), &knots, |b, &knots| {
+            let market = MarketData::paper_workload_sized(42, knots);
+            let engine = FpgaCdsEngine::new(market, EngineVariant::InterOption.config());
+            b.iter(|| black_box(engine.price_batch(black_box(&options))).kernel_cycles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curve_size);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 3 bench: sweep the replication factor of the hazard and
+//! interpolation stages, printing the simulated throughput series (the
+//! gain saturates at the URAM port bandwidth — the paper's "replicated …
+//! six times, which doubled performance").
+
+use cds_engine::prelude::*;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BATCH: usize = 96;
+
+fn bench_vector_sweep(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let options = PortfolioGenerator::uniform(BATCH, 5.5, PaymentFrequency::Quarterly, 0.40);
+
+    eprintln!("\n=== Fig 3 mechanism: replication sweep ({BATCH} options) ===");
+    let mut base = None;
+    for v in [1usize, 2, 3, 4, 6, 8] {
+        let mut config = EngineVariant::Vectorised.config();
+        config.vector_factor = v;
+        let engine = FpgaCdsEngine::new(market.clone(), config);
+        let rate = engine.price_batch(&options).options_per_second;
+        let b = *base.get_or_insert(rate);
+        eprintln!("  V={v}: {rate:>10.2} opts/s  ({:.2}x over V=1)", rate / b);
+    }
+    eprintln!("  (paper: V=6 doubled the inter-option engine's throughput)\n");
+
+    let mut group = c.benchmark_group("fig3_vector_sweep");
+    group.sample_size(10);
+    for v in [1usize, 2, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            let mut config = EngineVariant::Vectorised.config();
+            config.vector_factor = v;
+            let engine = FpgaCdsEngine::new(market.clone(), config);
+            b.iter(|| black_box(engine.price_batch(black_box(&options))).kernel_cycles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vector_sweep);
+criterion_main!(benches);

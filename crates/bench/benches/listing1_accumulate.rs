@@ -1,0 +1,39 @@
+//! Listing 1 bench: the dependency-chained sum versus the 7-lane
+//! partial-sum accumulator, measured for real on the host CPU.
+//!
+//! This is the one experiment where the paper's effect reproduces
+//! *natively*: breaking the floating-point dependency chain lets the
+//! out-of-order core (and the auto-vectoriser) overlap the adds, just as
+//! it lets the FPGA pipeline reach II=1.
+
+use cds_quant::accumulate::{sum_kahan, sum_lanes, sum_lanes7, sum_sequential};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn inputs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37 % 1000) as f64) * 1e-3 - 0.3).collect()
+}
+
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("listing1_accumulate");
+    for n in [128usize, 1024, 16384] {
+        let values = inputs(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("naive_sequential", n), &values, |b, v| {
+            b.iter(|| black_box(sum_sequential(black_box(v))));
+        });
+        group.bench_with_input(BenchmarkId::new("lanes7_listing1", n), &values, |b, v| {
+            b.iter(|| black_box(sum_lanes7(black_box(v))));
+        });
+        group.bench_with_input(BenchmarkId::new("lanes4", n), &values, |b, v| {
+            b.iter(|| black_box(sum_lanes::<f64, 4>(black_box(v))));
+        });
+        group.bench_with_input(BenchmarkId::new("kahan_reference", n), &values, |b, v| {
+            b.iter(|| black_box(sum_kahan(black_box(v))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accumulators);
+criterion_main!(benches);

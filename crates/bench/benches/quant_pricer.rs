@@ -1,0 +1,110 @@
+//! Core quant-library microbenchmarks: the reference pricer, the
+//! optimised CPU pricer, interpolation kernels and survival-probability
+//! evaluation.
+
+use cds_cpu::engine::CpuCdsEngine;
+use cds_quant::interp::{binary_search, linear_scan, Interpolator};
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_pricers(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let option = CdsOption::new(5.5, PaymentFrequency::Quarterly, 0.40);
+    let pricer = CdsPricer::new(market.clone());
+    let cpu = CpuCdsEngine::new(&market);
+
+    let mut group = c.benchmark_group("pricers");
+    group.bench_function("reference_scan_pricer", |b| {
+        b.iter(|| black_box(pricer.price(black_box(&option))).spread_bps);
+    });
+    group.bench_function("cpu_precomputed_pricer", |b| {
+        b.iter(|| black_box(cpu.price(black_box(&option))).spread_bps);
+    });
+    group.bench_function("generic_f32_pricer", |b| {
+        let m32 = market.to_f32();
+        b.iter(|| {
+            black_box(cds_quant::cds::price_cds_generic(
+                black_box(&m32),
+                5.5f32,
+                4,
+                0.40f32,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let xs: Vec<f64> = market.interest.points().iter().map(|p| p.tenor).collect();
+    let ys: Vec<f64> = market.interest.points().iter().map(|p| p.value).collect();
+    let queries: Vec<f64> = (1..=22).map(|i| i as f64 * 0.25).collect();
+
+    let mut group = c.benchmark_group("interpolation_1024");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += linear_scan(black_box(&xs), black_box(&ys), q).0;
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("binary_search", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += binary_search(black_box(&xs), black_box(&ys), q);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("monotone_cursor", |b| {
+        b.iter(|| {
+            let mut it = Interpolator::new(black_box(&xs), black_box(&ys));
+            let mut acc = 0.0;
+            for &q in &queries {
+                acc += it.value_at(q).0;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_survival(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let mut group = c.benchmark_group("survival_probability");
+    for t in [1.0f64, 5.5] {
+        group.bench_with_input(BenchmarkId::new("curve_scan_integral", t), &t, |b, &t| {
+            b.iter(|| black_box(market.hazard.survival(black_box(t))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_montecarlo(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let option = CdsOption::new(5.5, PaymentFrequency::Quarterly, 0.40);
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    for paths in [10_000u64, 50_000] {
+        group.bench_with_input(BenchmarkId::new("mc_price", paths), &paths, |b, &paths| {
+            b.iter(|| {
+                black_box(cds_quant::montecarlo::mc_price_cds(
+                    black_box(&market),
+                    black_box(&option),
+                    paths,
+                    7,
+                ))
+                .spread_bps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pricers, bench_interpolation, bench_survival, bench_montecarlo);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Simulator-infrastructure bench: cost of the discrete-event scheduler
+//! itself (events/second) and of graph construction, so regressions in
+//! the substrate are caught independently of the CDS workload.
+
+use cds_engine::prelude::*;
+use cds_engine::variants::dataflow::build_graph;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow_sim::prelude::*;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_infrastructure");
+    group.sample_size(20);
+
+    // A deep chain of unit-cost stages: pure scheduler overhead.
+    group.bench_function("event_sim_chain_10x1000", |b| {
+        b.iter(|| {
+            let mut g = GraphBuilder::new();
+            let (tx0, mut rx) = g.stream::<u64>("s0", 4);
+            g.add(SourceStage::new("src", (0..1000).collect(), Cost::new(1, 1), tx0));
+            for i in 1..10 {
+                let (t, r) = g.stream::<u64>(format!("s{i}"), 4);
+                g.add(MapStage::new(format!("m{i}"), rx, t, Some(1000), |v| {
+                    (v + 1, Cost::new(1, 1))
+                }));
+                rx = r;
+            }
+            g.add_counted_sink("sink", rx, 1000);
+            black_box(EventSim::new(g).run().expect("no deadlock").events)
+        });
+    });
+
+    // Building (not running) the full vectorised CDS graph.
+    let market = Rc::new(MarketData::paper_workload(42));
+    let options = PortfolioGenerator::uniform(16, 5.5, PaymentFrequency::Quarterly, 0.40);
+    let config = EngineVariant::Vectorised.config();
+    group.bench_function("build_vectorised_graph_16opts", |b| {
+        b.iter(|| {
+            let (g, _sink) = build_graph(market.clone(), &config, black_box(&options), 0);
+            black_box(g.process_count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Streaming bench: Poisson-arrival pricing sessions at light and
+//! saturating load, printing the latency series (the AAT further-work
+//! experiment) and Criterion-measuring the simulation cost.
+
+use cds_engine::prelude::*;
+use cds_engine::streaming::{poisson_arrivals, run_streaming};
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::rc::Rc;
+
+const QUOTES: usize = 64;
+
+fn bench_streaming(c: &mut Criterion) {
+    let market = Rc::new(MarketData::paper_workload(42));
+    let options = PortfolioGenerator::uniform(QUOTES, 5.5, PaymentFrequency::Quarterly, 0.40);
+    let config = EngineVariant::Vectorised.config();
+
+    eprintln!("\n=== Streaming latency ({QUOTES} quotes, vectorised engine) ===");
+    for rate in [5_000.0f64, 25_000.0, 100_000.0] {
+        let arrivals = poisson_arrivals(&config, rate, QUOTES, 42);
+        let report = run_streaming(market.clone(), &config, &options, &arrivals);
+        eprintln!(
+            "  offered {rate:>9.0} opts/s: p50 {:>7.1} us  p99 {:>7.1} us  achieved {:>9.1} opts/s",
+            report.p50_us(&config),
+            report.p99_us(&config),
+            report.options_per_second
+        );
+    }
+    eprintln!();
+
+    let mut group = c.benchmark_group("streaming_session");
+    group.sample_size(10);
+    for rate in [5_000.0f64, 100_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rate}ops")),
+            &rate,
+            |b, &rate| {
+                let arrivals = poisson_arrivals(&config, rate, QUOTES, 42);
+                b.iter(|| {
+                    black_box(run_streaming(
+                        market.clone(),
+                        &config,
+                        black_box(&options),
+                        &arrivals,
+                    ))
+                    .p99_cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table I bench: runs every engine variant of the paper on the
+//! reference workload, printing the reproduced table rows (simulated
+//! options/second next to the paper's numbers) and Criterion-measuring
+//! the simulation cost of each variant.
+
+use cds_engine::prelude::*;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BATCH: usize = 128;
+
+fn workload() -> (MarketData<f64>, Vec<CdsOption>) {
+    (
+        MarketData::paper_workload(42),
+        PortfolioGenerator::uniform(BATCH, 5.5, PaymentFrequency::Quarterly, 0.40),
+    )
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let (market, options) = workload();
+
+    eprintln!("\n=== Table I reproduction ({BATCH} options) ===");
+    eprintln!("{:<34} {:>14} {:>14}", "variant", "sim opts/s", "paper opts/s");
+    for variant in EngineVariant::ALL {
+        let engine = FpgaCdsEngine::new(market.clone(), variant.config());
+        let report = engine.price_batch(&options);
+        eprintln!(
+            "{:<34} {:>14.2} {:>14.2}",
+            variant.paper_label(),
+            report.options_per_second,
+            variant.paper_options_per_second()
+        );
+    }
+    eprintln!();
+
+    let mut group = c.benchmark_group("table1_variants");
+    group.sample_size(10);
+    for variant in EngineVariant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                let engine = FpgaCdsEngine::new(market.clone(), variant.config());
+                b.iter(|| black_box(engine.price_batch(black_box(&options))).kernel_cycles);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table II bench: multi-engine scaling on the simulated U280 with the
+//! power models, printing the reproduced rows (options/s, Watts,
+//! options/Watt vs paper) and Criterion-measuring the N-engine runs.
+
+use cds_cpu::CpuPerfModel;
+use cds_engine::multi::MultiEngine;
+use cds_quant::prelude::*;
+use cds_power::{options_per_watt, CpuPowerModel, FpgaPowerModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BATCH: usize = 200;
+
+fn bench_table2(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let options = PortfolioGenerator::uniform(BATCH, 5.5, PaymentFrequency::Quarterly, 0.40);
+    let fpga_power = FpgaPowerModel::alveo_u280_cds();
+    let cpu_power = CpuPowerModel::xeon_8260m();
+    let cpu_rate = CpuPerfModel::xeon_8260m().options_per_second(24);
+
+    eprintln!("\n=== Table II reproduction ({BATCH} options) ===");
+    eprintln!(
+        "{:<18} {:>13} {:>8} {:>11}   (paper rate / W / opts-W)",
+        "config", "opts/s", "Watts", "opts/Watt"
+    );
+    eprintln!(
+        "{:<18} {:>13.2} {:>8.2} {:>11.2}   (75823.77 / 175.39 / 432.31)",
+        "24-core Xeon",
+        cpu_rate,
+        cpu_power.watts(24),
+        options_per_watt(cpu_rate, cpu_power.watts(24))
+    );
+    let paper = [(1, "27675.67 / 35.86 / 771.77"), (2, "53763.86 / 35.79 / 1502.20"), (5, "114115.92 / 37.38 / 3052.86")];
+    for (n, paper_row) in paper {
+        let multi = MultiEngine::new(market.clone(), n).expect("fits");
+        let rate = multi.price_batch(&options).options_per_second;
+        let watts = fpga_power.watts(n as u32);
+        eprintln!(
+            "{:<18} {:>13.2} {:>8.2} {:>11.2}   ({paper_row})",
+            format!("{n} FPGA engine(s)"),
+            rate,
+            watts,
+            options_per_watt(rate, watts)
+        );
+    }
+    eprintln!();
+
+    let mut group = c.benchmark_group("table2_scaling");
+    group.sample_size(10);
+    for n in [1usize, 2, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let multi = MultiEngine::new(market.clone(), n).expect("fits");
+            b.iter(|| black_box(multi.price_batch(black_box(&options))).options_per_second);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

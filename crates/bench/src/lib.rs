@@ -1,0 +1,1 @@
+//! cds-bench: criterion benchmark crate (benches only).

@@ -1,0 +1,199 @@
+//! Single-threaded CPU CDS engine.
+//!
+//! Mirrors the structure a tuned C++ implementation would use: the curve
+//! data is kept in flat structure-of-arrays form, interpolation uses
+//! binary search, and survival probabilities are built incrementally from
+//! a precomputed cumulative-hazard table (one pass at construction) so a
+//! per-option pricing touches `O(T log n)` data instead of rescanning the
+//! curves.
+
+use cds_quant::cds::SpreadResult;
+use cds_quant::interp::binary_search;
+use cds_quant::option::{CdsOption, MarketData};
+use cds_quant::schedule::PaymentSchedule;
+
+/// Precomputed, cache-friendly CPU pricer.
+#[derive(Debug, Clone)]
+pub struct CpuCdsEngine {
+    interest_tenors: Vec<f64>,
+    interest_values: Vec<f64>,
+    hazard_tenors: Vec<f64>,
+    /// Cumulative hazard ∫₀^tenor h(u) du at each knot.
+    hazard_cumulative: Vec<f64>,
+    hazard_values: Vec<f64>,
+}
+
+impl CpuCdsEngine {
+    /// Build the engine, precomputing the cumulative-hazard table.
+    pub fn new(market: &MarketData<f64>) -> Self {
+        let interest_tenors: Vec<f64> = market.interest.points().iter().map(|p| p.tenor).collect();
+        let interest_values: Vec<f64> = market.interest.points().iter().map(|p| p.value).collect();
+        let hazard_tenors: Vec<f64> = market.hazard.points().iter().map(|p| p.tenor).collect();
+        let hazard_values: Vec<f64> = market.hazard.points().iter().map(|p| p.value).collect();
+        // One trapezoidal pass: identical quadrature to Curve::integral.
+        let mut hazard_cumulative = Vec::with_capacity(hazard_tenors.len());
+        let mut acc = hazard_values[0] * hazard_tenors[0];
+        hazard_cumulative.push(acc);
+        for i in 1..hazard_tenors.len() {
+            acc += 0.5
+                * (hazard_values[i - 1] + hazard_values[i])
+                * (hazard_tenors[i] - hazard_tenors[i - 1]);
+            hazard_cumulative.push(acc);
+        }
+        CpuCdsEngine {
+            interest_tenors,
+            interest_values,
+            hazard_tenors,
+            hazard_cumulative,
+            hazard_values,
+        }
+    }
+
+    /// Cumulative hazard at `t` from the precomputed table.
+    fn cumulative_hazard(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let ts = &self.hazard_tenors;
+        if t <= ts[0] {
+            return self.hazard_values[0] * t;
+        }
+        let last = ts.len() - 1;
+        if t >= ts[last] {
+            return self.hazard_cumulative[last] + self.hazard_values[last] * (t - ts[last]);
+        }
+        // Find the segment containing t: ts[lo] < t <= ts[lo+1].
+        let (mut lo, mut hi) = (0usize, last);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if ts[mid] < t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let w = (t - ts[lo]) / (ts[hi] - ts[lo]);
+        let v_t = self.hazard_values[lo] + w * (self.hazard_values[hi] - self.hazard_values[lo]);
+        self.hazard_cumulative[lo] + 0.5 * (self.hazard_values[lo] + v_t) * (t - ts[lo])
+    }
+
+    /// Survival probability at `t`.
+    pub fn survival(&self, t: f64) -> f64 {
+        (-self.cumulative_hazard(t)).exp()
+    }
+
+    /// Discount factor at `t`.
+    pub fn discount_factor(&self, t: f64) -> f64 {
+        let r = binary_search(&self.interest_tenors, &self.interest_values, t);
+        (-r * t).exp()
+    }
+
+    /// Price one option.
+    pub fn price(&self, option: &CdsOption) -> SpreadResult {
+        let schedule = PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
+            .expect("validated option");
+        let mut premium = 0.0f64;
+        let mut protection = 0.0f64;
+        let mut accrual = 0.0f64;
+        let mut prev_t = 0.0f64;
+        let mut prev_survival = 1.0f64;
+        let mut last_default_prob = 0.0f64;
+        for &t in schedule.points() {
+            let survival = self.survival(t);
+            let delta = t - prev_t;
+            let mid = 0.5 * (prev_t + t);
+            let df = self.discount_factor(t);
+            let df_mid = self.discount_factor(mid);
+            let d_pd = prev_survival - survival;
+            premium += delta * df * survival;
+            protection += df_mid * d_pd;
+            accrual += 0.5 * delta * df_mid * d_pd;
+            prev_t = t;
+            prev_survival = survival;
+            last_default_prob = 1.0 - survival;
+        }
+        let lgd = 1.0 - option.recovery_rate;
+        let denom = premium + accrual;
+        SpreadResult {
+            spread_bps: if denom > 0.0 { lgd * protection / denom * 10_000.0 } else { 0.0 },
+            premium_annuity: premium,
+            protection_unit: protection,
+            accrual_annuity: accrual,
+            default_prob_at_maturity: last_default_prob,
+            time_points: schedule.len(),
+        }
+    }
+
+    /// Price a batch sequentially.
+    pub fn price_batch(&self, options: &[CdsOption]) -> Vec<f64> {
+        options.iter().map(|o| self.price(o).spread_bps).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_quant::cds::CdsPricer;
+    use cds_quant::option::PortfolioGenerator;
+
+    #[test]
+    fn matches_reference_pricer() {
+        let market = MarketData::paper_workload(13);
+        let engine = CpuCdsEngine::new(&market);
+        let pricer = CdsPricer::new(market);
+        for o in PortfolioGenerator::new(4).portfolio(64) {
+            let fast = engine.price(&o);
+            let golden = pricer.price(&o);
+            assert!(
+                (fast.spread_bps - golden.spread_bps).abs() < 1e-7 * (1.0 + golden.spread_bps),
+                "{} vs {}",
+                fast.spread_bps,
+                golden.spread_bps
+            );
+            assert_eq!(fast.time_points, golden.time_points);
+        }
+    }
+
+    #[test]
+    fn survival_matches_curve() {
+        let market = MarketData::paper_workload(3);
+        let engine = CpuCdsEngine::new(&market);
+        for i in 1..40 {
+            let t = i as f64 * 0.25;
+            let a = engine.survival(t);
+            let b = market.hazard.survival(t);
+            assert!((a - b).abs() < 1e-12, "t={t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn survival_beyond_horizon_extends_flat_hazard() {
+        let market = MarketData::paper_workload(3);
+        let engine = CpuCdsEngine::new(&market);
+        let h = market.hazard.horizon();
+        let a = engine.survival(h + 2.0);
+        let b = market.hazard.survival(h + 2.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discount_matches_curve() {
+        let market = MarketData::paper_workload(3);
+        let engine = CpuCdsEngine::new(&market);
+        for i in 0..30 {
+            let t = i as f64 * 0.3 + 0.01;
+            assert!((engine.discount_factor(t) - market.interest.discount_factor(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_equals_individual() {
+        let market = MarketData::paper_workload(5);
+        let engine = CpuCdsEngine::new(&market);
+        let opts = PortfolioGenerator::new(9).portfolio(10);
+        let batch = engine.price_batch(&opts);
+        for (o, s) in opts.iter().zip(&batch) {
+            assert_eq!(engine.price(o).spread_bps, *s);
+        }
+    }
+}

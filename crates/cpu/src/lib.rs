@@ -1,0 +1,31 @@
+//! # cds-cpu — the CPU baseline CDS engine
+//!
+//! The paper compares its FPGA engines against "a bespoke version of the
+//! engine in C++ with OpenMP for multi-threading" on a 24-core Xeon
+//! Platinum (Cascade Lake) 8260M. This crate provides:
+//!
+//! * [`engine::CpuCdsEngine`] — a cache-friendly single-threaded pricer
+//!   (the C++ engine's analogue), numerically identical to the reference;
+//! * [`parallel`] — chunked multi-threading over crossbeam scoped threads
+//!   (the OpenMP analogue), for numerical verification and host-machine
+//!   benchmarking;
+//! * [`soa::price_batch_soa`] — a structure-of-arrays batch kernel that
+//!   fuses schedule-identical options into SIMD-friendly lane groups (the
+//!   host-side counterpart of Listing 1's independent lanes);
+//! * [`model::CpuPerfModel`] — a calibrated Cascade Lake performance
+//!   model reproducing the paper's measured CPU rows (8738.92 options/s
+//!   single-core; 8.68× scaling at 24 cores), since the paper's exact
+//!   silicon is unavailable here (DESIGN.md substitution ledger).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod engine;
+pub mod model;
+pub mod parallel;
+pub mod soa;
+
+pub use engine::CpuCdsEngine;
+pub use model::CpuPerfModel;
+pub use parallel::price_parallel;
+pub use soa::price_batch_soa;

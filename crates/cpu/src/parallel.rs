@@ -1,0 +1,144 @@
+//! Multi-threaded batch pricing — the OpenMP analogue.
+//!
+//! Options are independent, so the batch is split into contiguous chunks
+//! priced by crossbeam scoped threads, exactly mirroring the paper's
+//! decomposition for both the OpenMP CPU code and the multi-engine FPGA
+//! deployment ("there are no dependencies between calculations involving
+//! different options").
+
+use crate::engine::CpuCdsEngine;
+use cds_quant::option::CdsOption;
+
+/// Price a batch across `threads` OS threads, preserving option order.
+///
+/// # Panics
+/// Panics if `threads` is zero.
+pub fn price_parallel(engine: &CpuCdsEngine, options: &[CdsOption], threads: usize) -> Vec<f64> {
+    assert!(threads > 0, "need at least one thread");
+    if options.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || options.len() == 1 {
+        return engine.price_batch(options);
+    }
+    let chunk_size = options.len().div_ceil(threads);
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = options
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| engine.price_batch(chunk)))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("pricing thread panicked")).collect();
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+/// As [`price_parallel`] but using the structure-of-arrays fused kernel
+/// within each thread's chunk — the fastest host path for books of
+/// standardised (schedule-identical) contracts.
+pub fn price_parallel_soa(
+    engine: &CpuCdsEngine,
+    options: &[CdsOption],
+    threads: usize,
+) -> Vec<f64> {
+    assert!(threads > 0, "need at least one thread");
+    if options.is_empty() {
+        return Vec::new();
+    }
+    if threads == 1 || options.len() == 1 {
+        return crate::soa::price_batch_soa(engine, options);
+    }
+    let chunk_size = options.len().div_ceil(threads);
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = options
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move |_| crate::soa::price_batch_soa(engine, chunk)))
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("pricing thread panicked")).collect();
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+/// Measure host throughput in options/second with the given thread count
+/// (used by the harness to report the real machine alongside the paper's
+/// modelled Cascade Lake).
+pub fn measure_throughput(engine: &CpuCdsEngine, options: &[CdsOption], threads: usize) -> f64 {
+    let start = std::time::Instant::now();
+    let spreads = price_parallel(engine, options, threads);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(spreads.len(), options.len());
+    if elapsed > 0.0 {
+        options.len() as f64 / elapsed
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_quant::option::{MarketData, PortfolioGenerator};
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        let options = PortfolioGenerator::new(2).portfolio(97); // uneven chunks
+        let seq = engine.price_batch(&options);
+        for threads in [1, 2, 3, 4, 8] {
+            let par = price_parallel(&engine, &options, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        assert!(price_parallel(&engine, &[], 4).is_empty());
+        let one = PortfolioGenerator::new(1).portfolio(1);
+        assert_eq!(price_parallel(&engine, &one, 4).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        let _ = price_parallel(&engine, &[], 0);
+    }
+
+    #[test]
+    fn more_threads_than_options_is_fine() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        let options = PortfolioGenerator::new(3).portfolio(3);
+        let par = price_parallel(&engine, &options, 16);
+        assert_eq!(par.len(), 3);
+    }
+
+    #[test]
+    fn soa_parallel_matches_scalar_parallel() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        // Mixed book: fused groups plus scalar fallback inside chunks.
+        let options = PortfolioGenerator::new(8).portfolio(83);
+        let scalar = price_parallel(&engine, &options, 3);
+        let fused = price_parallel_soa(&engine, &options, 3);
+        for (a, b) in scalar.iter().zip(&fused) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn throughput_measurable() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        let options = PortfolioGenerator::new(4).portfolio(64);
+        let rate = measure_throughput(&engine, &options, 2);
+        assert!(rate > 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Kernel clock model: converts simulated cycles into wall-clock time and
+//! throughput figures.
+
+use crate::Cycle;
+
+/// A fixed-frequency kernel clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Frequency in Hz.
+    pub hz: f64,
+}
+
+impl ClockModel {
+    /// Construct from a frequency in MHz.
+    pub fn mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "clock frequency must be positive");
+        ClockModel { hz: mhz * 1e6 }
+    }
+
+    /// The 300 MHz kernel clock typical of Alveo U280 HLS designs (the
+    /// default platform kernel clock), used for every FPGA result here.
+    pub fn u280_default() -> Self {
+        ClockModel::mhz(300.0)
+    }
+
+    /// Seconds elapsed for a cycle count.
+    pub fn seconds(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.hz
+    }
+
+    /// Items per second given total cycles for `items` items.
+    pub fn throughput(&self, items: u64, cycles: Cycle) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        items as f64 / self.seconds(cycles)
+    }
+
+    /// Cycles covered by a duration in seconds (rounded up).
+    pub fn cycles_for(&self, seconds: f64) -> Cycle {
+        (seconds * self.hz).ceil() as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u280_default_is_300mhz() {
+        assert_eq!(ClockModel::u280_default().hz, 300e6);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let c = ClockModel::mhz(300.0);
+        assert!((c.seconds(300_000_000) - 1.0).abs() < 1e-12);
+        assert!((c.seconds(3_000) - 1e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn throughput_round_trip() {
+        let c = ClockModel::mhz(300.0);
+        // 1024 options in 30M cycles = 0.1 s → 10240 options/s.
+        let t = c.throughput(1024, 30_000_000);
+        assert!((t - 10240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_zero_throughput() {
+        assert_eq!(ClockModel::mhz(300.0).throughput(10, 0), 0.0);
+    }
+
+    #[test]
+    fn cycles_for_duration_rounds_up() {
+        let c = ClockModel::mhz(1.0); // 1 MHz → 1 cycle per µs
+        assert_eq!(c.cycles_for(1e-6), 1);
+        assert_eq!(c.cycles_for(1.5e-6), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = ClockModel::mhz(0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! External memory and host-transfer models.
+//!
+//! The paper stores "external data … in the Alveo U280's HBM2 memory, and
+//! in accordance with best practice external data accesses are packed
+//! into widths of 512 bits", and every reported FPGA figure includes "the
+//! overhead of data transfer via PCIe … which nevertheless represents a
+//! small part of the overall execution time". [`MemoryModel`] costs the
+//! 512-bit-packed burst reads of the constant curve data into URAM and
+//! [`PcieModel`] the host↔card option/result transfers.
+
+use crate::Cycle;
+
+/// Burst-access model of a 512-bit wide HBM2/DRAM interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Interface width in bits (512 per Vitis best practice).
+    pub width_bits: u32,
+    /// Cycles of latency before the first beat of a burst.
+    pub burst_latency: Cycle,
+    /// Cycles per beat once streaming (1 for a well-formed burst).
+    pub cycles_per_beat: Cycle,
+}
+
+impl MemoryModel {
+    /// The configuration used by the engines: 512-bit packed accesses to
+    /// HBM2 with a typical ~64-cycle access latency at the kernel clock.
+    pub fn hbm2_512() -> Self {
+        MemoryModel { width_bits: 512, burst_latency: 64, cycles_per_beat: 1 }
+    }
+
+    /// Number of interface beats needed for `bytes` of data.
+    pub fn beats(&self, bytes: u64) -> u64 {
+        let bytes_per_beat = (self.width_bits / 8) as u64;
+        bytes.div_ceil(bytes_per_beat)
+    }
+
+    /// Cycles to burst-read `bytes` contiguous bytes.
+    pub fn burst_read_cycles(&self, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            return 0;
+        }
+        self.burst_latency + self.beats(bytes) * self.cycles_per_beat
+    }
+
+    /// Cycles to load both 1024-knot constant curves (the engine's
+    /// initialisation: "all engines require the full interest and hazard
+    /// rate data, which is read in upon initialisation … and stored in
+    /// UltraRAM").
+    pub fn curve_load_cycles(&self, knots: usize) -> Cycle {
+        // A knot is a (tenor, value) f64 pair = 16 bytes; two curves.
+        self.burst_read_cycles(knots as u64 * 16) * 2
+    }
+}
+
+/// Host↔card transfer model over PCIe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieModel {
+    /// Effective unidirectional bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Fixed per-transfer latency in seconds (driver + DMA setup).
+    pub latency_s: f64,
+}
+
+impl PcieModel {
+    /// PCIe gen3 ×16 as on the U280: ~12 GB/s effective, ~10 µs per DMA.
+    pub fn gen3_x16() -> Self {
+        PcieModel { bandwidth_bytes_per_s: 12e9, latency_s: 10e-6 }
+    }
+
+    /// Seconds to move `bytes` in one direction.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_s + bytes as f64 / self.bandwidth_bytes_per_s
+    }
+
+    /// Seconds to ship a batch of options in and spreads out.
+    ///
+    /// An option is (maturity f64, frequency u32 padded, recovery f64) =
+    /// 24 bytes packed; a result is one f64 spread.
+    pub fn option_batch_seconds(&self, options: u64) -> f64 {
+        self.transfer_seconds(options * 24) + self.transfer_seconds(options * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_round_up() {
+        let m = MemoryModel::hbm2_512();
+        assert_eq!(m.beats(64), 1);
+        assert_eq!(m.beats(65), 2);
+        assert_eq!(m.beats(0), 0);
+    }
+
+    #[test]
+    fn burst_read_includes_latency_once() {
+        let m = MemoryModel::hbm2_512();
+        assert_eq!(m.burst_read_cycles(64 * 100), 64 + 100);
+        assert_eq!(m.burst_read_cycles(0), 0);
+    }
+
+    #[test]
+    fn curve_load_for_paper_config() {
+        let m = MemoryModel::hbm2_512();
+        // 1024 knots × 16 B = 16 KiB = 256 beats per curve.
+        assert_eq!(m.curve_load_cycles(1024), (64 + 256) * 2);
+    }
+
+    #[test]
+    fn pcie_small_transfer_dominated_by_latency() {
+        let p = PcieModel::gen3_x16();
+        let t = p.transfer_seconds(24);
+        assert!(t > p.latency_s && t < p.latency_s * 1.01);
+    }
+
+    #[test]
+    fn pcie_batch_is_small_versus_compute() {
+        // Paper: transfer is "a small part of the overall execution time".
+        // 1024 options at the paper's best rate (~27.7k opts/s) compute for
+        // ~37 ms; the transfer should be well under 1% of that.
+        let p = PcieModel::gen3_x16();
+        let transfer = p.option_batch_seconds(1024);
+        assert!(transfer < 0.37e-3, "transfer {transfer}s");
+    }
+
+    #[test]
+    fn zero_bytes_free() {
+        assert_eq!(PcieModel::gen3_x16().transfer_seconds(0), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based cross-validation of the two schedulers on randomly
+//! generated dataflow graphs: linear pipelines with arbitrary stage
+//! costs/depths, and split/replicate/merge diamonds. The event-driven and
+//! cycle-stepped simulators must agree exactly — values, completion
+//! cycle, and per-stream traffic statistics.
+
+use dataflow_sim::cycle_sim::CycleSim;
+use dataflow_sim::graph::{GraphBuilder, SimError, SimReport};
+use dataflow_sim::prelude::*;
+use dataflow_sim::stages::SinkHandle;
+use proptest::prelude::*;
+
+/// Specification of one pipeline stage.
+#[derive(Debug, Clone)]
+struct StageSpec {
+    ii: u64,
+    latency: u64,
+    depth: usize,
+    add: u64,
+}
+
+fn stage_spec() -> impl Strategy<Value = StageSpec> {
+    (1u64..9, 1u64..14, 1usize..5, 0u64..100)
+        .prop_map(|(ii, latency, depth, add)| StageSpec { ii, latency, depth, add })
+}
+
+/// Build a linear pipeline from the specs; returns the graph and sink.
+fn build_pipeline(specs: &[StageSpec], tokens: u64) -> (GraphBuilder, SinkHandle<u64>) {
+    let mut g = GraphBuilder::new();
+    let (tx, mut rx) = g.stream::<u64>("s_in", specs.first().map(|s| s.depth).unwrap_or(2));
+    g.add(SourceStage::new("src", (0..tokens).collect(), Cost::new(1, 1), tx));
+    for (i, spec) in specs.iter().enumerate() {
+        let (t, r) = g.stream::<u64>(format!("s{i}"), spec.depth);
+        let add = spec.add;
+        let cost = Cost::new(spec.ii, spec.latency);
+        g.add(MapStage::new(format!("stage{i}"), rx, t, Some(tokens), move |v| {
+            (v.wrapping_add(add), cost)
+        }));
+        rx = r;
+    }
+    let sink = g.add_counted_sink("sink", rx, tokens);
+    (g, sink)
+}
+
+/// Build a split → V replicas → merge diamond.
+fn build_diamond(v: usize, ii: u64, depth: usize, tokens: u64) -> (GraphBuilder, SinkHandle<u64>) {
+    let mut g = GraphBuilder::new();
+    let (tx, rx) = g.stream::<u64>("in", depth);
+    g.add(SourceStage::new("src", (0..tokens).collect(), Cost::new(1, 1), tx));
+    let mut to_rep_tx = Vec::new();
+    let mut to_rep_rx = Vec::new();
+    for k in 0..v {
+        let (t, r) = g.stream::<u64>(format!("to{k}"), depth);
+        to_rep_tx.push(t);
+        to_rep_rx.push(r);
+    }
+    g.add(RoundRobinSplit::new("split", rx, to_rep_tx, Cost::UNIT, Some(tokens)));
+    let mut from_rep = Vec::new();
+    for (k, r) in to_rep_rx.into_iter().enumerate() {
+        let (t, rf) = g.stream::<u64>(format!("from{k}"), depth);
+        g.add(MapStage::new(format!("rep{k}"), r, t, None, move |x| {
+            (x * 3 + 1, Cost::new(ii, ii))
+        }));
+        from_rep.push(rf);
+    }
+    let (t_out, r_out) = g.stream::<u64>("out", depth);
+    g.add(RoundRobinMerge::new("merge", from_rep, t_out, Cost::UNIT, Some(tokens)));
+    let sink = g.add_counted_sink("sink", r_out, tokens);
+    (g, sink)
+}
+
+/// One scheduler's outcome: the run report plus the sink's tokens.
+type Outcome = (Result<SimReport, SimError>, Vec<(u64, u64)>);
+
+fn run_both(build: impl Fn() -> (GraphBuilder, SinkHandle<u64>)) -> (Outcome, Outcome) {
+    let (g1, s1) = build();
+    let r1 = EventSim::new(g1).run();
+    let (g2, s2) = build();
+    let r2 = CycleSim::new(g2).with_max_cycles(2_000_000).run();
+    ((r1, s1.collected()), (r2, s2.collected()))
+}
+
+/// The `events` counter measures *scheduler effort* and legitimately
+/// differs between the two schedulers; hardware-observable state must not.
+fn normalise(r: Result<SimReport, SimError>) -> Result<SimReport, SimError> {
+    r.map(|mut rep| {
+        rep.events = 0;
+        rep
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_pipelines_agree(
+        specs in proptest::collection::vec(stage_spec(), 1..5),
+        tokens in 1u64..24,
+    ) {
+        let ((re, ve), (rc, vc)) = run_both(|| build_pipeline(&specs, tokens));
+        let (re, rc) = (normalise(re), normalise(rc));
+        prop_assert_eq!(&re, &rc, "reports diverge for {:?}", specs);
+        prop_assert_eq!(ve, vc);
+        let report = re.expect("pipelines with counted sinks complete");
+        prop_assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn random_diamonds_agree(
+        v in 1usize..5,
+        ii in 1u64..10,
+        depth in 1usize..4,
+        tokens in 1u64..20,
+    ) {
+        let ((re, ve), (rc, vc)) = run_both(|| build_diamond(v, ii, depth, tokens));
+        prop_assert_eq!(normalise(re), normalise(rc));
+        prop_assert_eq!(&ve, &vc);
+        // Order preservation through the diamond.
+        let values: Vec<u64> = ve.iter().map(|&(x, _)| x).collect();
+        let expect: Vec<u64> = (0..tokens).map(|x| x * 3 + 1).collect();
+        prop_assert_eq!(values, expect);
+    }
+
+    #[test]
+    fn pipeline_cycles_lower_bounded_by_bottleneck(
+        specs in proptest::collection::vec(stage_spec(), 1..5),
+        tokens in 2u64..24,
+    ) {
+        let (g, _s) = build_pipeline(&specs, tokens);
+        let report = EventSim::new(g).run().expect("completes");
+        let bottleneck = specs.iter().map(|s| s.ii).max().unwrap_or(1);
+        // Steady state cannot beat the slowest stage's II.
+        prop_assert!(
+            report.total_cycles >= (tokens - 1) * bottleneck,
+            "cycles {} below bottleneck bound {}",
+            report.total_cycles,
+            (tokens - 1) * bottleneck
+        );
+    }
+}
+
+#[test]
+fn unconnected_stream_rejected() {
+    let mut g = GraphBuilder::new();
+    let (tx, rx) = g.stream::<u64>("ok", 2);
+    let (_tx2, _rx2) = g.stream::<u64>("dangling", 2);
+    g.add(SourceStage::new("src", vec![1, 2], Cost::UNIT, tx));
+    g.add_counted_sink("sink", rx, 2);
+    match EventSim::new(g).run() {
+        Err(SimError::InvalidTopology { problems }) => {
+            assert!(problems.iter().any(|p| p.contains("dangling")));
+        }
+        other => panic!("expected InvalidTopology, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_sim_also_validates_topology() {
+    let mut g = GraphBuilder::new();
+    let (_tx, rx) = g.stream::<u64>("no_producer", 2);
+    g.add_counted_sink("sink", rx, 1);
+    assert!(matches!(
+        CycleSim::new(g).run(),
+        Err(SimError::InvalidTopology { .. })
+    ));
+}

@@ -1,0 +1,289 @@
+//! Streaming deployment: quote-by-quote pricing with latency tracking.
+//!
+//! The paper's introduction motivates two regimes: batch processing and
+//! "the ability to stream in data and generate immediate decisions"; its
+//! conclusions propose combining the engine with Xilinx's Accelerated
+//! Algorithmic Trading platform. This module realises the streaming
+//! regime on the simulator: options arrive as a (Poisson) point process,
+//! flow through the continuously-running dataflow region, and each
+//! result's **latency** — arrival cycle to spread-out cycle — is
+//! recorded, yielding the p50/p99 service latencies a trading deployment
+//! would quote.
+
+use crate::config::EngineConfig;
+use crate::variants::dataflow::build_graph_with_arrivals;
+use cds_quant::option::{CdsOption, MarketData};
+use dataflow_sim::event_sim::EventSim;
+use dataflow_sim::region::RegionMode;
+use dataflow_sim::Cycle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// Latency statistics of a streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingReport {
+    /// Per-option `(arrival_cycle, completion_cycle)` in option order.
+    pub spans: Vec<(Cycle, Cycle)>,
+    /// Median latency in cycles.
+    pub p50_cycles: Cycle,
+    /// 99th-percentile latency in cycles.
+    pub p99_cycles: Cycle,
+    /// Worst latency in cycles.
+    pub max_cycles: Cycle,
+    /// Achieved throughput over the run, options/second.
+    pub options_per_second: f64,
+    /// Spreads, in option order.
+    pub spreads: Vec<f64>,
+}
+
+impl StreamingReport {
+    /// Median latency in microseconds under the engine clock.
+    pub fn p50_us(&self, config: &EngineConfig) -> f64 {
+        config.clock.seconds(self.p50_cycles) * 1e6
+    }
+
+    /// p99 latency in microseconds.
+    pub fn p99_us(&self, config: &EngineConfig) -> f64 {
+        config.clock.seconds(self.p99_cycles) * 1e6
+    }
+}
+
+/// Draw Poisson arrival cycles for `n` options at `rate` options/second
+/// under the engine clock (exponential inter-arrival times, fixed seed).
+pub fn poisson_arrivals(config: &EngineConfig, rate: f64, n: usize, seed: u64) -> Vec<Cycle> {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate;
+        out.push(config.clock.cycles_for(t));
+    }
+    out
+}
+
+/// Analytic M/D/1 sojourn prediction for the streaming engine, in cycles.
+///
+/// The pipelined engine behaves as a single server with deterministic
+/// service interval `service_ii` (cycles between successive results) and
+/// a fixed pass-through latency `pipeline_latency` (fill). For Poisson
+/// arrivals at `lambda` options/cycle, Pollaczek–Khinchine gives the mean
+/// queueing wait `Wq = ρ·s / (2(1−ρ))`; the mean sojourn is
+/// `Wq + pipeline_latency`. Returns `None` at or beyond saturation.
+///
+/// The test suite checks the discrete-event simulator against this
+/// closed form — simulation and queueing theory agreeing from two
+/// entirely different derivations.
+pub fn md1_mean_sojourn_cycles(
+    lambda_per_cycle: f64,
+    service_ii: f64,
+    pipeline_latency: f64,
+) -> Option<f64> {
+    let rho = lambda_per_cycle * service_ii;
+    if rho >= 1.0 {
+        return None;
+    }
+    let wq = rho * service_ii / (2.0 * (1.0 - rho));
+    Some(wq + pipeline_latency)
+}
+
+/// Run a streaming session: options enter at `arrivals` cycles and flow
+/// through a continuously-running engine.
+///
+/// # Panics
+/// Panics if the configuration is per-option (streaming requires the
+/// continuous region) or if arrivals and options differ in length.
+pub fn run_streaming(
+    market: Rc<MarketData<f64>>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+    arrivals: &[Cycle],
+) -> StreamingReport {
+    assert_eq!(config.region_mode, RegionMode::Continuous, "streaming requires the continuous region");
+    assert_eq!(options.len(), arrivals.len());
+    let (g, sink) = build_graph_with_arrivals(market, config, options, 0, Some(arrivals));
+    let mut sim = EventSim::new(g);
+    let report = sim.run().expect("streaming CDS graph must not deadlock");
+
+    let collected = sink.collected();
+    assert_eq!(collected.len(), options.len(), "every option must produce a spread");
+    let mut spans = Vec::with_capacity(options.len());
+    let mut latencies = Vec::with_capacity(options.len());
+    let mut spreads = Vec::with_capacity(options.len());
+    for (tok, done_at) in &collected {
+        let arrival = arrivals[tok.opt_idx as usize];
+        spans.push((arrival, *done_at));
+        latencies.push(done_at.saturating_sub(arrival));
+        spreads.push(tok.spread_bps);
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Cycle {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let span_seconds = config.clock.seconds(report.total_cycles);
+    StreamingReport {
+        p50_cycles: pct(0.50),
+        p99_cycles: pct(0.99),
+        max_cycles: *latencies.last().expect("non-empty run"),
+        options_per_second: if span_seconds > 0.0 {
+            options.len() as f64 / span_seconds
+        } else {
+            0.0
+        },
+        spans,
+        spreads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineVariant;
+    use cds_quant::cds::CdsPricer;
+    use cds_quant::option::{PaymentFrequency, PortfolioGenerator};
+
+    fn market() -> Rc<MarketData<f64>> {
+        Rc::new(MarketData::paper_workload(7))
+    }
+
+    fn options(n: usize) -> Vec<CdsOption> {
+        PortfolioGenerator::uniform(n, 5.5, PaymentFrequency::Quarterly, 0.4)
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_rate_consistent() {
+        let config = EngineVariant::Vectorised.config();
+        let arrivals = poisson_arrivals(&config, 10_000.0, 500, 1);
+        assert_eq!(arrivals.len(), 500);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Mean inter-arrival ≈ clock/rate = 30k cycles; allow wide noise.
+        let span = (arrivals[499] - arrivals[0]) as f64;
+        let mean = span / 499.0;
+        assert!((15_000.0..60_000.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn light_load_latency_is_pipeline_latency() {
+        // Arrivals far apart: each option sees an empty engine, so the
+        // latency is the pipeline's fill (≈ one full scan plus tails),
+        // not a queueing delay.
+        let config = EngineVariant::InterOption.config();
+        let opts = options(6);
+        let arrivals: Vec<Cycle> = (0..6).map(|i| i * 2_000_000).collect();
+        let report = run_streaming(market(), &config, &opts, &arrivals);
+        // 22 points × 1024 cycles ≈ 22.5k, plus stage tails.
+        assert!(
+            report.p50_cycles > 20_000 && report.p50_cycles < 30_000,
+            "p50 {}",
+            report.p50_cycles
+        );
+        // No queueing: p99 ≈ p50.
+        assert!(report.p99_cycles < report.p50_cycles + 2_000);
+    }
+
+    #[test]
+    fn saturating_load_queues_and_matches_batch_throughput() {
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(48);
+        // Arrivals far above the engine's ~26.5k opts/s capacity.
+        let arrivals = poisson_arrivals(&config, 200_000.0, 48, 3);
+        let report = run_streaming(market(), &config, &opts, &arrivals);
+        // Later arrivals wait behind earlier ones: p99 >> p50 of light load.
+        assert!(report.p99_cycles > 5 * report.p50_cycles.min(30_000), "p99 {}", report.p99_cycles);
+        // Throughput approaches the batch steady state.
+        assert!(
+            (20_000.0..30_000.0).contains(&report.options_per_second),
+            "throughput {}",
+            report.options_per_second
+        );
+    }
+
+    #[test]
+    fn vectorised_has_lower_latency_than_inter_option_under_load() {
+        let opts = options(24);
+        let inter = EngineVariant::InterOption.config();
+        let vec_ = EngineVariant::Vectorised.config();
+        let arrivals_i = poisson_arrivals(&inter, 13_000.0, 24, 5);
+        let arrivals_v = arrivals_i.clone();
+        let r_inter = run_streaming(market(), &inter, &opts, &arrivals_i);
+        let r_vec = run_streaming(market(), &vec_, &opts, &arrivals_v);
+        assert!(
+            r_vec.p99_cycles < r_inter.p99_cycles,
+            "vectorised p99 {} vs inter p99 {}",
+            r_vec.p99_cycles,
+            r_inter.p99_cycles
+        );
+    }
+
+    #[test]
+    fn simulated_mean_latency_tracks_md1_theory() {
+        // Uniform 5.5y quarterly options on the vectorised engine: the
+        // service interval is 22 points × 512 cycles ≈ 11.3k cycles and
+        // the pipeline fill ≈ one replica scan + tails.
+        let config = EngineVariant::Vectorised.config();
+        let n = 200;
+        let opts = options(n);
+        let service_ii = 22.0 * 512.0;
+        // Measure the fill directly: a lone option's latency.
+        let lone = run_streaming(market(), &config, &opts[..1], &[0]);
+        let fill = lone.p50_cycles as f64;
+
+        // Moderate load: ρ = 0.6.
+        let lambda = 0.6 / service_ii;
+        let rate_per_s = lambda * config.clock.hz;
+        let arrivals = poisson_arrivals(&config, rate_per_s, n, 17);
+        let report = run_streaming(market(), &config, &opts, &arrivals);
+        let mean_sim = report
+            .spans
+            .iter()
+            .map(|&(a, d)| (d - a) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let mean_theory =
+            md1_mean_sojourn_cycles(lambda, service_ii, fill).expect("below saturation");
+        let err = (mean_sim - mean_theory).abs() / mean_theory;
+        assert!(
+            err < 0.30,
+            "DES mean {mean_sim} vs M/D/1 {mean_theory} ({:.0}% off)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn md1_formula_properties() {
+        // At zero load the sojourn is the pipeline fill.
+        assert_eq!(md1_mean_sojourn_cycles(0.0, 100.0, 42.0), Some(42.0));
+        // Saturated or oversaturated: undefined.
+        assert_eq!(md1_mean_sojourn_cycles(0.01, 100.0, 0.0), None);
+        assert_eq!(md1_mean_sojourn_cycles(0.02, 100.0, 0.0), None);
+        // Monotone in load.
+        let a = md1_mean_sojourn_cycles(0.004, 100.0, 0.0).unwrap();
+        let b = md1_mean_sojourn_cycles(0.008, 100.0, 0.0).unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn streaming_spreads_match_reference() {
+        let m = market();
+        let pricer = CdsPricer::new((*m).clone());
+        let opts = PortfolioGenerator::new(9).portfolio(10);
+        let config = EngineVariant::Vectorised.config();
+        let arrivals = poisson_arrivals(&config, 20_000.0, 10, 7);
+        let report = run_streaming(m, &config, &opts, &arrivals);
+        for (o, s) in opts.iter().zip(&report.spreads) {
+            let golden = pricer.price(o).spread_bps;
+            assert!((s - golden).abs() < 1e-7 * (1.0 + golden), "{s} vs {golden}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "continuous region")]
+    fn per_option_config_rejected() {
+        let config = EngineVariant::OptimisedDataflow.config();
+        let opts = options(2);
+        let _ = run_streaming(market(), &config, &opts, &[0, 10]);
+    }
+}

@@ -1,0 +1,4 @@
+//! The engine variants of the paper's Table I.
+
+pub mod dataflow;
+pub mod xilinx;

@@ -1,0 +1,204 @@
+//! The baseline open-source Xilinx Vitis library CDS engine (Figure 1).
+//!
+//! "The Xilinx CDS engine processed one option at a time, where input
+//! values for an option are loaded, the calculations then undertaken for
+//! each time point, and then the spread returned. … whilst the Xilinx
+//! implementation pipelines the individual loops it does not dataflow
+//! these, and as such the components making up the overall flowchart of
+//! Figure 1 run sequentially."
+//!
+//! Timing model (every term from the pipelined-loop algebra of
+//! [`dataflow_sim::pipeline`]):
+//!
+//! * **defaulting probability**: for each time point, the hazard constant
+//!   data up to that time is accumulated with the loop-carried
+//!   double-precision add ⇒ II = 7 over the prefix length;
+//! * **payments / payoff**: a linear interpolation scan over the interest
+//!   curve prefix per time point (II = 1, the scan itself pipelines);
+//! * **accrual and combination**: cheap per-point arithmetic.
+//!
+//! Numerically the baseline is identical to the reference pricer — it is
+//! the same mathematics, merely scheduled badly.
+
+use crate::config::{
+    EngineConfig, FP_ADD_LATENCY_CYCLES, FP_DIV_LATENCY_CYCLES, FP_EXP_LATENCY_CYCLES,
+};
+use crate::report::EngineRunReport;
+use crate::stages::TimePointGen;
+use crate::tokens::OptionTok;
+use cds_quant::accumulate::sum_lanes7;
+use cds_quant::option::{CdsOption, MarketData};
+use dataflow_sim::pipeline::PipelinedLoop;
+use dataflow_sim::Cycle;
+
+/// Price a batch on the baseline engine, returning spreads and timing.
+pub fn run(market: &MarketData<f64>, config: &EngineConfig, options: &[CdsOption]) -> EngineRunReport {
+    let mut spreads = Vec::with_capacity(options.len());
+    let mut kernel_cycles: Cycle = 0;
+    let hazard_loop = PipelinedLoop::new(config.hazard_ii.ii(), FP_ADD_LATENCY_CYCLES);
+    let scan_loop = PipelinedLoop::fully_pipelined(4);
+    let timegen_loop = PipelinedLoop::fully_pipelined(4);
+
+    for (idx, option) in options.iter().enumerate() {
+        let tok = OptionTok {
+            opt_idx: idx as u32,
+            maturity: option.maturity,
+            payments_per_year: option.frequency.per_year(),
+            recovery: option.recovery_rate,
+        };
+        let points = TimePointGen::expand(&tok);
+
+        // --- numerics (identical formulas to the reference pricer) ---
+        let mut payments = Vec::with_capacity(points.len());
+        let mut payoffs = Vec::with_capacity(points.len());
+        let mut accruals = Vec::with_capacity(points.len());
+        let mut prev_survival = 1.0f64;
+
+        // --- timing: sequential pipelined loops per Figure 1 ---
+        // Time point generation.
+        kernel_cycles += timegen_loop.cycles(points.len() as u64);
+        // Defaulting probability: prefix accumulation per time point at
+        // the dependency-chained II.
+        let mut hazard_cycles: Cycle = 0;
+        let mut interp_t_cycles: Cycle = 0;
+        let mut interp_mid_cycles: Cycle = 0;
+        let mut survivals = Vec::with_capacity(points.len());
+        for p in &points {
+            let (integral, scanned) = market.hazard.scan_integral(p.t);
+            hazard_cycles += hazard_loop.cycles(scanned as u64) + FP_EXP_LATENCY_CYCLES;
+            survivals.push((-integral).exp());
+        }
+        // Present value of expected payments: interpolation scan + exp.
+        for (p, s) in points.iter().zip(&survivals) {
+            let (rate, scanned) = market.interest.scan_value_at(p.t);
+            interp_t_cycles += scan_loop.cycles(scanned as u64) + FP_EXP_LATENCY_CYCLES;
+            let df = (-rate * p.t).exp();
+            payments.push(p.delta * df * *s);
+        }
+        // Present value of expected payoff and accrual: mid-point scan.
+        for (p, s) in points.iter().zip(&survivals) {
+            let (rate_mid, scanned) = market.interest.scan_value_at(p.mid);
+            interp_mid_cycles += scan_loop.cycles(scanned as u64) + FP_EXP_LATENCY_CYCLES;
+            let df_mid = (-rate_mid * p.mid).exp();
+            let d_pd = prev_survival - s;
+            payoffs.push(df_mid * d_pd);
+            accruals.push(0.5 * p.delta * df_mid * d_pd);
+            prev_survival = *s;
+        }
+        kernel_cycles += hazard_cycles + interp_t_cycles + interp_mid_cycles;
+        // Leg accumulations (the short dependency-chained sums over the
+        // time points) and the final spread combination.
+        kernel_cycles += PipelinedLoop::dependency_chained_add().cycles(points.len() as u64);
+        kernel_cycles += FP_DIV_LATENCY_CYCLES + 2;
+        // Per-option loop control (not a dataflow-region relaunch).
+        kernel_cycles += config.region_cost.invocation_overhead(0);
+
+        let premium: f64 = sum_lanes7(&payments);
+        let protection: f64 = sum_lanes7(&payoffs);
+        let accrual: f64 = sum_lanes7(&accruals);
+        let lgd = 1.0 - option.recovery_rate;
+        let denom = premium + accrual;
+        spreads.push(if denom > 0.0 { lgd * protection / denom * 10_000.0 } else { 0.0 });
+    }
+
+    let curve_load =
+        config.memory.curve_load_cycles(market.hazard.len().max(market.interest.len()));
+    EngineRunReport::from_cycles(config, spreads, kernel_cycles, curve_load)
+}
+
+/// Graphviz DOT rendering of the baseline's Figure-1 flowchart.
+pub fn fig1_dot() -> String {
+    let mut dot = String::new();
+    dot.push_str("digraph fig1 {\n  label=\"Fig 1: Xilinx CDS engine (sequential)\";\n");
+    dot.push_str("  rankdir=TB;\n  node [shape=box, style=rounded];\n");
+    let stages = [
+        ("load", "Load option"),
+        ("timegen", "Determine time points"),
+        ("prob", "Defaulting probability\n(hazard accumulation, II=7)"),
+        ("payment", "PV of expected payments"),
+        ("payoff", "PV of expected payoff"),
+        ("accrual", "Accrued protection"),
+        ("combine", "Combine -> spread"),
+    ];
+    for (id, label) in stages {
+        dot.push_str(&format!("  {id} [label=\"{label}\"];\n"));
+    }
+    for w in stages.windows(2) {
+        dot.push_str(&format!("  {} -> {};\n", w[0].0, w[1].0));
+    }
+    dot.push_str("  combine -> load [style=dashed, label=\"next option\"];\n}\n");
+    dot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineVariant;
+    use cds_quant::cds::CdsPricer;
+    use cds_quant::option::{PaymentFrequency, PortfolioGenerator};
+
+    fn market() -> MarketData<f64> {
+        MarketData::paper_workload(7)
+    }
+
+    #[test]
+    fn spreads_match_reference_pricer() {
+        let market = market();
+        let pricer = CdsPricer::new(market.clone());
+        let options = PortfolioGenerator::new(3).portfolio(16);
+        let report = run(&market, &EngineVariant::XilinxBaseline.config(), &options);
+        for (o, s) in options.iter().zip(&report.spreads) {
+            let golden = pricer.price(o).spread_bps;
+            assert!((s - golden).abs() < 1e-8, "{s} vs {golden}");
+        }
+    }
+
+    #[test]
+    fn cycles_scale_with_batch_size() {
+        let market = market();
+        let config = EngineVariant::XilinxBaseline.config();
+        let opts8 = PortfolioGenerator::uniform(8, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let opts16 = PortfolioGenerator::uniform(16, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let r8 = run(&market, &config, &opts8);
+        let r16 = run(&market, &config, &opts16);
+        let ratio = r16.kernel_cycles as f64 / r8.kernel_cycles as f64;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dependency_chained_ii_dominates_runtime() {
+        // Switching the hazard II from 7 to 1 (leaving everything else)
+        // must cut the baseline's cycles substantially.
+        let market = market();
+        let options = PortfolioGenerator::uniform(8, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let slow = run(&market, &EngineVariant::XilinxBaseline.config(), &options);
+        let mut fixed = EngineVariant::XilinxBaseline.config();
+        fixed.hazard_ii = crate::config::HazardIiMode::PartialSums;
+        let fast = run(&market, &fixed, &options);
+        let speedup = slow.kernel_cycles as f64 / fast.kernel_cycles as f64;
+        assert!(speedup > 2.0, "II fix alone gave only {speedup}");
+        // Numerics unchanged.
+        assert_eq!(slow.spreads, fast.spreads);
+    }
+
+    #[test]
+    fn longer_maturity_costs_more() {
+        let market = market();
+        let config = EngineVariant::XilinxBaseline.config();
+        let short = PortfolioGenerator::uniform(4, 2.0, PaymentFrequency::Quarterly, 0.4);
+        let long = PortfolioGenerator::uniform(4, 7.0, PaymentFrequency::Quarterly, 0.4);
+        assert!(
+            run(&market, &config, &long).kernel_cycles
+                > 2 * run(&market, &config, &short).kernel_cycles
+        );
+    }
+
+    #[test]
+    fn fig1_dot_well_formed() {
+        let dot = fig1_dot();
+        assert!(dot.starts_with("digraph fig1 {"));
+        assert!(dot.contains("Defaulting probability"));
+        assert!(dot.contains("prob -> payment"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

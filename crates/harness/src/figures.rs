@@ -1,0 +1,45 @@
+//! Figures 1–3 as Graphviz DOT, regenerated from the actual engine
+//! structures (not hand-drawn).
+
+use cds_quant::option::MarketData;
+use std::rc::Rc;
+
+/// Figure 1: the sequential Xilinx engine flowchart.
+pub fn fig1_dot() -> String {
+    cds_engine::variants::xilinx::fig1_dot()
+}
+
+/// Figure 2: the dataflow architecture (stages and streams of the
+/// inter-option engine graph).
+pub fn fig2_dot(market: &MarketData<f64>) -> String {
+    cds_engine::variants::dataflow::fig2_dot(&Rc::new(market.clone()))
+}
+
+/// Figure 3: the vectorised architecture with round-robin schedulers and
+/// replicated hazard/interpolation functions.
+pub fn fig3_dot(market: &MarketData<f64>) -> String {
+    cds_engine::variants::dataflow::fig3_dot(&Rc::new(market.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figures_are_valid_dot() {
+        let market = MarketData::paper_workload(1);
+        for dot in [fig1_dot(), fig2_dot(&market), fig3_dot(&market)] {
+            assert!(dot.starts_with("digraph"));
+            assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+            assert!(dot.contains("->"));
+        }
+    }
+
+    #[test]
+    fn fig3_shows_replication_fig2_does_not() {
+        let market = MarketData::paper_workload(1);
+        assert!(!fig2_dot(&market).contains("rep0"));
+        assert!(fig3_dot(&market).contains("rep0"));
+        assert!(fig3_dot(&market).contains("rep5"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text table and CSV rendering (hand-rolled to stay within the
+//! offline dependency set).
+
+/// Render rows as an aligned plain-text table with a header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<w$}"));
+        }
+        // No trailing whitespace.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&mut out, &rule);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Render rows as CSV with proper quoting of commas and quotes.
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let quote = |cell: &str| {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a rate with two decimals, as the paper's tables do.
+pub fn rate(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a ratio with two decimals and a trailing ×.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("longer-name"));
+        assert!(!lines[2].ends_with(' '));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let c = render_csv(&["a", "b"], &[vec!["x,y".into(), "say \"hi\"".into()]]);
+        assert_eq!(c, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(rate(3462.531), "3462.53");
+        assert_eq!(ratio(7.994), "7.99x");
+    }
+}

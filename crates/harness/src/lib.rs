@@ -1,0 +1,36 @@
+//! # cds-harness — regenerates every table and figure of the paper
+//!
+//! Library behind the `cds-harness` binary. Each experiment of the
+//! CLUSTER 2021 CDS paper has a function here producing a structured
+//! result that the binary renders as an aligned table (and optionally
+//! CSV), side by side with the paper's published numbers:
+//!
+//! | function | paper artefact |
+//! |---|---|
+//! | [`tables::table1`] | Table I — engine-variant throughput |
+//! | [`tables::table2`] | Table II — multi-engine scaling, power, efficiency |
+//! | [`figures::fig1_dot`] / [`figures::fig2_dot`] / [`figures::fig3_dot`] | Figures 1–3 as Graphviz DOT |
+//! | [`ablations::listing1`] | Listing 1 — accumulator kernels (measured on the host) |
+//! | [`ablations::vector_sweep`] | replication-factor sweep behind Fig 3 |
+//! | [`ablations::ii_sweep`] | hazard-II ablation (§III) |
+//! | [`ablations::depth_sweep`] | stream-depth sensitivity |
+//! | [`ablations::precision`] | reduced-precision exploration (§V further work) |
+//! | [`hostcpu::host_report`] | real host-CPU engine measurement |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablations;
+pub mod figures;
+pub mod format;
+pub mod hostcpu;
+pub mod tables;
+pub mod validate;
+pub mod workload;
+
+/// Default option-batch size for throughput experiments (large enough to
+/// amortise fills/overheads, as in the paper's batch runs).
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Default RNG seed, for reproducible workloads.
+pub const DEFAULT_SEED: u64 = 42;

@@ -1,0 +1,175 @@
+//! `cds-harness validate` — one-shot artifact validation.
+//!
+//! Runs the repository's independent cross-checks and prints a verdict
+//! per check, so an artifact evaluator can confirm the system's
+//! correctness story without reading the test suite:
+//!
+//! 1. every engine variant vs the golden pricer,
+//! 2. the golden pricer vs an independent Monte Carlo simulation,
+//! 3. the event-driven vs cycle-stepped schedulers on the real graph,
+//! 4. a bootstrap round trip through the FPGA engine,
+//! 5. the streaming simulator vs M/D/1 queueing theory.
+
+use crate::workload::Workload;
+use cds_engine::prelude::*;
+use cds_engine::streaming::{md1_mean_sojourn_cycles, poisson_arrivals, run_streaming};
+use cds_engine::variants::dataflow::build_graph;
+use cds_quant::bootstrap::{bootstrap_hazard, CdsQuote};
+use cds_quant::montecarlo::mc_price_cds;
+use cds_quant::prelude::*;
+use dataflow_sim::cycle_sim::CycleSim;
+use dataflow_sim::event_sim::EventSim;
+use std::rc::Rc;
+
+/// Outcome of one validation check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Short name.
+    pub name: String,
+    /// Whether it passed.
+    pub passed: bool,
+    /// Human-readable evidence (the measured discrepancy).
+    pub detail: String,
+}
+
+/// Run all validation checks.
+pub fn validate_all(workload: &Workload) -> Vec<Check> {
+    vec![
+        engines_vs_reference(workload),
+        analytic_vs_montecarlo(workload),
+        schedulers_agree(workload),
+        bootstrap_round_trip(),
+        des_vs_queueing_theory(workload),
+    ]
+}
+
+fn engines_vs_reference(workload: &Workload) -> Check {
+    let pricer = CdsPricer::new(workload.market.clone());
+    let options = &workload.options[..workload.options.len().min(16)];
+    let mut worst = 0.0f64;
+    for variant in EngineVariant::ALL {
+        let engine = FpgaCdsEngine::new(workload.market.clone(), variant.config());
+        let report = engine.price_batch(options);
+        for (o, s) in options.iter().zip(&report.spreads) {
+            let golden = pricer.price(o).spread_bps;
+            worst = worst.max((s - golden).abs() / (1.0 + golden.abs()));
+        }
+    }
+    Check {
+        name: "4 engine variants ≡ golden pricer".into(),
+        passed: worst < 1e-7,
+        detail: format!("worst relative error {worst:.2e} (bound 1e-7)"),
+    }
+}
+
+fn analytic_vs_montecarlo(workload: &Workload) -> Check {
+    let option = CdsOption::new(5.5, PaymentFrequency::Quarterly, 0.40);
+    let analytic = price_cds(&workload.market, &option).spread_bps;
+    let mc = mc_price_cds(&workload.market, &option, 150_000, workload.seed);
+    let sigmas = (mc.spread_bps - analytic).abs() / mc.std_error_bps;
+    Check {
+        name: "analytic pricer ≡ Monte Carlo".into(),
+        passed: sigmas < 4.0 || (mc.spread_bps - analytic).abs() / analytic < 0.005,
+        detail: format!(
+            "MC {:.3} ± {:.3} bps vs analytic {analytic:.3} bps ({sigmas:.1}σ)",
+            mc.spread_bps, mc.std_error_bps
+        ),
+    }
+}
+
+fn schedulers_agree(workload: &Workload) -> Check {
+    let market = Rc::new(workload.market.clone());
+    let config = EngineVariant::InterOption.config();
+    let options = PortfolioGenerator::uniform(2, 2.0, PaymentFrequency::Quarterly, 0.4);
+    let (g1, s1) = build_graph(market.clone(), &config, &options, 0);
+    let (g2, s2) = build_graph(market, &config, &options, 0);
+    let r1 = EventSim::new(g1).run().expect("event sim runs");
+    let r2 = CycleSim::new(g2).run().expect("cycle sim runs");
+    let agree = r1.total_cycles == r2.total_cycles
+        && r1.streams == r2.streams
+        && s1.collected() == s2.collected();
+    Check {
+        name: "event-driven ≡ cycle-stepped scheduler".into(),
+        passed: agree,
+        detail: format!(
+            "completion {} vs {} cycles; stream stats {}",
+            r1.total_cycles,
+            r2.total_cycles,
+            if r1.streams == r2.streams { "identical" } else { "DIVERGED" }
+        ),
+    }
+}
+
+fn bootstrap_round_trip() -> Check {
+    let interest = Curve::flat(0.02, 64, 30.0);
+    let quotes: Vec<CdsQuote> = [(1.0, 60.0), (3.0, 95.0), (5.0, 130.0)]
+        .into_iter()
+        .map(|(maturity, spread_bps)| CdsQuote {
+            maturity,
+            spread_bps,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        })
+        .collect();
+    match bootstrap_hazard(&interest, &quotes) {
+        Err(e) => Check {
+            name: "bootstrap round trip".into(),
+            passed: false,
+            detail: format!("bootstrap failed: {e}"),
+        },
+        Ok(result) => {
+            let market = MarketData { interest, hazard: result.hazard };
+            let engine = FpgaCdsEngine::new(market, EngineVariant::Vectorised.config());
+            let options: Vec<CdsOption> = quotes
+                .iter()
+                .map(|q| CdsOption::new(q.maturity, q.frequency, q.recovery))
+                .collect();
+            let report = engine.price_batch(&options);
+            let worst = quotes
+                .iter()
+                .zip(&report.spreads)
+                .map(|(q, s)| (s - q.spread_bps).abs())
+                .fold(0.0f64, f64::max);
+            Check {
+                name: "bootstrap round trip through FPGA engine".into(),
+                passed: worst < 1e-5,
+                detail: format!("worst repricing error {worst:.2e} bps (bound 1e-5)"),
+            }
+        }
+    }
+}
+
+fn des_vs_queueing_theory(workload: &Workload) -> Check {
+    let config = EngineVariant::Vectorised.config();
+    let market = Rc::new(workload.market.clone());
+    let n = workload.options.len().min(150);
+    let options = PortfolioGenerator::uniform(n, 5.5, PaymentFrequency::Quarterly, 0.40);
+    let service_ii = 22.0 * 512.0;
+    let fill = run_streaming(market.clone(), &config, &options[..1], &[0]).p50_cycles as f64;
+    let lambda = 0.6 / service_ii;
+    let arrivals = poisson_arrivals(&config, lambda * config.clock.hz, n, workload.seed);
+    let report = run_streaming(market, &config, &options, &arrivals);
+    let mean_sim =
+        report.spans.iter().map(|&(a, d)| (d - a) as f64).sum::<f64>() / n as f64;
+    let theory = md1_mean_sojourn_cycles(lambda, service_ii, fill).expect("below saturation");
+    let err = (mean_sim - theory).abs() / theory;
+    Check {
+        name: "streaming DES ≡ M/D/1 queueing theory".into(),
+        passed: err < 0.30,
+        detail: format!("mean sojourn {mean_sim:.0} vs P-K formula {theory:.0} cycles ({:.0}% off)", err * 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_checks_pass() {
+        let checks = validate_all(&Workload::paper(42, 160));
+        assert_eq!(checks.len(), 5);
+        for c in &checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's experimental workload: "for all experiments, 1024 interest
+//! and hazard rates are used", processing a batch of CDS options.
+
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
+
+/// A fully specified experiment workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The constant curve inputs (1024 knots each by default).
+    pub market: MarketData<f64>,
+    /// The option batch.
+    pub options: Vec<CdsOption>,
+    /// Seed it was generated from.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The calibration workload: uniform 5.5-year quarterly options (22
+    /// time points each — the per-option work level at which the
+    /// simulator reproduces the paper's Table I rates; DESIGN.md §5).
+    pub fn paper(seed: u64, n_options: usize) -> Self {
+        Workload {
+            market: MarketData::paper_workload(seed),
+            options: PortfolioGenerator::uniform(n_options, 5.5, PaymentFrequency::Quarterly, 0.40),
+            seed,
+        }
+    }
+
+    /// A realistic mixed portfolio (maturities 1–10y, mostly quarterly).
+    pub fn mixed(seed: u64, n_options: usize) -> Self {
+        Workload {
+            market: MarketData::paper_workload(seed),
+            options: PortfolioGenerator::new(seed).portfolio(n_options),
+            seed,
+        }
+    }
+
+    /// Number of options in the batch.
+    pub fn len(&self) -> usize {
+        self.options.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.options.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_shape() {
+        let w = Workload::paper(1, 64);
+        assert_eq!(w.len(), 64);
+        assert_eq!(w.market.hazard.len(), 1024);
+        assert!(w.options.iter().all(|o| o.maturity == 5.5));
+    }
+
+    #[test]
+    fn mixed_workload_varies() {
+        let w = Workload::mixed(1, 64);
+        let first = w.options[0].maturity;
+        assert!(w.options.iter().any(|o| o.maturity != first));
+    }
+
+    #[test]
+    fn reproducible() {
+        assert_eq!(Workload::paper(9, 8).options, Workload::paper(9, 8).options);
+    }
+}

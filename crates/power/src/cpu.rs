@@ -1,0 +1,77 @@
+//! CPU socket power model.
+
+/// Affine per-core power model of a CPU socket.
+///
+/// Calibrated to the paper's Xeon Platinum 8260M measurement: 175.39 W
+/// with all 24 cores active. Cascade Lake server idle/uncore draw is
+/// around 60 W, leaving ≈4.81 W per active core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPowerModel {
+    /// Socket idle + uncore power in Watts.
+    pub idle_watts: f64,
+    /// Additional Watts per active core.
+    pub watts_per_core: f64,
+    /// Physical cores available.
+    pub cores: u32,
+}
+
+impl CpuPowerModel {
+    /// The paper's 24-core Xeon Platinum (Cascade Lake) 8260M.
+    pub fn xeon_8260m() -> Self {
+        CpuPowerModel { idle_watts: 60.0, watts_per_core: 4.808, cores: 24 }
+    }
+
+    /// Power draw with `active_cores` cores busy.
+    ///
+    /// # Panics
+    /// Panics if more cores are requested than the socket has.
+    pub fn watts(&self, active_cores: u32) -> f64 {
+        assert!(active_cores <= self.cores, "socket has only {} cores", self.cores);
+        self.idle_watts + active_cores as f64 * self.watts_per_core
+    }
+
+    /// Energy in Joules to run `active_cores` for `seconds`.
+    pub fn joules(&self, active_cores: u32, seconds: f64) -> f64 {
+        self.watts(active_cores) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_socket_matches_paper_measurement() {
+        let m = CpuPowerModel::xeon_8260m();
+        let p = m.watts(24);
+        assert!((p - 175.39).abs() < 0.5, "24-core power {p} vs paper 175.39");
+    }
+
+    #[test]
+    fn idle_power_positive_and_less_than_loaded() {
+        let m = CpuPowerModel::xeon_8260m();
+        assert!(m.watts(0) > 0.0);
+        assert!(m.watts(0) < m.watts(1));
+        assert!(m.watts(1) < m.watts(24));
+    }
+
+    #[test]
+    fn power_linear_in_cores() {
+        let m = CpuPowerModel::xeon_8260m();
+        let d1 = m.watts(2) - m.watts(1);
+        let d2 = m.watts(20) - m.watts(19);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 24 cores")]
+    fn too_many_cores_panics() {
+        let _ = CpuPowerModel::xeon_8260m().watts(25);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let m = CpuPowerModel::xeon_8260m();
+        assert!((m.joules(24, 2.0) - 2.0 * m.watts(24)).abs() < 1e-9);
+    }
+}

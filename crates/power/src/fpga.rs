@@ -1,0 +1,71 @@
+//! FPGA card power model.
+
+/// Affine per-engine power model of an accelerator card.
+///
+/// Fitted to the paper's Table II: 35.86 W at one engine, 35.79 W at two
+/// (measurement noise — adding an engine is nearly free) and 37.38 W at
+/// five: a least-squares line gives ≈35.4 W static and ≈0.38 W per
+/// engine. "The additional power overhead of adding extra FPGA engines is
+/// fairly minimal."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaPowerModel {
+    /// Shell, HBM and static power in Watts.
+    pub static_watts: f64,
+    /// Additional Watts per instantiated engine.
+    pub watts_per_engine: f64,
+}
+
+impl FpgaPowerModel {
+    /// The paper's Alveo U280 running the vectorised CDS engines.
+    pub fn alveo_u280_cds() -> Self {
+        FpgaPowerModel { static_watts: 35.40, watts_per_engine: 0.38 }
+    }
+
+    /// Power draw with `engines` engines instantiated.
+    pub fn watts(&self, engines: u32) -> f64 {
+        self.static_watts + engines as f64 * self.watts_per_engine
+    }
+
+    /// Energy in Joules for a run of `seconds` with `engines` engines.
+    pub fn joules(&self, engines: u32, seconds: f64) -> f64 {
+        self.watts(engines) * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_measurements_within_noise() {
+        let m = FpgaPowerModel::alveo_u280_cds();
+        // Table II rows: 35.86, 35.79, 37.38 W for 1, 2, 5 engines.
+        assert!((m.watts(1) - 35.86).abs() < 0.4, "{}", m.watts(1));
+        assert!((m.watts(2) - 35.79).abs() < 0.5, "{}", m.watts(2));
+        assert!((m.watts(5) - 37.38).abs() < 0.2, "{}", m.watts(5));
+    }
+
+    #[test]
+    fn extra_engines_are_cheap() {
+        // Paper: "the additional power overhead of adding extra FPGA
+        // engines is fairly minimal" — under 2% of card power each.
+        let m = FpgaPowerModel::alveo_u280_cds();
+        assert!(m.watts_per_engine / m.watts(1) < 0.02);
+    }
+
+    #[test]
+    fn fpga_draws_much_less_than_cpu() {
+        // Paper: "the FPGA running with five engines draws around 4.7
+        // times less power than the CPU".
+        let fpga = FpgaPowerModel::alveo_u280_cds().watts(5);
+        let cpu = crate::cpu::CpuPowerModel::xeon_8260m().watts(24);
+        let ratio = cpu / fpga;
+        assert!((4.2..5.2).contains(&ratio), "power ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let m = FpgaPowerModel::alveo_u280_cds();
+        assert!((m.joules(5, 10.0) - 10.0 * m.watts(5)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cds-power — power and energy models for the CDS study
+//!
+//! The paper's Table II reports power draw and options/Watt for the
+//! 24-core Cascade Lake Xeon and for one, two and five FPGA engines on
+//! the Alveo U280. No power instrumentation exists in this environment,
+//! so this crate provides affine models **fitted to the paper's four
+//! measured points** (DESIGN.md substitution ledger):
+//!
+//! * CPU: `P(n) = P_idle + n · p_core` — each active core costs power;
+//! * FPGA: `P(N) = P_static + N · p_engine` — "the additional power
+//!   overhead of adding extra FPGA engines is fairly minimal".
+//!
+//! [`efficiency`] combines these with throughput figures into the
+//! options/Watt metric and the paper's headline ≈4.7× power and ≈7×
+//! efficiency advantages.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cpu;
+pub mod efficiency;
+pub mod fpga;
+
+pub use cpu::CpuPowerModel;
+pub use efficiency::{options_per_watt, EfficiencyComparison};
+pub use fpga::FpgaPowerModel;

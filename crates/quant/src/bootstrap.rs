@@ -1,0 +1,353 @@
+//! Hazard-curve bootstrapping — the inverse of the pricing problem.
+//!
+//! The engine prices spreads *given* a hazard curve; desks obtain that
+//! curve by **bootstrapping** it from quoted par spreads: for each quoted
+//! maturity in increasing order, solve for the hazard level on the newest
+//! segment such that the quoted CDS reprices to par, keeping the already
+//! bootstrapped segments fixed. This module implements the standard
+//! piecewise-constant-hazard bootstrap with a guarded Newton/bisection
+//! solver, giving the library the full round trip
+//! `curve → spreads → curve`.
+
+use crate::cds::price_cds;
+use crate::curve::Curve;
+use crate::option::{CdsOption, MarketData, PaymentFrequency};
+use crate::QuantError;
+
+/// One quoted CDS instrument used as bootstrap input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdsQuote {
+    /// Maturity in years.
+    pub maturity: f64,
+    /// Quoted par spread in basis points.
+    pub spread_bps: f64,
+    /// Premium payment frequency.
+    pub frequency: PaymentFrequency,
+    /// Assumed recovery rate.
+    pub recovery: f64,
+}
+
+/// Bootstrap failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BootstrapError {
+    /// Quotes must be supplied with strictly increasing maturities.
+    NonMonotoneMaturities {
+        /// Index of the offending quote.
+        index: usize,
+    },
+    /// The solver could not find a non-negative hazard repricing the
+    /// quote (e.g. an arbitrageable downward spread step).
+    NoSolution {
+        /// Index of the quote that failed.
+        index: usize,
+        /// Best residual achieved, in basis points.
+        residual_bps: f64,
+    },
+    /// Invalid quote parameters.
+    InvalidQuote(QuantError),
+}
+
+impl std::fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootstrapError::NonMonotoneMaturities { index } => {
+                write!(f, "quote maturities must strictly increase (index {index})")
+            }
+            BootstrapError::NoSolution { index, residual_bps } => {
+                write!(f, "no hazard level reprices quote {index} (residual {residual_bps} bps)")
+            }
+            BootstrapError::InvalidQuote(e) => write!(f, "invalid quote: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
+/// Result of a bootstrap: the fitted hazard curve plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapResult {
+    /// Piecewise-linear hazard curve through the fitted knots (flat
+    /// within each quoted segment, knots at segment boundaries).
+    pub hazard: Curve<f64>,
+    /// Fitted hazard level per input quote segment.
+    pub segment_hazards: Vec<f64>,
+    /// Repricing residual per quote, in basis points.
+    pub residuals_bps: Vec<f64>,
+    /// Newton/bisection iterations used per quote.
+    pub iterations: Vec<u32>,
+}
+
+/// Solver tolerance on the repriced spread, in basis points.
+const TOL_BPS: f64 = 1e-8;
+/// Iteration cap per quote.
+const MAX_ITER: u32 = 80;
+
+/// Bootstrap a hazard curve from par-spread quotes against the given
+/// interest-rate curve.
+///
+/// ```
+/// use cds_quant::bootstrap::{bootstrap_hazard, CdsQuote};
+/// use cds_quant::prelude::*;
+///
+/// let rates = Curve::flat(0.02, 32, 30.0);
+/// let quotes = [CdsQuote {
+///     maturity: 5.0,
+///     spread_bps: 120.0,
+///     frequency: PaymentFrequency::Quarterly,
+///     recovery: 0.40,
+/// }];
+/// let fitted = bootstrap_hazard(&rates, &quotes).unwrap();
+/// // The fitted curve reprices the quote to par.
+/// let market = MarketData { interest: rates, hazard: fitted.hazard };
+/// let spread = price_cds(&market, &CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40));
+/// assert!((spread.spread_bps - 120.0).abs() < 1e-6);
+/// ```
+pub fn bootstrap_hazard(
+    interest: &Curve<f64>,
+    quotes: &[CdsQuote],
+) -> Result<BootstrapResult, BootstrapError> {
+    for (i, w) in quotes.windows(2).enumerate() {
+        if w[1].maturity <= w[0].maturity {
+            return Err(BootstrapError::NonMonotoneMaturities { index: i + 1 });
+        }
+    }
+    let mut knot_tenors: Vec<f64> = Vec::new();
+    let mut knot_values: Vec<f64> = Vec::new();
+    let mut segment_hazards = Vec::with_capacity(quotes.len());
+    let mut residuals = Vec::with_capacity(quotes.len());
+    let mut iterations = Vec::with_capacity(quotes.len());
+
+    for (index, quote) in quotes.iter().enumerate() {
+        let option = CdsOption::validated(quote.maturity, quote.frequency, quote.recovery)
+            .map_err(BootstrapError::InvalidQuote)?;
+
+        // Reprice the quote with the candidate hazard on this segment.
+        let reprice = |h: f64| -> f64 {
+            let market = MarketData {
+                interest: interest.clone(),
+                hazard: curve_with_segment(&knot_tenors, &knot_values, quote.maturity, h),
+            };
+            price_cds(&market, &option).spread_bps - quote.spread_bps
+        };
+
+        // Initial guess from the credit triangle; bracket then refine.
+        let lgd = (1.0 - quote.recovery).max(1e-6);
+        let mut h = (quote.spread_bps / 10_000.0 / lgd).max(1e-6);
+        let (mut lo, mut hi) = (0.0f64, 4.0f64.max(h * 4.0));
+        if reprice(hi) < 0.0 {
+            return Err(BootstrapError::NoSolution { index, residual_bps: reprice(hi).abs() });
+        }
+        let mut f_h = reprice(h);
+        let mut iters = 0u32;
+        while f_h.abs() > TOL_BPS && iters < MAX_ITER {
+            iters += 1;
+            // Maintain the bracket.
+            if f_h > 0.0 {
+                hi = h;
+            } else {
+                lo = h;
+            }
+            // Newton step via secant derivative, guarded by bisection.
+            let dh = (h * 1e-6).max(1e-10);
+            let slope = (reprice(h + dh) - f_h) / dh;
+            let newton = if slope.abs() > 1e-12 { h - f_h / slope } else { f64::NAN };
+            h = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            f_h = reprice(h);
+        }
+        if f_h.abs() > 1e-4 {
+            return Err(BootstrapError::NoSolution { index, residual_bps: f_h.abs() });
+        }
+
+        // Commit this segment: flat hazard h on (prev_maturity, maturity].
+        let seg_start = knot_tenors.last().copied().unwrap_or(0.0);
+        // Knot just after the previous boundary keeps the curve piecewise
+        // near-flat under linear interpolation.
+        if knot_tenors.is_empty() {
+            knot_tenors.push((quote.maturity * 1e-6).max(1e-9));
+            knot_values.push(h);
+        } else {
+            knot_tenors.push(seg_start + 1e-9);
+            knot_values.push(h);
+        }
+        knot_tenors.push(quote.maturity);
+        knot_values.push(h);
+        segment_hazards.push(h);
+        residuals.push(f_h);
+        iterations.push(iters);
+    }
+
+    Ok(BootstrapResult {
+        hazard: Curve::from_slices(&knot_tenors, &knot_values)
+            .expect("bootstrap knots are strictly increasing"),
+        segment_hazards,
+        residuals_bps: residuals,
+        iterations,
+    })
+}
+
+/// Build the candidate hazard curve: committed knots plus a flat segment
+/// at level `h` out to `maturity`.
+fn curve_with_segment(tenors: &[f64], values: &[f64], maturity: f64, h: f64) -> Curve<f64> {
+    let mut ts = tenors.to_vec();
+    let mut vs = values.to_vec();
+    let seg_start = ts.last().copied().unwrap_or(0.0);
+    if ts.is_empty() {
+        ts.push((maturity * 1e-6).max(1e-9));
+        vs.push(h);
+    } else {
+        ts.push(seg_start + 1e-9);
+        vs.push(h);
+    }
+    ts.push(maturity);
+    vs.push(h);
+    Curve::from_slices(&ts, &vs).expect("candidate knots strictly increasing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_rates() -> Curve<f64> {
+        Curve::flat(0.02, 64, 30.0)
+    }
+
+    fn quote(maturity: f64, spread_bps: f64) -> CdsQuote {
+        CdsQuote { maturity, spread_bps, frequency: PaymentFrequency::Quarterly, recovery: 0.40 }
+    }
+
+    #[test]
+    fn single_quote_recovers_flat_hazard() {
+        // Price a CDS off a known flat hazard, then bootstrap it back.
+        let h_true = 0.0175;
+        let market = MarketData { interest: flat_rates(), hazard: Curve::flat(h_true, 64, 30.0) };
+        let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+        let par = price_cds(&market, &option).spread_bps;
+
+        let result = bootstrap_hazard(&flat_rates(), &[quote(5.0, par)]).unwrap();
+        assert_eq!(result.segment_hazards.len(), 1);
+        let h_fit = result.segment_hazards[0];
+        assert!((h_fit - h_true).abs() < 1e-6, "fitted {h_fit} vs true {h_true}");
+        assert!(result.residuals_bps[0].abs() < 1e-7);
+    }
+
+    #[test]
+    fn multi_quote_round_trip_reprices_exactly() {
+        let rates = flat_rates();
+        let quotes = vec![quote(1.0, 60.0), quote(3.0, 95.0), quote(5.0, 130.0), quote(7.0, 150.0)];
+        let result = bootstrap_hazard(&rates, &quotes).unwrap();
+        // Every input quote must reprice to par off the fitted curve.
+        let market = MarketData { interest: rates, hazard: result.hazard.clone() };
+        for q in &quotes {
+            let option = CdsOption::new(q.maturity, q.frequency, q.recovery);
+            let repriced = price_cds(&market, &option).spread_bps;
+            assert!(
+                (repriced - q.spread_bps).abs() < 1e-6,
+                "maturity {}: {repriced} vs {}",
+                q.maturity,
+                q.spread_bps
+            );
+        }
+        // Rising spreads ⇒ rising forward hazards.
+        for w in result.segment_hazards.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn steeply_inverted_curve_yields_falling_hazards() {
+        let quotes = vec![quote(1.0, 300.0), quote(5.0, 150.0)];
+        let result = bootstrap_hazard(&flat_rates(), &quotes).unwrap();
+        assert!(result.segment_hazards[1] < result.segment_hazards[0]);
+    }
+
+    #[test]
+    fn arbitrageable_inversion_rejected() {
+        // 5y spread so far below 1y that the 1-5y forward hazard would
+        // have to be negative.
+        let quotes = vec![quote(1.0, 500.0), quote(5.0, 10.0)];
+        match bootstrap_hazard(&flat_rates(), &quotes) {
+            Err(BootstrapError::NoSolution { index: 1, .. }) => {}
+            other => panic!("expected NoSolution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_monotone_maturities_rejected() {
+        let quotes = vec![quote(5.0, 100.0), quote(3.0, 90.0)];
+        assert!(matches!(
+            bootstrap_hazard(&flat_rates(), &quotes),
+            Err(BootstrapError::NonMonotoneMaturities { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn solver_converges_quickly() {
+        let quotes = vec![quote(1.0, 60.0), quote(5.0, 130.0), quote(10.0, 180.0)];
+        let result = bootstrap_hazard(&flat_rates(), &quotes).unwrap();
+        for (i, iters) in result.iterations.iter().enumerate() {
+            assert!(*iters <= 20, "quote {i} took {iters} iterations");
+        }
+    }
+
+    #[test]
+    fn credit_triangle_is_a_good_first_guess() {
+        // The fitted hazard should be near spread/(1−R).
+        let quotes = vec![quote(5.0, 120.0)];
+        let result = bootstrap_hazard(&flat_rates(), &quotes).unwrap();
+        let triangle = 120.0 / 10_000.0 / 0.6;
+        assert!((result.segment_hazards[0] - triangle).abs() / triangle < 0.05);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn round_trip_from_random_flat_hazard(
+            h in 0.002f64..0.08,
+            r in 0.0f64..0.05,
+            maturity in 1.0f64..9.0,
+        ) {
+            let rates = Curve::flat(r, 32, 30.0);
+            let market = MarketData { interest: rates.clone(), hazard: Curve::flat(h, 32, 30.0) };
+            let option = CdsOption::new(maturity, PaymentFrequency::Quarterly, 0.40);
+            let par = price_cds(&market, &option).spread_bps;
+            let result = bootstrap_hazard(
+                &rates,
+                &[CdsQuote { maturity, spread_bps: par, frequency: PaymentFrequency::Quarterly, recovery: 0.40 }],
+            ).unwrap();
+            prop_assert!((result.segment_hazards[0] - h).abs() < 1e-5,
+                "fitted {} vs true {}", result.segment_hazards[0], h);
+        }
+
+        #[test]
+        fn bootstrap_reprices_random_upward_ladders(
+            base in 40.0f64..150.0,
+            step1 in 1.0f64..60.0,
+            step2 in 1.0f64..60.0,
+        ) {
+            let rates = Curve::flat(0.02, 32, 30.0);
+            let quotes = vec![
+                CdsQuote { maturity: 2.0, spread_bps: base, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
+                CdsQuote { maturity: 5.0, spread_bps: base + step1, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
+                CdsQuote { maturity: 8.0, spread_bps: base + step1 + step2, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
+            ];
+            let result = bootstrap_hazard(&rates, &quotes).unwrap();
+            let market = MarketData { interest: rates, hazard: result.hazard };
+            for q in &quotes {
+                let option = CdsOption::new(q.maturity, q.frequency, q.recovery);
+                let repriced = price_cds(&market, &option).spread_bps;
+                prop_assert!((repriced - q.spread_bps).abs() < 1e-5);
+            }
+        }
+    }
+}

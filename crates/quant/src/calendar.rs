@@ -1,0 +1,299 @@
+//! Civil dates and the CDS IMM roll convention.
+//!
+//! The engine works in year fractions, but real CDS contracts are
+//! specified by **dates**: standard contracts mature on IMM dates (the
+//! 20th of March, June, September and December) and pay premiums
+//! quarterly on the same grid. This module provides a minimal validated
+//! civil-date type (Hinnant's days-from-civil algorithm), the IMM roll
+//! logic, and the bridge from a dated contract to the year-fraction
+//! [`crate::schedule::PaymentSchedule`] the engines consume.
+
+use crate::daycount::DayCount;
+use crate::schedule::PaymentSchedule;
+use crate::QuantError;
+
+/// A validated Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Construct a date, validating the calendar.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, QuantError> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(QuantError::InvalidOption { reason: "invalid calendar date" });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day component (1–31).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since the civil epoch 1970-01-01 (negative before it) —
+    /// Howard Hinnant's `days_from_civil`.
+    pub fn days_from_epoch(&self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let mp = (self.month as i64 + 9) % 12; // March = 0
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Construct from days since 1970-01-01 (Hinnant's `civil_from_days`).
+    pub fn from_days_from_epoch(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = if m <= 2 { y + 1 } else { y } as i32;
+        Date { year, month: m, day: d }
+    }
+
+    /// Calendar days from `self` to `other` (positive when `other` is
+    /// later).
+    pub fn days_until(&self, other: &Date) -> i64 {
+        other.days_from_epoch() - self.days_from_epoch()
+    }
+
+    /// Year fraction from `self` to `other` under a day count.
+    ///
+    /// # Panics
+    /// Panics if `other` precedes `self`.
+    pub fn year_fraction_until(&self, other: &Date, daycount: DayCount) -> f64 {
+        let days = self.days_until(other);
+        assert!(days >= 0, "year fractions require a later end date");
+        daycount.year_fraction_days(days as u32).years()
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// The IMM months on whose 20th standard CDS contracts roll.
+pub const IMM_MONTHS: [u8; 4] = [3, 6, 9, 12];
+
+/// True when `date` is a CDS IMM date (the 20th of Mar/Jun/Sep/Dec).
+pub fn is_imm_date(date: &Date) -> bool {
+    date.day == 20 && IMM_MONTHS.contains(&date.month)
+}
+
+/// The first IMM date strictly after `date`.
+pub fn next_imm_date(date: &Date) -> Date {
+    for &m in &IMM_MONTHS {
+        if date.month < m || (date.month == m && date.day < 20) {
+            return Date::new(date.year, m, 20).expect("IMM dates are valid");
+        }
+    }
+    Date::new(date.year + 1, 3, 20).expect("IMM dates are valid")
+}
+
+/// Standard CDS maturity for a trade date and a tenor in whole years: the
+/// IMM date `tenor` years after the next roll.
+///
+/// ```
+/// use cds_quant::calendar::{imm_maturity, Date};
+/// let trade = Date::new(2026, 7, 5).unwrap();
+/// let maturity = imm_maturity(&trade, 5);
+/// assert_eq!(maturity.to_string(), "2031-09-20");
+/// ```
+pub fn imm_maturity(trade: &Date, tenor_years: u32) -> Date {
+    let roll = next_imm_date(trade);
+    Date::new(roll.year + tenor_years as i32, roll.month, 20).expect("IMM dates are valid")
+}
+
+/// All quarterly IMM payment dates in `(trade, maturity]`.
+pub fn imm_payment_dates(trade: &Date, maturity: &Date) -> Vec<Date> {
+    let mut out = Vec::new();
+    let mut d = next_imm_date(trade);
+    while d <= *maturity {
+        out.push(d);
+        d = next_imm_date(&d);
+    }
+    out
+}
+
+/// Build a year-fraction [`PaymentSchedule`] from a dated standard
+/// contract, under the given day count — the bridge from market
+/// conventions to the engine's inputs.
+pub fn imm_schedule(
+    trade: &Date,
+    tenor_years: u32,
+    daycount: DayCount,
+) -> Result<(Date, PaymentSchedule<f64>), QuantError> {
+    let maturity = imm_maturity(trade, tenor_years);
+    let dates = imm_payment_dates(trade, &maturity);
+    let points: Vec<f64> =
+        dates.iter().map(|d| trade.year_fraction_until(d, daycount)).collect();
+    let schedule = PaymentSchedule::from_points(points)?;
+    Ok((maturity, schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Date::new(2026, 2, 29).is_err()); // not a leap year
+        assert!(Date::new(2024, 2, 29).is_ok()); // leap year
+        assert!(Date::new(2026, 13, 1).is_err());
+        assert!(Date::new(2026, 4, 31).is_err());
+        assert!(Date::new(2026, 0, 1).is_err());
+    }
+
+    #[test]
+    fn epoch_reference_points() {
+        assert_eq!(d(1970, 1, 1).days_from_epoch(), 0);
+        assert_eq!(d(1970, 1, 2).days_from_epoch(), 1);
+        assert_eq!(d(1969, 12, 31).days_from_epoch(), -1);
+        assert_eq!(d(2000, 3, 1).days_from_epoch(), 11_017);
+    }
+
+    #[test]
+    fn roundtrip_across_leap_boundaries() {
+        for date in [
+            d(2024, 2, 28),
+            d(2024, 2, 29),
+            d(2024, 3, 1),
+            d(2100, 2, 28), // century non-leap
+            d(2000, 2, 29), // 400-year leap
+            d(1999, 12, 31),
+        ] {
+            let back = Date::from_days_from_epoch(date.days_from_epoch());
+            assert_eq!(date, back, "{date}");
+        }
+    }
+
+    #[test]
+    fn day_differences() {
+        assert_eq!(d(2026, 7, 5).days_until(&d(2026, 7, 6)), 1);
+        assert_eq!(d(2026, 7, 5).days_until(&d(2027, 7, 5)), 365);
+        assert_eq!(d(2023, 7, 5).days_until(&d(2024, 7, 5)), 366); // spans 29 Feb 2024
+    }
+
+    #[test]
+    fn imm_rolls() {
+        assert!(is_imm_date(&d(2026, 3, 20)));
+        assert!(!is_imm_date(&d(2026, 3, 21)));
+        assert!(!is_imm_date(&d(2026, 4, 20)));
+        assert_eq!(next_imm_date(&d(2026, 7, 5)), d(2026, 9, 20));
+        assert_eq!(next_imm_date(&d(2026, 9, 19)), d(2026, 9, 20));
+        // Strictly after: an IMM date rolls to the next one.
+        assert_eq!(next_imm_date(&d(2026, 9, 20)), d(2026, 12, 20));
+        assert_eq!(next_imm_date(&d(2026, 12, 25)), d(2027, 3, 20));
+    }
+
+    #[test]
+    fn standard_maturities() {
+        // Trade 2026-07-05, 5y: next roll 2026-09-20 ⇒ maturity 2031-09-20.
+        assert_eq!(imm_maturity(&d(2026, 7, 5), 5), d(2031, 9, 20));
+        assert_eq!(imm_maturity(&d(2026, 1, 2), 1), d(2027, 3, 20));
+    }
+
+    #[test]
+    fn payment_dates_quarterly_on_grid() {
+        let dates = imm_payment_dates(&d(2026, 7, 5), &d(2027, 9, 20));
+        assert_eq!(
+            dates,
+            vec![
+                d(2026, 9, 20),
+                d(2026, 12, 20),
+                d(2027, 3, 20),
+                d(2027, 6, 20),
+                d(2027, 9, 20)
+            ]
+        );
+    }
+
+    #[test]
+    fn dated_schedule_bridges_to_engine_inputs() {
+        let (maturity, schedule) =
+            imm_schedule(&d(2026, 7, 5), 5, DayCount::Act365Fixed).unwrap();
+        assert_eq!(maturity, d(2031, 9, 20));
+        // 21 quarterly payments from Sep-2026 to Sep-2031.
+        assert_eq!(schedule.len(), 21);
+        // First stub ≈ 77/365 years; later periods ≈ 0.25y.
+        assert!((schedule.points()[0] - 77.0 / 365.0).abs() < 1e-12);
+        let lens = schedule.period_lengths();
+        for l in &lens[1..] {
+            assert!((0.22..0.28).contains(l), "period {l}");
+        }
+        // The engines accept it directly: strictly increasing points.
+        for w in schedule.points().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn epoch_roundtrip(days in -1_000_000i64..1_000_000) {
+            let date = Date::from_days_from_epoch(days);
+            prop_assert_eq!(date.days_from_epoch(), days);
+        }
+
+        #[test]
+        fn next_imm_is_imm_and_strictly_later(y in 1990i32..2100, m in 1u8..=12, day in 1u8..=28) {
+            let date = Date::new(y, m, day).unwrap();
+            let imm = next_imm_date(&date);
+            prop_assert!(is_imm_date(&imm));
+            prop_assert!(imm > date);
+            // And it is the first one: no IMM date strictly between.
+            let gap = date.days_until(&imm);
+            prop_assert!(gap <= 92, "gap {} days", gap);
+        }
+    }
+}

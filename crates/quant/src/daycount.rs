@@ -1,0 +1,124 @@
+//! Time handling: year fractions and day-count conventions.
+//!
+//! The paper's engine expresses every time quantity as a *fraction of a
+//! year* ("Elements comprising these input values consist of two numbers,
+//! the point in time (fraction of a year), and the interest or hazard value
+//! itself"). [`YearFraction`] is a validated newtype for such values so
+//! that tenor/maturity arguments cannot be silently swapped with rates.
+
+use crate::QuantError;
+
+/// A point in time measured in (fractional) years from the valuation date.
+///
+/// Invariant: finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct YearFraction(f64);
+
+impl YearFraction {
+    /// Construct a year fraction, validating finiteness and sign.
+    pub fn new(years: f64) -> Result<Self, QuantError> {
+        if !years.is_finite() {
+            return Err(QuantError::NonFiniteValue { index: 0 });
+        }
+        if years < 0.0 {
+            return Err(QuantError::InvalidOption { reason: "time must be non-negative" });
+        }
+        Ok(YearFraction(years))
+    }
+
+    /// Construct without validation for compile-time-known constants.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the invariant is violated.
+    pub fn from_years(years: f64) -> Self {
+        debug_assert!(years.is_finite() && years >= 0.0, "invalid year fraction {years}");
+        YearFraction(years)
+    }
+
+    /// The underlying value in years.
+    #[inline]
+    pub fn years(self) -> f64 {
+        self.0
+    }
+
+    /// Zero (the valuation date).
+    pub const ZERO: YearFraction = YearFraction(0.0);
+}
+
+/// Day-count conventions used when converting calendar periods into year
+/// fractions. The Vitis engine works directly in year fractions; the
+/// conventions here let workload generators express "N months" naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DayCount {
+    /// Actual/365 fixed: days / 365.
+    Act365Fixed,
+    /// Actual/360: days / 360.
+    Act360,
+    /// 30/360: months are 30 days, years 360.
+    Thirty360,
+}
+
+impl DayCount {
+    /// Year fraction covered by `days` calendar days.
+    pub fn year_fraction_days(self, days: u32) -> YearFraction {
+        let yf = match self {
+            DayCount::Act365Fixed => days as f64 / 365.0,
+            DayCount::Act360 => days as f64 / 360.0,
+            DayCount::Thirty360 => days as f64 / 360.0,
+        };
+        YearFraction::from_years(yf)
+    }
+
+    /// Year fraction covered by `months` whole months.
+    pub fn year_fraction_months(self, months: u32) -> YearFraction {
+        let yf = match self {
+            DayCount::Act365Fixed => months as f64 * (365.0 / 12.0) / 365.0,
+            DayCount::Act360 => months as f64 * 30.4375 / 360.0,
+            DayCount::Thirty360 => months as f64 * 30.0 / 360.0,
+        };
+        YearFraction::from_years(yf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_negative_and_nonfinite() {
+        assert!(YearFraction::new(-0.5).is_err());
+        assert!(YearFraction::new(f64::NAN).is_err());
+        assert!(YearFraction::new(f64::INFINITY).is_err());
+        assert_eq!(YearFraction::new(2.5).unwrap().years(), 2.5);
+    }
+
+    #[test]
+    fn zero_is_valuation_date() {
+        assert_eq!(YearFraction::ZERO.years(), 0.0);
+    }
+
+    #[test]
+    fn ordering_follows_time() {
+        assert!(YearFraction::from_years(1.0) < YearFraction::from_years(2.0));
+    }
+
+    #[test]
+    fn act365_days() {
+        let yf = DayCount::Act365Fixed.year_fraction_days(365);
+        assert!((yf.years() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thirty360_months() {
+        let yf = DayCount::Thirty360.year_fraction_months(12);
+        assert!((yf.years() - 1.0).abs() < 1e-12);
+        let q = DayCount::Thirty360.year_fraction_months(3);
+        assert!((q.years() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn act360_year_is_longer_than_one() {
+        let yf = DayCount::Act360.year_fraction_days(365);
+        assert!(yf.years() > 1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Standalone linear-interpolation kernels.
+//!
+//! The curve type in [`crate::curve`] offers interpolation as a method;
+//! this module exposes the raw kernels in the three access-pattern variants
+//! that matter to the FPGA engine, so the dataflow simulator and the
+//! Listing-1 benchmarks can exercise them directly:
+//!
+//! * [`linear_scan`] — restart-from-the-front scan, the Vitis baseline's
+//!   behaviour inside its pipelined loop (`O(n)` per query);
+//! * [`binary_search`] — what a CPU implementation would do (`O(log n)`);
+//! * [`Interpolator`] — stateful monotone cursor, amortised `O(1)` per
+//!   query, modelling the optimised HLS kernel's running index.
+//!
+//! All variants must agree bit-for-bit on the same inputs; property tests
+//! assert this.
+
+use crate::precision::CdsFloat;
+
+/// Interpolate `xs→ys` at `x` by scanning from the front. `xs` must be
+/// strictly increasing; extrapolation is flat. Returns the value and the
+/// number of elements inspected.
+///
+/// # Panics
+/// Panics if `xs` is empty or lengths differ.
+pub fn linear_scan<F: CdsFloat>(xs: &[F], ys: &[F], x: F) -> (F, usize) {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    assert!(!xs.is_empty(), "empty interpolation table");
+    if x <= xs[0] {
+        return (ys[0], 1);
+    }
+    for i in 1..xs.len() {
+        if x <= xs[i] {
+            return (segment(xs[i - 1], xs[i], ys[i - 1], ys[i], x), i + 1);
+        }
+    }
+    (ys[ys.len() - 1], xs.len())
+}
+
+/// Interpolate via binary search (the CPU-friendly variant).
+///
+/// # Panics
+/// Panics if `xs` is empty or lengths differ.
+pub fn binary_search<F: CdsFloat>(xs: &[F], ys: &[F], x: F) -> F {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    assert!(!xs.is_empty(), "empty interpolation table");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    // Invariant: xs[lo] < x <= xs[hi].
+    let (mut lo, mut hi) = (0usize, xs.len() - 1);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if xs[mid] < x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    segment(xs[lo], xs[hi], ys[lo], ys[hi], x)
+}
+
+#[inline]
+fn segment<F: CdsFloat>(x0: F, x1: F, y0: F, y1: F, x: F) -> F {
+    let w = (x - x0) / (x1 - x0);
+    y0 + w * (y1 - y0)
+}
+
+/// Stateful monotone interpolator: queries must arrive in non-decreasing
+/// `x` order, letting the scan resume where it left off.
+#[derive(Debug, Clone)]
+pub struct Interpolator<'a, F: CdsFloat = f64> {
+    xs: &'a [F],
+    ys: &'a [F],
+    pos: usize,
+    last_x: Option<F>,
+}
+
+impl<'a, F: CdsFloat> Interpolator<'a, F> {
+    /// Create an interpolator over parallel slices (strictly increasing
+    /// `xs`).
+    ///
+    /// # Panics
+    /// Panics if `xs` is empty or lengths differ.
+    pub fn new(xs: &'a [F], ys: &'a [F]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "empty interpolation table");
+        Interpolator { xs, ys, pos: 0, last_x: None }
+    }
+
+    /// Interpolate at `x` (must be >= the previous query). Returns the
+    /// value and how many table entries were newly advanced past.
+    ///
+    /// # Panics
+    /// Panics in debug builds on a decreasing query.
+    pub fn value_at(&mut self, x: F) -> (F, usize) {
+        if let Some(prev) = self.last_x {
+            debug_assert!(x >= prev, "Interpolator requires monotone queries");
+        }
+        self.last_x = Some(x);
+        let mut advanced = 0usize;
+        while self.pos < self.xs.len() && self.xs[self.pos] < x {
+            self.pos += 1;
+            advanced += 1;
+        }
+        let v = if self.pos == 0 {
+            self.ys[0]
+        } else if self.pos == self.xs.len() {
+            self.ys[self.ys.len() - 1]
+        } else {
+            segment(self.xs[self.pos - 1], self.xs[self.pos], self.ys[self.pos - 1], self.ys[self.pos], x)
+        };
+        (v, advanced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+    const YS: [f64; 5] = [0.01, 0.015, 0.02, 0.03, 0.025];
+
+    #[test]
+    fn scan_and_binary_agree() {
+        for i in 0..=100 {
+            let x = i as f64 * 0.1;
+            let (a, _) = linear_scan(&XS, &YS, x);
+            let b = binary_search(&XS, &YS, x);
+            assert!((a - b).abs() < 1e-16, "x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cursor_agrees_with_scan() {
+        let mut it = Interpolator::new(&XS, &YS);
+        for i in 0..=100 {
+            let x = i as f64 * 0.1;
+            let (a, _) = linear_scan(&XS, &YS, x);
+            let (c, _) = it.value_at(x);
+            assert!((a - c).abs() < 1e-16, "x={x}");
+        }
+    }
+
+    #[test]
+    fn flat_extrapolation_both_ends() {
+        assert_eq!(linear_scan(&XS, &YS, 0.0).0, 0.01);
+        assert_eq!(linear_scan(&XS, &YS, 100.0).0, 0.025);
+        assert_eq!(binary_search(&XS, &YS, 0.0), 0.01);
+        assert_eq!(binary_search(&XS, &YS, 100.0), 0.025);
+    }
+
+    #[test]
+    fn exact_at_knots() {
+        for (x, y) in XS.iter().zip(YS.iter()) {
+            assert_eq!(binary_search(&XS, &YS, *x), *y);
+        }
+    }
+
+    #[test]
+    fn midpoint_is_average() {
+        let v = binary_search(&XS, &YS, 1.5);
+        assert!((v - (0.015 + 0.02) / 2.0).abs() < 1e-16);
+    }
+
+    #[test]
+    fn scan_cost_increases_with_x() {
+        let (_, c_lo) = linear_scan(&XS, &YS, 0.6);
+        let (_, c_hi) = linear_scan(&XS, &YS, 7.0);
+        assert!(c_lo < c_hi);
+    }
+
+    #[test]
+    fn cursor_advance_total_bounded() {
+        let mut it = Interpolator::new(&XS, &YS);
+        let mut total = 0;
+        for i in 0..50 {
+            total += it.value_at(i as f64 * 0.2).1;
+        }
+        assert!(total <= XS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = linear_scan(&XS, &YS[..3], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_table_panics() {
+        let _ = binary_search::<f64>(&[], &[], 1.0);
+    }
+
+    #[test]
+    fn single_point_table_is_constant() {
+        let (v, _) = linear_scan(&[1.0], &[42.0], 0.5);
+        assert_eq!(v, 42.0);
+        assert_eq!(binary_search(&[1.0], &[42.0], 9.0), 42.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn table() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+        // Strictly increasing xs built from positive gaps; bounded ys.
+        (2usize..64).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0.01f64..1.0, n),
+                proptest::collection::vec(-5.0f64..5.0, n),
+            )
+        })
+        .prop_map(|(gaps, ys)| {
+            let mut acc = 0.0;
+            let xs = gaps
+                .iter()
+                .map(|g| {
+                    acc += g;
+                    acc
+                })
+                .collect::<Vec<_>>();
+            (xs, ys)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn all_variants_agree((xs, ys) in table(), q in 0.0f64..70.0) {
+            let (a, _) = linear_scan(&xs, &ys, q);
+            let b = binary_search(&xs, &ys, q);
+            let (c, _) = Interpolator::new(&xs, &ys).value_at(q);
+            prop_assert!((a - b).abs() <= 1e-12 * (1.0 + a.abs()));
+            prop_assert!((a - c).abs() <= 1e-12 * (1.0 + a.abs()));
+        }
+
+        #[test]
+        fn result_within_segment_bounds((xs, ys) in table(), q in 0.0f64..70.0) {
+            let v = binary_search(&xs, &ys, q);
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+
+        #[test]
+        fn monotone_table_gives_monotone_interpolation(
+            (xs, mut ys) in table(), q1 in 0.0f64..70.0, q2 in 0.0f64..70.0
+        ) {
+            ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let v_lo = binary_search(&xs, &ys, lo);
+            let v_hi = binary_search(&xs, &ys, hi);
+            prop_assert!(v_lo <= v_hi + 1e-12);
+        }
+    }
+}

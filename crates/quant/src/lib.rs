@@ -1,0 +1,128 @@
+//! # cds-quant — Credit Default Swap mathematics
+//!
+//! The quantitative-finance substrate underpinning the FPGA CDS engine
+//! reproduction. It implements, from scratch, the mathematics the Xilinx
+//! Vitis CDS engine evaluates (following Hull, *Options, Futures and Other
+//! Derivatives*):
+//!
+//! * piecewise-linear **term structures** for interest rates and hazard
+//!   rates ([`curve::Curve`]),
+//! * **discount factors** and **survival probabilities** derived from them,
+//! * payment **schedules** — the "distinct time points" of the paper's
+//!   Figure 1 ([`schedule`]),
+//! * the **reference CDS pricer** computing the fair spread of an option
+//!   from default probability, premium-leg, protection-leg and accrual
+//!   terms ([`cds`]),
+//! * the **Listing 1 accumulator**: the 7-lane partial-sum reduction that
+//!   breaks the double-precision add dependency chain ([`accumulate`]),
+//! * seeded **workload generators** reproducing the paper's experimental
+//!   setup of 1024-entry curves ([`option`]).
+//!
+//! Everything numeric is generic over [`precision::CdsFloat`] (`f64` and
+//! `f32`) so the paper's "reduced precision" further-work item can be
+//! explored; the `f64` instantiation is the primary, paper-faithful API.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cds_quant::prelude::*;
+//!
+//! // Flat 2% interest, flat 1.5% hazard, 40% recovery, 5y quarterly CDS.
+//! let market = MarketData::flat(0.02, 0.015, 256);
+//! let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+//! let spread = price_cds(&market, &option);
+//! // Credit triangle: spread ≈ hazard × (1 − recovery) = 90 bps.
+//! assert!((spread.spread_bps - 90.0).abs() < 1.5);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod accumulate;
+pub mod bootstrap;
+pub mod calendar;
+pub mod cds;
+pub mod curve;
+pub mod daycount;
+pub mod interp;
+pub mod montecarlo;
+pub mod option;
+pub mod precision;
+pub mod risk;
+pub mod schedule;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::bootstrap::{bootstrap_hazard, BootstrapResult, CdsQuote};
+    pub use crate::calendar::{imm_schedule, Date};
+    pub use crate::cds::{price_cds, price_cds_generic, price_cds_with_schedule, CdsPricer, SpreadResult};
+    pub use crate::curve::{Curve, CurvePoint};
+    pub use crate::daycount::YearFraction;
+    pub use crate::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
+    pub use crate::precision::CdsFloat;
+    pub use crate::risk::{mark_to_market, sensitivities, spread_ladder, MarkToMarket, Sensitivities};
+    pub use crate::schedule::PaymentSchedule;
+}
+
+/// Errors produced when constructing or evaluating quant objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A curve was constructed with fewer than two points.
+    CurveTooShort {
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// Curve tenors must be strictly increasing and non-negative.
+    NonMonotoneTenors {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A curve value was not finite.
+    NonFiniteValue {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// An option parameter was out of its admissible domain.
+    InvalidOption {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::CurveTooShort { got } => {
+                write!(f, "curve needs at least 2 points, got {got}")
+            }
+            QuantError::NonMonotoneTenors { index } => {
+                write!(f, "curve tenors must be strictly increasing (violated at index {index})")
+            }
+            QuantError::NonFiniteValue { index } => {
+                write!(f, "curve value at index {index} is not finite")
+            }
+            QuantError::InvalidOption { reason } => write!(f, "invalid CDS option: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+#[cfg(test)]
+mod error_tests {
+    use super::QuantError;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(QuantError, &str)> = vec![
+            (QuantError::CurveTooShort { got: 1 }, "at least 2"),
+            (QuantError::NonMonotoneTenors { index: 3 }, "index 3"),
+            (QuantError::NonFiniteValue { index: 7 }, "index 7"),
+            (QuantError::InvalidOption { reason: "bad recovery" }, "bad recovery"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should mention {needle}");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Monte Carlo CDS pricer — an *independent* cross-validation of the
+//! analytic pricer.
+//!
+//! Every engine in this repository shares the closed-form leg formulas of
+//! [`crate::cds`]; agreement between them cannot catch an error in the
+//! formulas themselves. This module prices the same contract by direct
+//! simulation — sample the default time from the hazard curve by inverse
+//! transform, realise each leg's cash flows, discount, average — sharing
+//! **no leg mathematics** with the analytic path. The two prices must
+//! agree within the Monte Carlo standard error, which the test suite
+//! asserts at three standard deviations.
+
+use crate::curve::Curve;
+use crate::option::{CdsOption, MarketData};
+use crate::schedule::PaymentSchedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a Monte Carlo pricing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McSpread {
+    /// Estimated fair spread in basis points.
+    pub spread_bps: f64,
+    /// Standard error of the estimate in basis points (delta method).
+    pub std_error_bps: f64,
+    /// Paths simulated.
+    pub paths: u64,
+    /// Fraction of paths that defaulted before maturity.
+    pub default_fraction: f64,
+}
+
+/// Sample a default time from the hazard curve by inverse transform:
+/// default occurs when the integrated hazard reaches `−ln(U)`.
+///
+/// Returns `None` when the sampled time exceeds `horizon`.
+pub fn sample_default_time(hazard: &Curve<f64>, u: f64, horizon: f64) -> Option<f64> {
+    debug_assert!((0.0..1.0).contains(&u) || u == 0.0);
+    let target = -(1.0 - u).ln(); // Λ(τ) = target  (1−U is uniform too)
+    if target <= 0.0 {
+        return Some(0.0);
+    }
+    // Λ is continuous, strictly increasing where h>0; bisect on [0, horizon].
+    if hazard.integral(horizon) < target {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, horizon);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if hazard.integral(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Price a CDS by Monte Carlo with `paths` default-time samples.
+///
+/// ```
+/// use cds_quant::montecarlo::mc_price_cds;
+/// use cds_quant::prelude::*;
+///
+/// let market = MarketData::flat(0.02, 0.02, 32);
+/// let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+/// let mc = mc_price_cds(&market, &option, 50_000, 1);
+/// let analytic = price_cds(&market, &option).spread_bps;
+/// assert!((mc.spread_bps - analytic).abs() < 4.0 * mc.std_error_bps);
+/// ```
+pub fn mc_price_cds(
+    market: &MarketData<f64>,
+    option: &CdsOption,
+    paths: u64,
+    seed: u64,
+) -> McSpread {
+    let schedule = PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
+        .expect("validated option");
+    let points = schedule.points();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lgd = 1.0 - option.recovery_rate;
+
+    // Per-path realised legs (per unit spread for premium+accrual).
+    let mut sum_protection = 0.0f64;
+    let mut sum_premium = 0.0f64;
+    let mut sum_prot_sq = 0.0f64;
+    let mut sum_prem_sq = 0.0f64;
+    let mut sum_cross = 0.0f64;
+    let mut defaults = 0u64;
+
+    for _ in 0..paths {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let tau = sample_default_time(&market.hazard, u, option.maturity);
+        let mut premium = 0.0f64;
+        let mut protection = 0.0f64;
+        let mut prev_t = 0.0f64;
+        match tau {
+            None => {
+                // Survived: all premiums paid, no payoff.
+                for &t in points {
+                    premium += (t - prev_t) * market.interest.discount_factor(t);
+                    prev_t = t;
+                }
+            }
+            Some(tau) => {
+                defaults += 1;
+                for &t in points {
+                    if tau > t {
+                        premium += (t - prev_t) * market.interest.discount_factor(t);
+                        prev_t = t;
+                    } else {
+                        // Default inside (prev_t, t]: protection pays LGD
+                        // at τ; accrued premium since prev_t is owed.
+                        let df_tau = market.interest.discount_factor(tau);
+                        protection = lgd * df_tau;
+                        premium += (tau - prev_t) * df_tau;
+                        break;
+                    }
+                }
+            }
+        }
+        sum_protection += protection;
+        sum_premium += premium;
+        sum_prot_sq += protection * protection;
+        sum_prem_sq += premium * premium;
+        sum_cross += protection * premium;
+    }
+
+    let n = paths as f64;
+    let mean_prot = sum_protection / n;
+    let mean_prem = sum_premium / n;
+    let spread = mean_prot / mean_prem;
+
+    // Delta-method standard error of the ratio estimator.
+    let var_prot = (sum_prot_sq / n - mean_prot * mean_prot).max(0.0);
+    let var_prem = (sum_prem_sq / n - mean_prem * mean_prem).max(0.0);
+    let cov = sum_cross / n - mean_prot * mean_prem;
+    let rel_var = var_prot / (mean_prot * mean_prot).max(1e-300)
+        + var_prem / (mean_prem * mean_prem)
+        - 2.0 * cov / (mean_prot * mean_prem).max(1e-300);
+    let std_error = spread * (rel_var.max(0.0) / n).sqrt();
+
+    McSpread {
+        spread_bps: spread * 10_000.0,
+        std_error_bps: std_error * 10_000.0,
+        paths,
+        default_fraction: defaults as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cds::price_cds;
+    use crate::option::PaymentFrequency;
+
+    /// Debug builds run ~30x slower; fewer paths keep the suite fast while
+    /// the σ-scaled assertions stay valid.
+    const PATHS: u64 = if cfg!(debug_assertions) { 30_000 } else { 400_000 };
+
+    #[test]
+    fn sampler_inverse_transform_is_consistent() {
+        let hazard = Curve::flat(0.05, 32, 40.0);
+        // u such that −ln(1−u) = 0.05·t ⇒ default exactly at t.
+        for t in [1.0f64, 5.0, 20.0] {
+            let u = 1.0 - (-0.05f64 * t).exp();
+            let tau = sample_default_time(&hazard, u, 40.0).expect("inside horizon");
+            assert!((tau - t).abs() < 1e-9, "t={t}: tau={tau}");
+        }
+        // u → 0: immediate default; u beyond horizon mass: survival.
+        assert_eq!(sample_default_time(&hazard, 0.0, 40.0), Some(0.0));
+        assert_eq!(sample_default_time(&hazard, 0.999999, 1.0), None);
+    }
+
+    #[test]
+    fn default_fraction_matches_default_probability() {
+        let market = MarketData::flat(0.02, 0.03, 32);
+        let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+        let mc = mc_price_cds(&market, &option, PATHS, 1);
+        let pd = market.hazard.default_probability(5.0);
+        let sigma = (pd * (1.0 - pd) / PATHS as f64).sqrt();
+        assert!(
+            (mc.default_fraction - pd).abs() < 4.0 * sigma + 1e-4,
+            "MC fraction {} vs analytic PD {pd} (σ {sigma})",
+            mc.default_fraction
+        );
+    }
+
+    #[test]
+    fn mc_agrees_with_analytic_within_three_sigma_flat() {
+        let market = MarketData::flat(0.02, 0.02, 64);
+        let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+        let analytic = price_cds(&market, &option).spread_bps;
+        let mc = mc_price_cds(&market, &option, PATHS, 7);
+        let sigmas = (mc.spread_bps - analytic).abs() / mc.std_error_bps;
+        assert!(
+            sigmas < 3.0,
+            "MC {} ± {} vs analytic {analytic} ({sigmas:.1}σ)",
+            mc.spread_bps,
+            mc.std_error_bps
+        );
+        // The estimate should also be tight in absolute terms.
+        assert!(mc.std_error_bps < 3.5, "std error {}", mc.std_error_bps);
+    }
+
+    #[test]
+    fn mc_agrees_on_realistic_sloped_curves() {
+        let market = MarketData::paper_workload(42);
+        let option = CdsOption::new(6.0, PaymentFrequency::Quarterly, 0.35);
+        let analytic = price_cds(&market, &option).spread_bps;
+        let mc = mc_price_cds(&market, &option, PATHS, 11);
+        let sigmas = (mc.spread_bps - analytic).abs() / mc.std_error_bps;
+        // Mid-period discounting in the analytic accrual term introduces
+        // a small systematic difference versus exact-τ realisation; allow
+        // 4σ plus a 0.5% bias band.
+        assert!(
+            sigmas < 4.0 || (mc.spread_bps - analytic).abs() / analytic < 0.005,
+            "MC {} ± {} vs analytic {analytic}",
+            mc.spread_bps,
+            mc.std_error_bps
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_path_count() {
+        let market = MarketData::flat(0.02, 0.02, 32);
+        let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+        let small = mc_price_cds(&market, &option, PATHS / 16, 3);
+        let large = mc_price_cds(&market, &option, PATHS, 3);
+        // 16x paths ⇒ ~4x smaller standard error.
+        let ratio = small.std_error_bps / large.std_error_bps;
+        assert!((2.5..6.0).contains(&ratio), "error ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let market = MarketData::flat(0.02, 0.02, 32);
+        let option = CdsOption::new(3.0, PaymentFrequency::Quarterly, 0.40);
+        let a = mc_price_cds(&market, &option, 10_000, 9);
+        let b = mc_price_cds(&market, &option, 10_000, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! Floating-point abstraction enabling the paper's "reduced precision"
+//! further-work exploration.
+//!
+//! The CLUSTER 2021 paper performs all calculations in double precision and
+//! names reduced precision (single precision / fixed point on Versal ACAPs)
+//! as future work. Making the pricer generic over [`CdsFloat`] lets the
+//! harness run the identical algorithm in `f32` and quantify the accuracy /
+//! resource trade-off without a second code path.
+
+/// Minimal floating-point trait covering exactly the operations the CDS
+/// mathematics needs. Implemented for `f64` (paper-faithful) and `f32`
+/// (reduced-precision ablation).
+///
+/// A bespoke trait is used instead of an external numerics crate to stay
+/// within the offline dependency set; only genuinely required operations
+/// are included.
+pub trait CdsFloat:
+    Copy
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half, used by trapezoidal integration and accrual mid-points.
+    const HALF: Self;
+    /// Basis-point scale factor (10⁴).
+    const BPS: Self;
+
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Largest of two values.
+    fn max(self, other: Self) -> Self;
+    /// Smallest of two values.
+    fn min(self, other: Self) -> Self;
+    /// True when the value is neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// Lossless-as-possible conversion from `f64` (lossy for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` for reporting and error measurement.
+    fn to_f64(self) -> f64;
+    /// Conversion from a small non-negative integer (loop indices, counts).
+    fn from_usize(v: usize) -> Self;
+}
+
+impl CdsFloat for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const HALF: Self = 0.5;
+    const BPS: Self = 10_000.0;
+
+    #[inline]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f64::ln(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_usize(v: usize) -> Self {
+        v as f64
+    }
+}
+
+impl CdsFloat for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const HALF: Self = 0.5;
+    const BPS: Self = 10_000.0;
+
+    #[inline]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline]
+    fn ln(self) -> Self {
+        f32::ln(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline]
+    fn min(self, other: Self) -> Self {
+        f32::min(self, other)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_usize(v: usize) -> Self {
+        v as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<F: CdsFloat>() {
+        assert_eq!(F::ZERO.to_f64(), 0.0);
+        assert_eq!(F::ONE.to_f64(), 1.0);
+        assert_eq!(F::HALF.to_f64(), 0.5);
+        assert_eq!(F::BPS.to_f64(), 10_000.0);
+        assert!((F::from_f64(2.0).sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-6);
+        assert!((F::ONE.exp().to_f64() - std::f64::consts::E).abs() < 1e-6);
+        assert!((F::from_f64(std::f64::consts::E).ln().to_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_ops() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn f32_ops() {
+        roundtrip::<f32>();
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(CdsFloat::max(1.0f64, 2.0), 2.0);
+        assert_eq!(CdsFloat::min(1.0f32, 2.0), 1.0);
+        assert_eq!(CdsFloat::abs(-3.5f64), 3.5);
+    }
+
+    #[test]
+    fn from_usize_exact_for_small_integers() {
+        for v in [0usize, 1, 7, 1024] {
+            assert_eq!(<f64 as CdsFloat>::from_usize(v), v as f64);
+            assert_eq!(<f32 as CdsFloat>::from_usize(v), v as f32);
+        }
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(1.0f64.is_finite());
+        assert!(!<f64 as CdsFloat>::from_f64(f64::NAN).is_finite());
+        assert!(!<f32 as CdsFloat>::from_f64(f64::INFINITY).is_finite());
+    }
+}

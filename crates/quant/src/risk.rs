@@ -1,0 +1,258 @@
+//! Risk measures and mark-to-market on top of the spread pricer.
+//!
+//! The paper's engine computes fair spreads; "the financial analysts then
+//! use \[them\] to determine the price, or fee, of the CDS itself". This
+//! module provides that downstream step — mark-to-market of a seated
+//! contract — plus the bump-and-reprice sensitivities desks quote
+//! alongside (CS01, IR01, recovery-rate sensitivity), so the library is
+//! usable as an actual pricing service rather than a kernel demo.
+
+use crate::cds::{price_cds, SpreadResult};
+use crate::curve::{Curve, CurvePoint};
+use crate::option::{CdsOption, MarketData};
+use crate::QuantError;
+
+/// Mark-to-market of an existing CDS position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkToMarket {
+    /// Current fair spread, basis points.
+    pub fair_spread_bps: f64,
+    /// The contract's running spread, basis points.
+    pub contract_spread_bps: f64,
+    /// Present value per unit notional to the *protection buyer*
+    /// (positive when the fair spread has risen above the contractual
+    /// one: the bought protection is now worth more than it costs).
+    pub value_per_notional: f64,
+    /// Risky annuity (premium + accrual legs per unit spread).
+    pub risky_annuity: f64,
+}
+
+/// Value an existing contract with running spread `contract_spread_bps`.
+pub fn mark_to_market(
+    market: &MarketData<f64>,
+    option: &CdsOption,
+    contract_spread_bps: f64,
+) -> MarkToMarket {
+    let result: SpreadResult = price_cds(market, option);
+    let annuity = result.premium_annuity + result.accrual_annuity;
+    let ds = (result.spread_bps - contract_spread_bps) / 10_000.0;
+    MarkToMarket {
+        fair_spread_bps: result.spread_bps,
+        contract_spread_bps,
+        value_per_notional: ds * annuity,
+        risky_annuity: annuity,
+    }
+}
+
+/// Bump-and-reprice sensitivities of the fair spread and of a position's
+/// value, per one basis point of the bumped quantity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivities {
+    /// Change of position value per 1 bp parallel hazard bump (CS01-style,
+    /// per unit notional, protection buyer's view).
+    pub cs01: f64,
+    /// Change of position value per 1 bp parallel interest-rate bump.
+    pub ir01: f64,
+    /// Change of position value per 1 % recovery-rate bump.
+    pub rec01: f64,
+}
+
+/// Parallel-bump a curve by `bump` (absolute rate units).
+fn bumped(curve: &Curve<f64>, bump: f64) -> Result<Curve<f64>, QuantError> {
+    Curve::new(
+        curve
+            .points()
+            .iter()
+            .map(|p| CurvePoint { tenor: p.tenor, value: p.value + bump })
+            .collect(),
+    )
+}
+
+/// Compute bump-and-reprice sensitivities for a seated contract.
+pub fn sensitivities(
+    market: &MarketData<f64>,
+    option: &CdsOption,
+    contract_spread_bps: f64,
+) -> Sensitivities {
+    const BP: f64 = 1e-4;
+    let base = mark_to_market(market, option, contract_spread_bps).value_per_notional;
+
+    let hazard_up = MarketData {
+        interest: market.interest.clone(),
+        hazard: bumped(&market.hazard, BP).expect("bumped hazard curve valid"),
+    };
+    let cs01 = mark_to_market(&hazard_up, option, contract_spread_bps).value_per_notional - base;
+
+    let rates_up = MarketData {
+        interest: bumped(&market.interest, BP).expect("bumped interest curve valid"),
+        hazard: market.hazard.clone(),
+    };
+    let ir01 = mark_to_market(&rates_up, option, contract_spread_bps).value_per_notional - base;
+
+    let rec_up = CdsOption {
+        recovery_rate: (option.recovery_rate + 0.01).min(0.999),
+        ..*option
+    };
+    let rec01 = mark_to_market(market, &rec_up, contract_spread_bps).value_per_notional - base;
+
+    Sensitivities { cs01, ir01, rec01 }
+}
+
+/// A spread ladder: fair spreads across a maturity grid under one market
+/// — the term structure of credit a desk quotes.
+pub fn spread_ladder(
+    market: &MarketData<f64>,
+    maturities: &[f64],
+    frequency: crate::option::PaymentFrequency,
+    recovery: f64,
+) -> Vec<(f64, f64)> {
+    maturities
+        .iter()
+        .map(|&m| {
+            let option = CdsOption::new(m, frequency, recovery);
+            (m, price_cds(market, &option).spread_bps)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::option::PaymentFrequency;
+
+    fn market() -> MarketData<f64> {
+        MarketData::paper_workload(7)
+    }
+
+    fn option() -> CdsOption {
+        CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40)
+    }
+
+    #[test]
+    fn at_fair_spread_position_is_worthless() {
+        let m = market();
+        let o = option();
+        let fair = price_cds(&m, &o).spread_bps;
+        let mtm = mark_to_market(&m, &o, fair);
+        assert!(mtm.value_per_notional.abs() < 1e-15);
+        assert!(mtm.risky_annuity > 0.0);
+    }
+
+    #[test]
+    fn cheap_protection_has_positive_value_to_buyer() {
+        let m = market();
+        let o = option();
+        let fair = price_cds(&m, &o).spread_bps;
+        let mtm = mark_to_market(&m, &o, fair - 50.0);
+        assert!(mtm.value_per_notional > 0.0);
+        let mtm_expensive = mark_to_market(&m, &o, fair + 50.0);
+        assert!(mtm_expensive.value_per_notional < 0.0);
+    }
+
+    #[test]
+    fn value_linear_in_contract_spread() {
+        // value = (fair − contract)·annuity, so exactly linear.
+        let m = market();
+        let o = option();
+        let v = |s: f64| mark_to_market(&m, &o, s).value_per_notional;
+        let slope1 = v(100.0) - v(110.0);
+        let slope2 = v(200.0) - v(210.0);
+        assert!((slope1 - slope2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cs01_positive_for_protection_buyer() {
+        // Credit deteriorates ⇒ bought protection gains value.
+        let m = market();
+        let o = option();
+        let s = sensitivities(&m, &o, 100.0);
+        assert!(s.cs01 > 0.0, "cs01 {}", s.cs01);
+    }
+
+    #[test]
+    fn cs01_roughly_lgd_times_annuity_bp() {
+        // A 1 bp hazard bump moves the fair spread by ≈(1−R) bp, so the
+        // value moves by ≈(1−R)·annuity·1e-4.
+        let m = market();
+        let o = option();
+        let mtm = mark_to_market(&m, &o, 100.0);
+        let s = sensitivities(&m, &o, 100.0);
+        let approx = (1.0 - o.recovery_rate) * mtm.risky_annuity * 1e-4;
+        assert!(
+            (s.cs01 - approx).abs() / approx < 0.12,
+            "cs01 {} vs approx {approx}",
+            s.cs01
+        );
+    }
+
+    #[test]
+    fn ir01_is_second_order() {
+        let m = market();
+        let o = option();
+        let s = sensitivities(&m, &o, 100.0);
+        assert!(s.ir01.abs() < s.cs01.abs() / 5.0, "ir01 {} vs cs01 {}", s.ir01, s.cs01);
+    }
+
+    #[test]
+    fn higher_recovery_hurts_the_buyer() {
+        let m = market();
+        let o = option();
+        let s = sensitivities(&m, &o, 100.0);
+        assert!(s.rec01 < 0.0, "rec01 {}", s.rec01);
+    }
+
+    #[test]
+    fn ladder_monotone_for_rising_hazard() {
+        // The paper workload's hazard rises with tenor, so longer CDS
+        // carry wider spreads.
+        let ladder = spread_ladder(&market(), &[1.0, 3.0, 5.0, 7.0], PaymentFrequency::Quarterly, 0.4);
+        for w in ladder.windows(2) {
+            assert!(w[1].1 > w[0].1, "{:?}", ladder);
+        }
+    }
+
+    #[test]
+    fn ladder_flat_for_flat_hazard() {
+        let m = MarketData::flat(0.02, 0.02, 64);
+        let ladder = spread_ladder(&m, &[2.0, 5.0, 8.0], PaymentFrequency::Quarterly, 0.4);
+        let first = ladder[0].1;
+        for (_, s) in &ladder {
+            assert!((s - first).abs() / first < 0.01);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::option::PaymentFrequency;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mtm_sign_follows_spread_difference(
+            maturity in 1.0f64..9.0,
+            rec in 0.0f64..0.8,
+            offset in -200.0f64..200.0,
+        ) {
+            let m = MarketData::paper_workload(3);
+            let o = CdsOption::new(maturity, PaymentFrequency::Quarterly, rec);
+            let fair = price_cds(&m, &o).spread_bps;
+            let mtm = mark_to_market(&m, &o, fair + offset);
+            // Buyer paid more than fair ⇒ negative value, and vice versa.
+            if offset > 1e-9 {
+                prop_assert!(mtm.value_per_notional < 0.0);
+            } else if offset < -1e-9 {
+                prop_assert!(mtm.value_per_notional > 0.0);
+            }
+        }
+
+        #[test]
+        fn annuity_increases_with_maturity(short in 1.0f64..4.0, extra in 1.0f64..5.0) {
+            let m = MarketData::paper_workload(3);
+            let a = mark_to_market(&m, &CdsOption::new(short, PaymentFrequency::Quarterly, 0.4), 100.0);
+            let b = mark_to_market(&m, &CdsOption::new(short + extra, PaymentFrequency::Quarterly, 0.4), 100.0);
+            prop_assert!(b.risky_annuity > a.risky_annuity);
+        }
+    }
+}

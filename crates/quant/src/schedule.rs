@@ -1,0 +1,223 @@
+//! Payment schedule generation — the "determine a set of distinct time
+//! points" step at the top of the paper's Figure 1.
+//!
+//! For an option with maturity `T` and payment frequency `f` (payments per
+//! year), the engine generates payment dates `Δ, 2Δ, …` with `Δ = 1/f`,
+//! extending "to the maturity date (the end of the CDS)"; a short final
+//! stub period ends exactly at `T`. Every subsequent engine stage loops
+//! over these time points.
+
+use crate::precision::CdsFloat;
+use crate::QuantError;
+
+/// The ordered time points of a CDS premium schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaymentSchedule<F: CdsFloat = f64> {
+    points: Vec<F>,
+}
+
+impl<F: CdsFloat> PaymentSchedule<F> {
+    /// Generate the schedule for `maturity` years with `payments_per_year`
+    /// premium payments per year.
+    ///
+    /// The final period is a stub ending exactly at `maturity` when the
+    /// maturity is not a whole number of periods.
+    pub fn generate(maturity: F, payments_per_year: u32) -> Result<Self, QuantError> {
+        if maturity <= F::ZERO || !maturity.is_finite() {
+            return Err(QuantError::InvalidOption { reason: "maturity must be positive and finite" });
+        }
+        if payments_per_year == 0 {
+            return Err(QuantError::InvalidOption { reason: "payment frequency must be positive" });
+        }
+        let delta = F::ONE / F::from_usize(payments_per_year as usize);
+        let mut points = Vec::new();
+        let mut i = 1usize;
+        loop {
+            let t = delta * F::from_usize(i);
+            if t < maturity {
+                points.push(t);
+            } else {
+                points.push(maturity);
+                break;
+            }
+            i += 1;
+            // Guard against pathological tiny deltas from f32 rounding.
+            if i > 4_000_000 {
+                return Err(QuantError::InvalidOption { reason: "schedule too long" });
+            }
+        }
+        Ok(PaymentSchedule { points })
+    }
+
+    /// Build a schedule from explicit time points (strictly increasing,
+    /// positive) — used when payment dates come from a calendar (e.g. the
+    /// IMM grid) rather than from an even division of the maturity.
+    pub fn from_points(points: Vec<F>) -> Result<Self, QuantError> {
+        if points.is_empty() {
+            return Err(QuantError::InvalidOption { reason: "schedule needs at least one point" });
+        }
+        let mut prev = F::ZERO;
+        for &p in &points {
+            if p <= prev || !p.is_finite() {
+                return Err(QuantError::InvalidOption {
+                    reason: "schedule points must be finite and strictly increasing",
+                });
+            }
+            prev = p;
+        }
+        Ok(PaymentSchedule { points })
+    }
+
+    /// The ordered payment time points (strictly increasing, last equals
+    /// maturity).
+    #[inline]
+    pub fn points(&self) -> &[F] {
+        &self.points
+    }
+
+    /// Number of time points — the trip count of every per-time-point
+    /// engine loop.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Never true: a valid schedule has at least one point (the maturity).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate over periods as `(start, end)` pairs, starting at the
+    /// valuation date.
+    pub fn periods(&self) -> impl Iterator<Item = (F, F)> + '_ {
+        std::iter::once(F::ZERO)
+            .chain(self.points.iter().copied())
+            .zip(self.points.iter().copied())
+    }
+
+    /// Accrual period lengths `Δᵢ = tᵢ − tᵢ₋₁`.
+    pub fn period_lengths(&self) -> Vec<F> {
+        self.periods().map(|(a, b)| b - a).collect()
+    }
+
+    /// Mid-points of each period, used to discount default payoffs and
+    /// accrued premium ("premiums are paid ahead of time", so on default
+    /// mid-period half the period's premium has accrued on average).
+    pub fn midpoints(&self) -> Vec<F> {
+        self.periods().map(|(a, b)| F::HALF * (a + b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarterly_five_years_has_twenty_points() {
+        let s = PaymentSchedule::<f64>::generate(5.0, 4).unwrap();
+        assert_eq!(s.len(), 20);
+        assert_eq!(*s.points().last().unwrap(), 5.0);
+        assert!((s.points()[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stub_period_ends_at_maturity() {
+        let s = PaymentSchedule::<f64>::generate(1.1, 2).unwrap();
+        // 0.5, 1.0, then stub to 1.1.
+        assert_eq!(s.len(), 3);
+        assert!((s.points()[2] - 1.1).abs() < 1e-12);
+        let lens = s.period_lengths();
+        assert!((lens[2] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_maturity_single_stub() {
+        let s = PaymentSchedule::<f64>::generate(0.1, 4).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.points()[0], 0.1);
+    }
+
+    #[test]
+    fn maturity_on_period_boundary_has_no_stub() {
+        let s = PaymentSchedule::<f64>::generate(2.0, 2).unwrap();
+        assert_eq!(s.len(), 4);
+        let lens = s.period_lengths();
+        for l in lens {
+            assert!((l - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn points_strictly_increasing() {
+        let s = PaymentSchedule::<f64>::generate(7.3, 12).unwrap();
+        for w in s.points().windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn periods_tile_the_horizon() {
+        let s = PaymentSchedule::<f64>::generate(3.7, 4).unwrap();
+        let total: f64 = s.period_lengths().iter().sum();
+        assert!((total - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoints_inside_periods() {
+        let s = PaymentSchedule::<f64>::generate(4.0, 4).unwrap();
+        for ((a, b), m) in s.periods().zip(s.midpoints()) {
+            assert!(a < m && m < b);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(PaymentSchedule::<f64>::generate(0.0, 4).is_err());
+        assert!(PaymentSchedule::<f64>::generate(-1.0, 4).is_err());
+        assert!(PaymentSchedule::<f64>::generate(f64::NAN, 4).is_err());
+        assert!(PaymentSchedule::<f64>::generate(5.0, 0).is_err());
+    }
+
+    #[test]
+    fn from_points_validates() {
+        assert!(PaymentSchedule::from_points(vec![0.25, 0.5, 1.1]).is_ok());
+        assert!(PaymentSchedule::<f64>::from_points(vec![]).is_err());
+        assert!(PaymentSchedule::from_points(vec![0.5, 0.5]).is_err());
+        assert!(PaymentSchedule::from_points(vec![0.5, 0.2]).is_err());
+        assert!(PaymentSchedule::from_points(vec![0.0, 0.5]).is_err());
+        assert!(PaymentSchedule::from_points(vec![0.5, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn annual_payments() {
+        let s = PaymentSchedule::<f64>::generate(10.0, 1).unwrap();
+        assert_eq!(s.len(), 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn schedule_invariants(maturity in 0.05f64..30.0, freq in 1u32..=12) {
+            let s = PaymentSchedule::<f64>::generate(maturity, freq).unwrap();
+            // Last point is the maturity.
+            prop_assert!((s.points().last().unwrap() - maturity).abs() < 1e-9);
+            // Strictly increasing.
+            for w in s.points().windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            // Period lengths positive and at most one period long.
+            for l in s.period_lengths() {
+                prop_assert!(l > 0.0 && l <= 1.0 / freq as f64 + 1e-9);
+            }
+            // Count matches ceil(maturity * freq).
+            let expect = (maturity * freq as f64).ceil() as usize;
+            prop_assert!((s.len() as i64 - expect as i64).abs() <= 1);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Desk workflow: quote a credit spread ladder, mark an existing book to
+//! market and compute bump sensitivities — with the fair spreads produced
+//! by the simulated FPGA engine (demonstrating that the engine is a
+//! drop-in pricing service, not just a kernel).
+//!
+//! ```text
+//! cargo run --release --example risk_ladder
+//! ```
+
+use cds_repro::engine::prelude::*;
+use cds_repro::quant::prelude::*;
+use cds_repro::quant::risk;
+
+fn main() {
+    let market = MarketData::paper_workload(42);
+
+    // 1. Spread ladder across the standard maturity grid, priced on the
+    //    vectorised FPGA engine.
+    let grid = [1.0, 2.0, 3.0, 5.0, 7.0];
+    let ladder_options: Vec<CdsOption> = grid
+        .iter()
+        .map(|&m| CdsOption::new(m, PaymentFrequency::Quarterly, 0.40))
+        .collect();
+    let engine = FpgaCdsEngine::new(market.clone(), EngineVariant::Vectorised.config());
+    let report = engine.price_batch(&ladder_options);
+
+    println!("credit spread ladder (fair spreads from the FPGA engine)");
+    println!("{:>9} {:>13}", "maturity", "spread (bps)");
+    for (m, s) in grid.iter().zip(&report.spreads) {
+        println!("{m:>8}y {s:>13.2}");
+    }
+
+    // Cross-check against the reference ladder.
+    let reference = risk::spread_ladder(&market, &grid, PaymentFrequency::Quarterly, 0.40);
+    for ((_, golden), engine_spread) in reference.iter().zip(&report.spreads) {
+        assert!((golden - engine_spread).abs() < 1e-6);
+    }
+
+    // 2. Mark an existing book to market: three seated contracts struck
+    //    at various running spreads.
+    println!("\nbook mark-to-market (protection buyer, per unit notional)");
+    println!("{:>9} {:>14} {:>12} {:>12}", "maturity", "contract bps", "fair bps", "value");
+    for (maturity, struck) in [(3.0, 80.0), (5.0, 140.0), (7.0, 260.0)] {
+        let option = CdsOption::new(maturity, PaymentFrequency::Quarterly, 0.40);
+        let mtm = risk::mark_to_market(&market, &option, struck);
+        println!(
+            "{maturity:>8}y {struck:>14.2} {:>12.2} {:>12.6}",
+            mtm.fair_spread_bps, mtm.value_per_notional
+        );
+    }
+
+    // 3. Sensitivities of the 5-year point.
+    let five_year = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+    let sens = risk::sensitivities(&market, &five_year, 140.0);
+    println!("\n5y position sensitivities (per unit notional)");
+    println!("  CS01 (1bp hazard bump)   : {:+.6}", sens.cs01);
+    println!("  IR01 (1bp rate bump)     : {:+.6}", sens.ir01);
+    println!("  REC01 (1% recovery bump) : {:+.6}", sens.rec01);
+    println!("\ncredit risk dominates, as expected for a CDS: |CS01| >> |IR01| ✓");
+    assert!(sens.cs01.abs() > 5.0 * sens.ir01.abs());
+}

@@ -1,0 +1,47 @@
+//! Streaming deployment: quotes arrive as a Poisson process and the
+//! continuously-running engine prices them one by one — the regime the
+//! paper's AAT further-work direction targets, where tail latency matters
+//! as much as throughput.
+//!
+//! ```text
+//! cargo run --release --example streaming_quotes
+//! ```
+
+use cds_repro::engine::prelude::*;
+use cds_repro::engine::streaming::{poisson_arrivals, run_streaming};
+use cds_repro::quant::prelude::*;
+use std::rc::Rc;
+
+const QUOTES: usize = 256;
+
+fn main() {
+    let market = Rc::new(MarketData::paper_workload(42));
+    let mut generator = PortfolioGenerator::new(11);
+    let options = generator.portfolio(QUOTES);
+    let config = EngineVariant::Vectorised.config();
+
+    println!("streaming {QUOTES} quotes through the vectorised engine (capacity ~26.5k opts/s)\n");
+    println!(
+        "{:>18} {:>14} {:>14} {:>16}",
+        "offered (opts/s)", "p50 lat (us)", "p99 lat (us)", "achieved (opts/s)"
+    );
+
+    for rate in [5_000.0, 15_000.0, 22_000.0, 26_000.0, 40_000.0, 100_000.0] {
+        let arrivals = poisson_arrivals(&config, rate, QUOTES, 42);
+        let report = run_streaming(market.clone(), &config, &options, &arrivals);
+        println!(
+            "{:>18.0} {:>14.1} {:>14.1} {:>16.1}",
+            rate,
+            report.p50_us(&config),
+            report.p99_us(&config),
+            report.options_per_second,
+        );
+    }
+
+    println!(
+        "\nbelow saturation the latency is the pipeline fill (~{:.0} us);",
+        config.clock.seconds(22 * 1024 / 2) * 1e6
+    );
+    println!("beyond ~26.5k opts/s queueing delay takes over and p99 explodes —");
+    println!("the classic open-system hockey stick, now measurable pre-silicon.");
+}

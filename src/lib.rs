@@ -1,0 +1,16 @@
+//! # cds-repro — umbrella crate
+//!
+//! Re-exports the workspace crates that make up the reproduction of
+//! *"Optimisation of an FPGA Credit Default Swap engine by embracing
+//! dataflow techniques"* (Brown, Klaisoongnoen, Thomson Brown — IEEE
+//! CLUSTER 2021), so the top-level `examples/` and `tests/` can address
+//! the whole system through one dependency.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+
+pub use cds_cpu as cpu;
+pub use cds_engine as engine;
+pub use cds_power as power;
+pub use cds_quant as quant;
+pub use dataflow_sim as dataflow;

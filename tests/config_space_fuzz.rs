@@ -1,0 +1,94 @@
+//! Configuration-space robustness: random combinations of every engine
+//! knob (stream depth, vectorisation factor, URAM ports, precision,
+//! region mode, hazard II, accrual FIFO override) must produce a graph
+//! that completes without deadlock and prices identically to the
+//! reference (or within f32 tolerance in single-precision mode).
+
+use cds_repro::engine::config::EnginePrecision;
+use cds_repro::engine::prelude::*;
+use cds_repro::quant::prelude::*;
+use dataflow_sim::region::RegionMode;
+use proptest::prelude::*;
+
+fn any_config() -> impl Strategy<Value = EngineConfig> {
+    (
+        1usize..=8,              // stream depth
+        1usize..=8,              // vector factor
+        1usize..=4,              // uram ports per function
+        prop_oneof![Just(EnginePrecision::Double), Just(EnginePrecision::Single)],
+        prop_oneof![Just(RegionMode::Continuous), Just(RegionMode::PerOption)],
+        prop_oneof![Just(HazardIiMode::PartialSums), Just(HazardIiMode::DependencyChained)],
+        proptest::option::of(2usize..32), // accrual FIFO override
+    )
+        .prop_map(|(depth, v, ports, precision, mode, ii, accrual)| {
+            let mut config = EngineVariant::Vectorised.config();
+            config.stream_depth = depth;
+            config.vector_factor = v;
+            config.uram_ports_per_function = ports;
+            config.precision = precision;
+            config.region_mode = mode;
+            config.hazard_ii = ii;
+            config.accrual_fifo_depth = accrual;
+            config
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn any_configuration_completes_and_prices_correctly(
+        config in any_config(),
+        maturity in 0.4f64..6.0,
+        recovery in 0.0f64..0.9,
+        n_options in 1usize..5,
+        seed in 0u64..20,
+    ) {
+        let market = MarketData::paper_workload(seed);
+        let options: Vec<CdsOption> = (0..n_options)
+            .map(|i| CdsOption::new(maturity + 0.25 * i as f64, PaymentFrequency::Quarterly, recovery))
+            .collect();
+        let pricer = CdsPricer::new(market.clone());
+        let tolerance = match config.precision {
+            EnginePrecision::Double => 1e-7,
+            EnginePrecision::Single => 5e-3,
+        };
+        // Any deadlock, runaway or panic fails the property.
+        let engine = FpgaCdsEngine::new(market, config);
+        let report = engine.price_batch(&options);
+        prop_assert_eq!(report.spreads.len(), options.len());
+        prop_assert!(report.kernel_cycles > 0);
+        for (o, s) in options.iter().zip(&report.spreads) {
+            let golden = pricer.price(o).spread_bps;
+            prop_assert!(
+                (s - golden).abs() < tolerance * (1.0 + golden.abs()),
+                "spread {} vs {} under {:?}", s, golden, engine.config()
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_never_exceeds_port_bandwidth_bound(
+        v in 1usize..=8,
+        ports in 1usize..=4,
+        seed in 0u64..10,
+    ) {
+        // Physics check: the hazard unit cannot beat its aggregate URAM
+        // bandwidth, whatever the replication factor.
+        let market = MarketData::paper_workload(seed);
+        let mut config = EngineVariant::Vectorised.config();
+        config.vector_factor = v;
+        config.uram_ports_per_function = ports;
+        let options = PortfolioGenerator::uniform(12, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let engine = FpgaCdsEngine::new(market, config);
+        let report = engine.price_batch(&options);
+        // 22 points × 1024 knots per option at `ports` knots/cycle is the
+        // floor on kernel cycles (minus small boundary effects).
+        let floor = (12.0 * 22.0 * 1024.0 / ports as f64) * 0.95;
+        prop_assert!(
+            (report.kernel_cycles as f64) >= floor,
+            "cycles {} below physical bound {} (V={}, ports={})",
+            report.kernel_cycles, floor, v, ports
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Scheduler cross-validation on the real CDS graph: the event-driven
+//! simulator and the naive cycle-stepped reference simulator must agree
+//! exactly — same spreads, same completion cycle, same per-stream traffic
+//! — when executing the actual Figure-2/Figure-3 engine graphs.
+
+use cds_repro::engine::prelude::*;
+use cds_repro::engine::variants::dataflow::build_graph;
+use cds_repro::quant::prelude::*;
+use dataflow_sim::cycle_sim::CycleSim;
+use dataflow_sim::event_sim::EventSim;
+use std::rc::Rc;
+
+fn check_agreement(config: &EngineConfig, options: &[CdsOption]) {
+    let market = Rc::new(MarketData::paper_workload(4));
+
+    let (g_event, sink_event) = build_graph(market.clone(), config, options, 0);
+    let (g_cycle, sink_cycle) = build_graph(market.clone(), config, options, 0);
+
+    let r_event = EventSim::new(g_event).run().expect("event sim completes");
+    let r_cycle = CycleSim::new(g_cycle)
+        .with_max_cycles(10_000_000)
+        .run()
+        .expect("cycle sim completes");
+
+    assert_eq!(
+        r_event.total_cycles, r_cycle.total_cycles,
+        "completion cycle diverges for {:?}",
+        config.variant
+    );
+    assert_eq!(r_event.streams, r_cycle.streams, "stream stats diverge");
+    assert_eq!(sink_event.collected(), sink_cycle.collected(), "spread tokens diverge");
+}
+
+#[test]
+fn schedulers_agree_on_inter_option_graph() {
+    let options = PortfolioGenerator::uniform(3, 2.0, PaymentFrequency::Quarterly, 0.4);
+    check_agreement(&EngineVariant::InterOption.config(), &options);
+}
+
+#[test]
+fn schedulers_agree_on_vectorised_graph() {
+    let options = PortfolioGenerator::uniform(2, 1.5, PaymentFrequency::Quarterly, 0.4);
+    check_agreement(&EngineVariant::Vectorised.config(), &options);
+}
+
+#[test]
+fn schedulers_agree_on_shallow_streams() {
+    let mut config = EngineVariant::InterOption.config();
+    config.stream_depth = 1;
+    let options = PortfolioGenerator::uniform(2, 1.0, PaymentFrequency::SemiAnnual, 0.3);
+    check_agreement(&config, &options);
+}
+
+#[test]
+fn schedulers_agree_on_mixed_maturities() {
+    let options = vec![
+        CdsOption::new(0.6, PaymentFrequency::Quarterly, 0.2),
+        CdsOption::new(2.3, PaymentFrequency::Annual, 0.5),
+        CdsOption::new(1.1, PaymentFrequency::Monthly, 0.4),
+    ];
+    check_agreement(&EngineVariant::InterOption.config(), &options);
+}
+
+#[test]
+fn schedulers_agree_on_dependency_chained_ablation() {
+    let mut config = EngineVariant::InterOption.config();
+    config.hazard_ii = HazardIiMode::DependencyChained;
+    let options = PortfolioGenerator::uniform(1, 1.0, PaymentFrequency::Quarterly, 0.4);
+    check_agreement(&config, &options);
+}

@@ -1,0 +1,112 @@
+//! End-to-end reproduction of the paper's Tables I and II, asserted
+//! against the acceptance bands of DESIGN.md §4.
+//!
+//! Absolute options/second need not match the authors' testbed, but the
+//! *shape* — who wins, by what factor, where the crossovers fall — must.
+
+use cds_harness::tables::{table1, table2};
+use cds_harness::workload::Workload;
+
+fn workload() -> Workload {
+    // Large enough that fills and one-off overheads amortise; small
+    // enough for a debug-profile test run.
+    Workload::paper(42, 192)
+}
+
+#[test]
+fn table1_absolute_rates_within_15_percent_of_paper() {
+    let t = table1(&workload());
+    for row in &t.rows {
+        let ratio = row.measured / row.paper;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "{}: measured {} vs paper {} ({}x)",
+            row.description,
+            row.measured,
+            row.paper,
+            ratio
+        );
+    }
+}
+
+#[test]
+fn table1_speedup_ladder_in_bands() {
+    let t = table1(&workload());
+    let s_opt = t.speedup_over_baseline("Optimised");
+    let s_inter = t.speedup_over_baseline("inter-options");
+    let s_vec = t.speedup_over_baseline("Vectorisation");
+    // Paper: 2.13x, 3.84x, 7.99x.
+    assert!((1.7..2.7).contains(&s_opt), "optimised/baseline {s_opt}");
+    assert!((1.4..2.2).contains(&(s_inter / s_opt)), "inter/optimised {}", s_inter / s_opt);
+    assert!((1.6..2.5).contains(&(s_vec / s_inter)), "vectorised/inter {}", s_vec / s_inter);
+    assert!((6.0..10.0).contains(&s_vec), "vectorised/baseline {s_vec}");
+}
+
+#[test]
+fn table1_crossovers_match_paper() {
+    // Paper narrative: the baseline falls short of a CPU core; the
+    // optimised engine still falls "slightly short of CPU single-core
+    // performance"; inter-option is "for the first time … out performing
+    // the CPU core"; vectorised beats it by ~3x.
+    let t = table1(&workload());
+    let rate = |needle: &str| {
+        t.rows.iter().find(|r| r.description.contains(needle)).unwrap().measured
+    };
+    let cpu = rate("CPU core");
+    assert!(rate("Xilinx") < cpu);
+    assert!(rate("Optimised") < cpu);
+    assert!(rate("inter-options") > cpu);
+    let vec_vs_cpu = rate("Vectorisation") / cpu;
+    assert!((2.5..3.6).contains(&vec_vs_cpu), "vectorised vs CPU core {vec_vs_cpu}");
+}
+
+#[test]
+fn table2_rates_within_15_percent_of_paper() {
+    let t = table2(&workload());
+    for row in &t.rows {
+        let ratio = row.measured_rate / row.paper.0;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "{}: measured {} vs paper {}",
+            row.description,
+            row.measured_rate,
+            row.paper.0
+        );
+    }
+}
+
+#[test]
+fn table2_headline_claims() {
+    let t = table2(&workload());
+    // "our FPGA approach is out performing all 24 cores … by around 1.55
+    // times" (our scale-up lands slightly lower; band covers both).
+    let perf = t.fpga_vs_cpu_performance();
+    assert!((1.3..1.8).contains(&perf), "FPGA5/CPU24 performance {perf}");
+    // "draws around 4.7 times less power".
+    let power = t.power_ratio();
+    assert!((4.2..5.2).contains(&power), "power ratio {power}");
+    // "power efficiency … around seven times".
+    let eff = t.efficiency_ratio();
+    assert!((5.8..8.2).contains(&eff), "efficiency ratio {eff}");
+}
+
+#[test]
+fn table2_fpga_scaling_factors() {
+    let t = table2(&workload());
+    let rate = |needle: &str| {
+        t.rows.iter().find(|r| r.description.starts_with(needle)).unwrap().measured_rate
+    };
+    let one = rate("1 FPGA");
+    // Paper: 1.943x at two engines, 4.124x at five.
+    let two = rate("2 FPGA") / one;
+    let five = rate("5 FPGA") / one;
+    assert!((1.80..2.0).contains(&two), "2-engine scaling {two}");
+    assert!((3.7..4.4).contains(&five), "5-engine scaling {five}");
+}
+
+#[test]
+fn tables_are_deterministic() {
+    let a = table1(&workload());
+    let b = table1(&workload());
+    assert_eq!(a.rows, b.rows);
+}
