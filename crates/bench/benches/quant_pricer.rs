@@ -24,12 +24,7 @@ fn bench_pricers(c: &mut Criterion) {
     group.bench_function("generic_f32_pricer", |b| {
         let m32 = market.to_f32();
         b.iter(|| {
-            black_box(cds_quant::cds::price_cds_generic(
-                black_box(&m32),
-                5.5f32,
-                4,
-                0.40f32,
-            ))
+            black_box(cds_quant::cds::price_cds_generic(black_box(&m32), 5.5f32, 4, 0.40f32))
         });
     });
     group.finish();

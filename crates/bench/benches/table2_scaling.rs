@@ -4,8 +4,8 @@
 
 use cds_cpu::CpuPerfModel;
 use cds_engine::multi::MultiEngine;
-use cds_quant::prelude::*;
 use cds_power::{options_per_watt, CpuPowerModel, FpgaPowerModel};
+use cds_quant::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -30,7 +30,11 @@ fn bench_table2(c: &mut Criterion) {
         cpu_power.watts(24),
         options_per_watt(cpu_rate, cpu_power.watts(24))
     );
-    let paper = [(1, "27675.67 / 35.86 / 771.77"), (2, "53763.86 / 35.79 / 1502.20"), (5, "114115.92 / 37.38 / 3052.86")];
+    let paper = [
+        (1, "27675.67 / 35.86 / 771.77"),
+        (2, "53763.86 / 35.79 / 1502.20"),
+        (5, "114115.92 / 37.38 / 3052.86"),
+    ];
     for (n, paper_row) in paper {
         let multi = MultiEngine::new(market.clone(), n).expect("fits");
         let rate = multi.price_batch(&options).options_per_second;

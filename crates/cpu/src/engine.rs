@@ -12,6 +12,34 @@ use cds_quant::interp::binary_search;
 use cds_quant::option::{CdsOption, MarketData};
 use cds_quant::schedule::PaymentSchedule;
 
+/// Work accounting of one CPU batch — the host-side analogue of the
+/// simulator's run counters, consumed by the harness's unified metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuBatchStats {
+    /// Options priced.
+    pub options: u64,
+    /// Total schedule time points evaluated across the batch.
+    pub time_points: u64,
+    /// Lane groups priced by the fused SoA kernel (0 for scalar paths).
+    pub fused_groups: u64,
+    /// Options that fell back to the scalar pricer within an SoA batch.
+    pub scalar_fallbacks: u64,
+    /// OS threads used (1 for the sequential paths).
+    pub threads: u64,
+}
+
+impl CpuBatchStats {
+    /// Fold another batch's accounting into this one (threads takes the
+    /// max — chunks of one parallel batch share the pool).
+    pub fn merge(&mut self, other: &CpuBatchStats) {
+        self.options += other.options;
+        self.time_points += other.time_points;
+        self.fused_groups += other.fused_groups;
+        self.scalar_fallbacks += other.scalar_fallbacks;
+        self.threads = self.threads.max(other.threads);
+    }
+}
+
 /// Precomputed, cache-friendly CPU pricer.
 #[derive(Debug, Clone)]
 pub struct CpuCdsEngine {
@@ -90,8 +118,9 @@ impl CpuCdsEngine {
 
     /// Price one option.
     pub fn price(&self, option: &CdsOption) -> SpreadResult {
-        let schedule = PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
-            .expect("validated option");
+        let schedule =
+            PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
+                .expect("validated option");
         let mut premium = 0.0f64;
         let mut protection = 0.0f64;
         let mut accrual = 0.0f64;
@@ -127,6 +156,22 @@ impl CpuCdsEngine {
     /// Price a batch sequentially.
     pub fn price_batch(&self, options: &[CdsOption]) -> Vec<f64> {
         options.iter().map(|o| self.price(o).spread_bps).collect()
+    }
+
+    /// Price a batch sequentially, returning work accounting alongside
+    /// the spreads.
+    pub fn price_batch_stats(&self, options: &[CdsOption]) -> (Vec<f64>, CpuBatchStats) {
+        let mut stats = CpuBatchStats { threads: 1, ..CpuBatchStats::default() };
+        let spreads = options
+            .iter()
+            .map(|o| {
+                let r = self.price(o);
+                stats.options += 1;
+                stats.time_points += r.time_points as u64;
+                r.spread_bps
+            })
+            .collect();
+        (spreads, stats)
     }
 }
 

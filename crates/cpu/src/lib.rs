@@ -6,7 +6,7 @@
 //!
 //! * [`engine::CpuCdsEngine`] — a cache-friendly single-threaded pricer
 //!   (the C++ engine's analogue), numerically identical to the reference;
-//! * [`parallel`] — chunked multi-threading over crossbeam scoped threads
+//! * [`parallel`] — chunked multi-threading over `std::thread::scope`
 //!   (the OpenMP analogue), for numerical verification and host-machine
 //!   benchmarking;
 //! * [`soa::price_batch_soa`] — a structure-of-arrays batch kernel that
@@ -25,7 +25,7 @@ pub mod model;
 pub mod parallel;
 pub mod soa;
 
-pub use engine::CpuCdsEngine;
+pub use engine::{CpuBatchStats, CpuCdsEngine};
 pub use model::CpuPerfModel;
 pub use parallel::price_parallel;
 pub use soa::price_batch_soa;

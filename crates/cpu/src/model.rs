@@ -70,10 +70,7 @@ mod tests {
     fn full_socket_matches_table2() {
         let m = CpuPerfModel::xeon_8260m();
         let rate = m.options_per_second(24);
-        assert!(
-            (rate - 75823.77).abs() / 75823.77 < 0.01,
-            "24-core rate {rate} vs paper 75823.77"
-        );
+        assert!((rate - 75823.77).abs() / 75823.77 < 0.01, "24-core rate {rate} vs paper 75823.77");
     }
 
     #[test]

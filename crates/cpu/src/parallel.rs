@@ -1,12 +1,12 @@
 //! Multi-threaded batch pricing — the OpenMP analogue.
 //!
 //! Options are independent, so the batch is split into contiguous chunks
-//! priced by crossbeam scoped threads, exactly mirroring the paper's
+//! priced by `std::thread::scope` threads, exactly mirroring the paper's
 //! decomposition for both the OpenMP CPU code and the multi-engine FPGA
 //! deployment ("there are no dependencies between calculations involving
 //! different options").
 
-use crate::engine::CpuCdsEngine;
+use crate::engine::{CpuBatchStats, CpuCdsEngine};
 use cds_quant::option::CdsOption;
 
 /// Price a batch across `threads` OS threads, preserving option order.
@@ -22,16 +22,50 @@ pub fn price_parallel(engine: &CpuCdsEngine, options: &[CdsOption], threads: usi
         return engine.price_batch(options);
     }
     let chunk_size = options.len().div_ceil(threads);
-    let mut results: Vec<Vec<f64>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = options
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move |_| engine.price_batch(chunk)))
+            .map(|chunk| scope.spawn(move || engine.price_batch(chunk)))
             .collect();
-        results = handles.into_iter().map(|h| h.join().expect("pricing thread panicked")).collect();
+        handles.into_iter().flat_map(|h| h.join().expect("pricing thread panicked")).collect()
     })
-    .expect("crossbeam scope failed");
-    results.into_iter().flatten().collect()
+}
+
+/// As [`price_parallel`], additionally returning merged work accounting
+/// across the thread chunks (threads actually used, total time points).
+///
+/// # Panics
+/// Panics if `threads` is zero.
+pub fn price_parallel_stats(
+    engine: &CpuCdsEngine,
+    options: &[CdsOption],
+    threads: usize,
+) -> (Vec<f64>, CpuBatchStats) {
+    assert!(threads > 0, "need at least one thread");
+    if options.is_empty() {
+        return (Vec::new(), CpuBatchStats::default());
+    }
+    if threads == 1 || options.len() == 1 {
+        return engine.price_batch_stats(options);
+    }
+    let chunk_size = options.len().div_ceil(threads);
+    let per_chunk: Vec<(Vec<f64>, CpuBatchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = options
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || engine.price_batch_stats(chunk)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pricing thread panicked")).collect()
+    });
+    let mut spreads = Vec::with_capacity(options.len());
+    let mut stats = CpuBatchStats { threads: per_chunk.len() as u64, ..CpuBatchStats::default() };
+    for (chunk_spreads, chunk_stats) in per_chunk {
+        spreads.extend(chunk_spreads);
+        stats.options += chunk_stats.options;
+        stats.time_points += chunk_stats.time_points;
+        stats.fused_groups += chunk_stats.fused_groups;
+        stats.scalar_fallbacks += chunk_stats.scalar_fallbacks;
+    }
+    (spreads, stats)
 }
 
 /// As [`price_parallel`] but using the structure-of-arrays fused kernel
@@ -50,16 +84,13 @@ pub fn price_parallel_soa(
         return crate::soa::price_batch_soa(engine, options);
     }
     let chunk_size = options.len().div_ceil(threads);
-    let mut results: Vec<Vec<f64>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = options
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(move |_| crate::soa::price_batch_soa(engine, chunk)))
+            .map(|chunk| scope.spawn(move || crate::soa::price_batch_soa(engine, chunk)))
             .collect();
-        results = handles.into_iter().map(|h| h.join().expect("pricing thread panicked")).collect();
+        handles.into_iter().flat_map(|h| h.join().expect("pricing thread panicked")).collect()
     })
-    .expect("crossbeam scope failed");
-    results.into_iter().flatten().collect()
 }
 
 /// Measure host throughput in options/second with the given thread count
@@ -131,6 +162,22 @@ mod tests {
         for (a, b) in scalar.iter().zip(&fused) {
             assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn parallel_stats_account_all_work() {
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        let options = PortfolioGenerator::new(2).portfolio(97);
+        let (seq_spreads, seq_stats) = engine.price_batch_stats(&options);
+        let (par_spreads, par_stats) = price_parallel_stats(&engine, &options, 4);
+        assert_eq!(seq_spreads, par_spreads);
+        assert_eq!(seq_stats.options, 97);
+        assert_eq!(par_stats.options, 97);
+        assert_eq!(seq_stats.time_points, par_stats.time_points);
+        assert!(seq_stats.time_points > 0);
+        assert_eq!(seq_stats.threads, 1);
+        assert_eq!(par_stats.threads, 4);
     }
 
     #[test]

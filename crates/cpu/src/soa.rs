@@ -10,7 +10,7 @@
 //! with differing schedules fall back to the scalar engine, so the API
 //! accepts arbitrary batches.
 
-use crate::engine::CpuCdsEngine;
+use crate::engine::{CpuBatchStats, CpuCdsEngine};
 use cds_quant::option::CdsOption;
 
 /// Number of options fused per pass — wide enough for 4-lane SIMD with
@@ -22,7 +22,18 @@ pub const LANES: usize = 8;
 /// option order and numerically identical to the scalar engine (the same
 /// operations are applied per lane, in the same order).
 pub fn price_batch_soa(engine: &CpuCdsEngine, options: &[CdsOption]) -> Vec<f64> {
+    price_batch_soa_stats(engine, options).0
+}
+
+/// As [`price_batch_soa`], additionally reporting how much of the batch
+/// went through the fused kernel versus the scalar fallback.
+pub fn price_batch_soa_stats(
+    engine: &CpuCdsEngine,
+    options: &[CdsOption],
+) -> (Vec<f64>, CpuBatchStats) {
     let mut out = vec![0.0f64; options.len()];
+    let mut stats =
+        CpuBatchStats { options: options.len() as u64, threads: 1, ..CpuBatchStats::default() };
     let mut i = 0;
     while i < options.len() {
         // Extend a run of options sharing maturity and frequency.
@@ -34,16 +45,25 @@ pub fn price_batch_soa(engine: &CpuCdsEngine, options: &[CdsOption]) -> Vec<f64>
         {
             j += 1;
         }
+        let points = cds_quant::schedule::PaymentSchedule::<f64>::generate(
+            options[i].maturity,
+            options[i].frequency.per_year(),
+        )
+        .expect("validated option")
+        .len() as u64;
+        stats.time_points += points * (j - i) as u64;
         if j - i == LANES {
             price_fused::<LANES>(engine, &options[i..j], &mut out[i..j]);
+            stats.fused_groups += 1;
         } else {
             for (o, slot) in options[i..j].iter().zip(&mut out[i..j]) {
                 *slot = engine.price(o).spread_bps;
             }
+            stats.scalar_fallbacks += (j - i) as u64;
         }
         i = j;
     }
-    out
+    (out, stats)
 }
 
 /// Fused kernel over `N` schedule-identical options.
@@ -144,6 +164,23 @@ mod tests {
         assert!(price_batch_soa(&engine, &[]).is_empty());
         let one = [CdsOption::new(2.0, PaymentFrequency::Quarterly, 0.4)];
         assert_eq!(price_batch_soa(&engine, &one).len(), 1);
+    }
+
+    #[test]
+    fn stats_split_fused_and_fallback_work() {
+        let engine = engine();
+        // 11 identical-schedule options: one full lane group + 3 leftovers.
+        let options: Vec<CdsOption> = (0..11)
+            .map(|i| CdsOption::new(3.0, PaymentFrequency::Quarterly, 0.3 + 0.02 * i as f64))
+            .collect();
+        let (spreads, stats) = price_batch_soa_stats(&engine, &options);
+        assert_eq!(spreads.len(), 11);
+        assert_eq!(stats.options, 11);
+        assert_eq!(stats.fused_groups, 1);
+        assert_eq!(stats.scalar_fallbacks, 3);
+        // 3y quarterly: 12 schedule points per option.
+        assert_eq!(stats.time_points, 12 * 11);
+        assert_eq!(stats.threads, 1);
     }
 
     #[test]

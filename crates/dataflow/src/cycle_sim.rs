@@ -124,6 +124,7 @@ impl CycleSim {
                         pushes: s.pushes(),
                         pops: s.pops(),
                         max_occupancy: s.max_occupancy(),
+                        backpressure: s.backpressure(),
                     }
                 })
                 .collect(),
@@ -140,14 +141,17 @@ mod tests {
 
     /// Build the same three-stage pipeline twice and check the two
     /// schedulers agree exactly.
-    fn build(ii: u64, latency: u64, depth: usize, n: u64) -> (GraphBuilder, crate::stages::SinkHandle<u64>) {
+    fn build(
+        ii: u64,
+        latency: u64,
+        depth: usize,
+        n: u64,
+    ) -> (GraphBuilder, crate::stages::SinkHandle<u64>) {
         let mut g = GraphBuilder::new();
         let (tx, rx) = g.stream::<u64>("in", depth);
         let (tx2, rx2) = g.stream::<u64>("out", depth);
         g.add(SourceStage::new("src", (0..n).collect(), Cost::new(1, 1), tx));
-        g.add(MapStage::new("work", rx, tx2, Some(n), move |v| {
-            (v + 1, Cost::new(ii, latency))
-        }));
+        g.add(MapStage::new("work", rx, tx2, Some(n), move |v| (v + 1, Cost::new(ii, latency))));
         let sink = g.add_counted_sink("sink", rx2, n);
         (g, sink)
     }
@@ -164,7 +168,19 @@ mod tests {
                 "cycles diverge for ii={ii} lat={lat} depth={depth}"
             );
             assert_eq!(s1.collected(), s2.collected(), "tokens diverge for ii={ii}");
-            assert_eq!(r_event.streams, r_cycle.streams);
+            // Backpressure counts scheduler retry effort and legitimately
+            // differs between the two schedulers; zero it before comparing.
+            let strip = |streams: &[crate::graph::StreamReport]| {
+                streams
+                    .iter()
+                    .cloned()
+                    .map(|mut s| {
+                        s.backpressure = 0;
+                        s
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(strip(&r_event.streams), strip(&r_cycle.streams));
         }
     }
 

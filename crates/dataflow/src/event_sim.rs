@@ -161,6 +161,7 @@ impl EventSim {
                         pushes: s.pushes(),
                         pops: s.pops(),
                         max_occupancy: s.max_occupancy(),
+                        backpressure: s.backpressure(),
                     }
                 })
                 .collect(),

@@ -18,12 +18,8 @@ use std::rc::Rc;
 pub type Pid = usize;
 
 /// The components a scheduler takes over from a builder.
-pub(crate) type GraphParts = (
-    Vec<Box<dyn Process>>,
-    Vec<Rc<RefCell<dyn StreamStats>>>,
-    Rc<Cell<u64>>,
-    Vec<String>,
-);
+pub(crate) type GraphParts =
+    (Vec<Box<dyn Process>>, Vec<Rc<RefCell<dyn StreamStats>>>, Rc<Cell<u64>>, Vec<String>);
 
 /// Builder for a dataflow graph.
 pub struct GraphBuilder {
@@ -142,10 +138,7 @@ impl GraphBuilder {
             let producer = self.processes.iter().position(|p| p.outputs().contains(&sid));
             let consumer = self.processes.iter().position(|p| p.inputs().contains(&sid));
             if let (Some(a), Some(b)) = (producer, consumer) {
-                dot.push_str(&format!(
-                    "  p{a} -> p{b} [label=\"{}\"];\n",
-                    self.stream_names[sid]
-                ));
+                dot.push_str(&format!("  p{a} -> p{b} [label=\"{}\"];\n", self.stream_names[sid]));
             }
         }
         dot.push_str("}\n");
@@ -171,6 +164,11 @@ pub struct StreamReport {
     pub pops: u64,
     /// Occupancy high-water mark.
     pub max_occupancy: usize,
+    /// Rejected pushes (producer found the FIFO full). Like
+    /// [`SimReport::events`], this counts scheduler retry effort rather
+    /// than hardware cycles, so it differs between schedulers; treat it
+    /// as a stall-pressure indicator.
+    pub backpressure: u64,
 }
 
 /// Outcome of a successful simulation run.

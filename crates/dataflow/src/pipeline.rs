@@ -62,7 +62,11 @@ impl PipelinedLoop {
     /// iterations (the un-flattened nested loops of the baseline Xilinx
     /// engine: "the hazard calculation and linear interpolations involve
     /// nested loops \[and\] require many cycles to produce a result").
-    pub fn nested_cycles(&self, outer_trips: u64, inner_trips_per_outer: impl Fn(u64) -> u64) -> Cycle {
+    pub fn nested_cycles(
+        &self,
+        outer_trips: u64,
+        inner_trips_per_outer: impl Fn(u64) -> u64,
+    ) -> Cycle {
         (0..outer_trips).map(|i| self.cycles(inner_trips_per_outer(i))).sum()
     }
 }

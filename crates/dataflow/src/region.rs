@@ -100,7 +100,8 @@ mod tests {
         for items in [0u64, 1, 2, 100] {
             assert!(
                 c.batch_overhead(RegionMode::Continuous, items, 5)
-                    <= c.batch_overhead(RegionMode::PerOption, items, 5).max(c.invocation_overhead(5))
+                    <= c.batch_overhead(RegionMode::PerOption, items, 5)
+                        .max(c.invocation_overhead(5))
             );
         }
     }

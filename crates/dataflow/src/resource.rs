@@ -227,7 +227,8 @@ mod tests {
     #[test]
     fn max_instances_limited_by_scarcest_resource() {
         let d = Device::alveo_u280();
-        let kernel = ResourceUsage { luts: 100_000, ffs: 100_000, dsps: 2000, bram_18k: 100, uram: 50 };
+        let kernel =
+            ResourceUsage { luts: 100_000, ffs: 100_000, dsps: 2000, bram_18k: 100, uram: 50 };
         // DSPs are the limit: usable 6768 / 2000 = 3.
         assert_eq!(d.max_instances(kernel), 3);
     }

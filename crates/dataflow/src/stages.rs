@@ -136,7 +136,12 @@ pub struct SinkStage<T> {
 impl<T> SinkStage<T> {
     /// Create a sink reading from `rx`, consuming at most one token per
     /// `ii` cycles.
-    pub fn new(name: impl Into<String>, rx: StreamReceiver<T>, ii: Cycle, expected: Option<u64>) -> (Self, SinkHandle<T>) {
+    pub fn new(
+        name: impl Into<String>,
+        rx: StreamReceiver<T>,
+        ii: Cycle,
+        expected: Option<u64>,
+    ) -> (Self, SinkHandle<T>) {
         let out = Rc::new(RefCell::new(Vec::new()));
         (
             SinkStage {
@@ -486,7 +491,8 @@ where
             }
         }
         if self.slots.iter().all(|s| s.is_some()) {
-            let inputs: Vec<I> = self.slots.iter_mut().map(|s| s.take().expect("all slots full")).collect();
+            let inputs: Vec<I> =
+                self.slots.iter_mut().map(|s| s.take().expect("all slots full")).collect();
             let (out, cost) = (self.f)(&inputs);
             self.busy_until = now + cost.ii;
             let visible_at = now + cost.latency;
@@ -540,12 +546,7 @@ mod timed_source_tests {
     fn tokens_arrive_at_scheduled_cycles() {
         let mut g = GraphBuilder::new();
         let (tx, rx) = g.stream::<u32>("s", 4);
-        g.add(TimedSourceStage::new(
-            "timed",
-            vec![(10, 100), (20, 250), (30, 251)],
-            1,
-            tx,
-        ));
+        g.add(TimedSourceStage::new("timed", vec![(10, 100), (20, 250), (30, 251)], 1, tx));
         let sink = g.add_counted_sink("sink", rx, 3);
         EventSim::new(g).run().unwrap();
         let collected = sink.collected();

@@ -36,6 +36,7 @@ struct StreamCore<T> {
     pushes: u64,
     pops: u64,
     max_occupancy: usize,
+    backpressure: u64,
     /// Global activity version, shared across the graph; bumped on every
     /// push/pop so schedulers know progress happened.
     version: Rc<Cell<u64>>,
@@ -54,6 +55,11 @@ pub trait StreamStats {
     fn pops(&self) -> u64;
     /// High-water mark of occupancy.
     fn max_occupancy(&self) -> usize;
+    /// Number of rejected pushes (producer found the FIFO full). Counts
+    /// stall-retry attempts, so the value depends on how often the
+    /// scheduler re-steps a blocked producer — a stall-pressure signal,
+    /// not a hardware cycle count.
+    fn backpressure(&self) -> u64;
     /// Tokens currently in flight.
     fn occupancy(&self) -> usize;
     /// Earliest availability cycle of the head token, if any.
@@ -75,6 +81,9 @@ impl<T> StreamStats for StreamCore<T> {
     }
     fn max_occupancy(&self) -> usize {
         self.max_occupancy
+    }
+    fn backpressure(&self) -> u64 {
+        self.backpressure
     }
     fn occupancy(&self) -> usize {
         self.queue.len()
@@ -119,6 +128,7 @@ where
         pushes: 0,
         pops: 0,
         max_occupancy: 0,
+        backpressure: 0,
         version,
     }));
     let stats: Rc<RefCell<dyn StreamStats>> = core.clone();
@@ -139,6 +149,7 @@ impl<T> StreamSender<T> {
     pub fn try_push(&self, now: Cycle, value: T, latency: Cycle) -> Result<(), T> {
         let mut core = self.core.borrow_mut();
         if core.queue.len() >= core.capacity {
+            core.backpressure += 1;
             return Err(value);
         }
         let avail = now + latency.max(1);
@@ -226,6 +237,19 @@ mod tests {
         assert!(tx.is_full());
         assert_eq!(rx.poll(5), ReadPoll::Ready(1));
         assert!(tx.try_push(5, 3, 1).is_ok());
+    }
+
+    #[test]
+    fn backpressure_counts_rejected_pushes() {
+        let v = Rc::new(Cell::new(0));
+        let (tx, rx, stats) = stream_pair::<u32>(0, "bp", 1, v);
+        assert!(tx.try_push(0, 1, 1).is_ok());
+        assert_eq!(tx.try_push(0, 2, 1), Err(2));
+        assert_eq!(tx.try_push(1, 2, 1), Err(2));
+        assert_eq!(stats.borrow().backpressure(), 2);
+        assert_eq!(rx.poll(5), ReadPoll::Ready(1));
+        assert!(tx.try_push(5, 2, 1).is_ok());
+        assert_eq!(stats.borrow().backpressure(), 2);
     }
 
     #[test]

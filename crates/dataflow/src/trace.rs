@@ -103,10 +103,8 @@ impl TraceRecorder {
         // VCD identifier codes: printable ASCII starting at '!'.
         let code = |i: usize| -> char { (33 + i as u8) as char };
         for (i, stage) in stages.iter().enumerate() {
-            let clean: String = stage
-                .chars()
-                .map(|c| if c.is_alphanumeric() { c } else { '_' })
-                .collect();
+            let clean: String =
+                stage.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
             out.push_str(&format!("$var wire 1 {} {clean}_busy $end\n", code(i)));
         }
         out.push_str("$upscope $end\n$enddefinitions $end\n");
@@ -135,9 +133,212 @@ impl TraceRecorder {
     }
 }
 
+/// Busy/stall occupancy of one traced process over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessCounters {
+    /// Stage name as recorded by the tracer.
+    pub name: String,
+    /// Cycles the stage spent doing work.
+    pub busy_cycles: Cycle,
+    /// Cycles the stage existed but was not working (run length minus
+    /// busy time): waiting on inputs, blocked on outputs, or drained.
+    pub stall_cycles: Cycle,
+    /// `busy / (busy + stall)` — the stage's utilisation over the run.
+    pub utilisation: f64,
+}
+
+/// Aggregated telemetry of one simulated run: per-process busy/stall
+/// split, per-stream occupancy high-water marks and backpressure counts,
+/// and region restarts. Built from a [`TraceRecorder`] plus the
+/// scheduler's [`crate::graph::SimReport`]; the engine layer folds
+/// several runs together with [`Counters::merge`] (e.g. the per-option
+/// region mode restarts the whole graph per option).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Counters {
+    /// Total simulated cycles across the merged runs.
+    pub total_cycles: Cycle,
+    /// Per-process busy/stall accounting (name-sorted; only traced
+    /// stages appear).
+    pub processes: Vec<ProcessCounters>,
+    /// Highest FIFO occupancy observed on any stream.
+    pub stream_occupancy_high_water: usize,
+    /// Total rejected pushes across all streams — scheduler-effort
+    /// stall-pressure, see [`crate::graph::StreamReport::backpressure`].
+    pub backpressure_events: u64,
+    /// Dataflow region invocations beyond the first (the paper's
+    /// "shuts-down and restarts between options" overhead).
+    pub region_restarts: u64,
+}
+
+impl Counters {
+    /// Assemble counters from one run's trace and stream reports.
+    pub fn from_run(trace: &TraceRecorder, report: &crate::graph::SimReport) -> Self {
+        let total = report.total_cycles;
+        let processes = trace
+            .stages()
+            .into_iter()
+            .map(|name| {
+                let busy = trace.busy_cycles(&name);
+                let stall = total.saturating_sub(busy);
+                ProcessCounters {
+                    utilisation: if total > 0 { busy as f64 / total as f64 } else { 0.0 },
+                    name,
+                    busy_cycles: busy,
+                    stall_cycles: stall,
+                }
+            })
+            .collect();
+        Counters {
+            total_cycles: total,
+            processes,
+            stream_occupancy_high_water: report
+                .streams
+                .iter()
+                .map(|s| s.max_occupancy)
+                .max()
+                .unwrap_or(0),
+            backpressure_events: report.streams.iter().map(|s| s.backpressure).sum(),
+            region_restarts: 0,
+        }
+    }
+
+    /// Fold another run's counters into this one: cycles, busy/stall and
+    /// backpressure add; the occupancy high-water takes the max.
+    /// Utilisations are re-derived from the summed cycle counts.
+    pub fn merge(&mut self, other: &Counters) {
+        self.total_cycles += other.total_cycles;
+        for op in &other.processes {
+            match self.processes.iter_mut().find(|p| p.name == op.name) {
+                Some(p) => {
+                    p.busy_cycles += op.busy_cycles;
+                    p.stall_cycles += op.stall_cycles;
+                }
+                None => self.processes.push(op.clone()),
+            }
+        }
+        for p in &mut self.processes {
+            let span = p.busy_cycles + p.stall_cycles;
+            p.utilisation = if span > 0 { p.busy_cycles as f64 / span as f64 } else { 0.0 };
+        }
+        self.processes.sort_by(|a, b| a.name.cmp(&b.name));
+        self.stream_occupancy_high_water =
+            self.stream_occupancy_high_water.max(other.stream_occupancy_high_water);
+        self.backpressure_events += other.backpressure_events;
+        self.region_restarts += other.region_restarts;
+    }
+
+    /// Mean utilisation across traced processes (0 when none were traced).
+    pub fn mean_utilisation(&self) -> f64 {
+        if self.processes.is_empty() {
+            return 0.0;
+        }
+        self.processes.iter().map(|p| p.utilisation).sum::<f64>() / self.processes.len() as f64
+    }
+}
+
+/// Wall-clock stopwatch for the harness's own overhead reporting (never
+/// used for the modelled performance numbers, which are cycle-accurate
+/// and deterministic).
+#[derive(Debug)]
+pub struct Timer {
+    started: std::time::Instant,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn new() -> Self {
+        Timer { started: std::time::Instant::now() }
+    }
+
+    /// Seconds elapsed since construction.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{SimReport, StreamReport};
+
+    fn report(cycles: Cycle, streams: Vec<StreamReport>) -> SimReport {
+        SimReport { total_cycles: cycles, events: 0, streams }
+    }
+
+    fn stream(name: &str, max_occupancy: usize, backpressure: u64) -> StreamReport {
+        StreamReport {
+            name: name.to_string(),
+            capacity: 8,
+            pushes: 0,
+            pops: 0,
+            max_occupancy,
+            backpressure,
+        }
+    }
+
+    #[test]
+    fn counters_split_busy_and_stall() {
+        let t = TraceRecorder::new();
+        t.record("hazard", 0, 60);
+        t.record("interp", 10, 20);
+        let c = Counters::from_run(&t, &report(100, vec![stream("a", 5, 7), stream("b", 3, 2)]));
+        assert_eq!(c.total_cycles, 100);
+        let hazard = &c.processes[0];
+        assert_eq!(
+            (hazard.name.as_str(), hazard.busy_cycles, hazard.stall_cycles),
+            ("hazard", 60, 40)
+        );
+        assert!((hazard.utilisation - 0.6).abs() < 1e-12);
+        assert_eq!(c.stream_occupancy_high_water, 5);
+        assert_eq!(c.backpressure_events, 9);
+        assert_eq!(c.region_restarts, 0);
+        assert!((c.mean_utilisation() - (0.6 + 0.1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_and_rederives_utilisation() {
+        let t = TraceRecorder::new();
+        t.record("s", 0, 30);
+        let mut a = Counters::from_run(&t, &report(100, vec![stream("x", 4, 1)]));
+        a.region_restarts = 1;
+        let t2 = TraceRecorder::new();
+        t2.record("s", 0, 70);
+        t2.record("other", 0, 10);
+        let mut b = Counters::from_run(&t2, &report(100, vec![stream("x", 6, 3)]));
+        b.region_restarts = 1;
+        a.merge(&b);
+        assert_eq!(a.total_cycles, 200);
+        assert_eq!(a.region_restarts, 2);
+        assert_eq!(a.backpressure_events, 4);
+        assert_eq!(a.stream_occupancy_high_water, 6);
+        let s = a.processes.iter().find(|p| p.name == "s").expect("merged stage");
+        assert_eq!(s.busy_cycles, 100);
+        assert_eq!(s.stall_cycles, 100);
+        assert!((s.utilisation - 0.5).abs() < 1e-12);
+        assert!(a.processes.iter().any(|p| p.name == "other"));
+    }
+
+    #[test]
+    fn empty_counters_are_benign() {
+        let c = Counters::from_run(&TraceRecorder::new(), &report(0, vec![]));
+        assert_eq!(c.mean_utilisation(), 0.0);
+        assert_eq!(c.stream_occupancy_high_water, 0);
+        let mut d = Counters::default();
+        d.merge(&c);
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn timer_measures_nonnegative_time() {
+        let t = Timer::new();
+        assert!(t.elapsed_seconds() >= 0.0);
+    }
 
     #[test]
     fn records_and_reports_busy_time() {

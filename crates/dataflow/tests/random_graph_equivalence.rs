@@ -20,8 +20,12 @@ struct StageSpec {
 }
 
 fn stage_spec() -> impl Strategy<Value = StageSpec> {
-    (1u64..9, 1u64..14, 1usize..5, 0u64..100)
-        .prop_map(|(ii, latency, depth, add)| StageSpec { ii, latency, depth, add })
+    (1u64..9, 1u64..14, 1usize..5, 0u64..100).prop_map(|(ii, latency, depth, add)| StageSpec {
+        ii,
+        latency,
+        depth,
+        add,
+    })
 }
 
 /// Build a linear pipeline from the specs; returns the graph and sink.
@@ -80,11 +84,16 @@ fn run_both(build: impl Fn() -> (GraphBuilder, SinkHandle<u64>)) -> (Outcome, Ou
     ((r1, s1.collected()), (r2, s2.collected()))
 }
 
-/// The `events` counter measures *scheduler effort* and legitimately
-/// differs between the two schedulers; hardware-observable state must not.
+/// The `events` and per-stream `backpressure` counters measure *scheduler
+/// effort* (how often a process was stepped or a blocked push retried) and
+/// legitimately differ between the two schedulers; hardware-observable
+/// state must not.
 fn normalise(r: Result<SimReport, SimError>) -> Result<SimReport, SimError> {
     r.map(|mut rep| {
         rep.events = 0;
+        for s in &mut rep.streams {
+            s.backpressure = 0;
+        }
         rep
     })
 }
@@ -159,8 +168,5 @@ fn cycle_sim_also_validates_topology() {
     let mut g = GraphBuilder::new();
     let (_tx, rx) = g.stream::<u64>("no_producer", 2);
     g.add_counted_sink("sink", rx, 1);
-    assert!(matches!(
-        CycleSim::new(g).run(),
-        Err(SimError::InvalidTopology { .. })
-    ));
+    assert!(matches!(CycleSim::new(g).run(), Err(SimError::InvalidTopology { .. })));
 }

@@ -51,7 +51,11 @@ fn schedule_points(option: &CdsOption) -> Vec<f64> {
 
 /// The baseline runs its loops sequentially per option: the II=7 prefix
 /// accumulation dominates, followed by the two interpolation scans.
-fn baseline_cycles(market: &MarketData<f64>, config: &EngineConfig, options: &[CdsOption]) -> Cycle {
+fn baseline_cycles(
+    market: &MarketData<f64>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+) -> Cycle {
     let ii = config.hazard_ii.ii();
     let mut total: Cycle = 0;
     for option in options {
@@ -77,7 +81,11 @@ fn baseline_cycles(market: &MarketData<f64>, config: &EngineConfig, options: &[C
 /// The dataflow variants are bottlenecked by the slowest stage — the full
 /// static-bound curve scan per time point — plus fill/drain and, in
 /// per-option mode, the region restart.
-fn dataflow_cycles(market: &MarketData<f64>, config: &EngineConfig, options: &[CdsOption]) -> Cycle {
+fn dataflow_cycles(
+    market: &MarketData<f64>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+) -> Cycle {
     let v = config.vector_factor.max(1) as Cycle;
     // Aggregate scan initiation interval per time point after replication,
     // URAM port sharing and datapath precision.
@@ -89,10 +97,8 @@ fn dataflow_cycles(market: &MarketData<f64>, config: &EngineConfig, options: &[C
     let processes = if config.vector_factor > 1 { 14 + 3 * (config.vector_factor + 1) } else { 14 };
     match config.region_mode {
         RegionMode::Continuous => {
-            let steady: Cycle = options
-                .iter()
-                .map(|o| schedule_points(o).len() as Cycle * per_point)
-                .sum();
+            let steady: Cycle =
+                options.iter().map(|o| schedule_points(o).len() as Cycle * per_point).sum();
             steady + fill + config.region_cost.invocation_overhead(processes)
         }
         RegionMode::PerOption => options
@@ -142,8 +148,7 @@ mod tests {
     fn analytic_preserves_variant_ordering() {
         let market = market();
         let opts = options(16);
-        let rate =
-            |v: EngineVariant| estimate_options_per_second(&market, &v.config(), &opts);
+        let rate = |v: EngineVariant| estimate_options_per_second(&market, &v.config(), &opts);
         assert!(rate(EngineVariant::XilinxBaseline) < rate(EngineVariant::OptimisedDataflow));
         assert!(rate(EngineVariant::OptimisedDataflow) < rate(EngineVariant::InterOption));
         assert!(rate(EngineVariant::InterOption) < rate(EngineVariant::Vectorised));

@@ -13,14 +13,40 @@ use crate::report::EngineRunReport;
 use crate::FpgaCdsEngine;
 use cds_quant::option::{CdsOption, MarketData};
 use dataflow_sim::resource::{op_cost, uram_for_curve, Device, ResourceUsage};
+use dataflow_sim::trace::Counters;
 
 /// Per-extra-engine slowdown from shared memory interconnect and host
-/// sequencing.
+/// sequencing — the linear coefficient of the contention model.
 ///
 /// **Calibrated constant** (DESIGN.md §5): the paper measures 1.943× at
-/// two engines and 4.124× at five; a contention model
-/// `speedup(n) = n / (1 + (n−1)·f)` fits both points with `f ≈ 0.053`.
-pub const MULTI_ENGINE_CONTENTION: f64 = 0.053;
+/// two engines and 4.124× at five. The overhead per extra engine is not
+/// flat — each additional engine sharing the HBM interconnect costs
+/// slightly more than the last — so the model is quadratic in the number
+/// of extra engines:
+///
+/// ```text
+/// speedup(n) = n / (1 + (n−1)·(MULTI_ENGINE_CONTENTION
+///                             + (n−1)·MULTI_ENGINE_CONTENTION_GROWTH))
+/// ```
+///
+/// The two coefficients are the exact two-point fit through the paper's
+/// measurements, reproducing both 1.943×@2 and 4.124×@5 to better than
+/// 0.01% (a single flat coefficient can only fit one of the two points;
+/// the best single-constant compromise, `f ≈ 0.053`, is 2.2% off at two
+/// engines).
+pub const MULTI_ENGINE_CONTENTION: f64 = 0.021_413_5;
+
+/// Growth of the per-extra-engine contention with each further engine —
+/// the quadratic coefficient of the model above (see
+/// [`MULTI_ENGINE_CONTENTION`]).
+pub const MULTI_ENGINE_CONTENTION_GROWTH: f64 = 0.007_922_6;
+
+/// Contention multiplier on the makespan at `n` engines:
+/// `1 + (n−1)·(α + (n−1)·β)` with the two calibrated coefficients.
+pub fn contention_factor(n: usize) -> f64 {
+    let extra = n.saturating_sub(1) as f64;
+    1.0 + extra * (MULTI_ENGINE_CONTENTION + extra * MULTI_ENGINE_CONTENTION_GROWTH)
+}
 
 /// Errors constructing a multi-engine deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +104,8 @@ pub fn engine_resource_usage(config: &EngineConfig, curve_entries: usize) -> Res
         .plus(op_cost::DDIV);
     // Split/merge schedulers when vectorised — lightweight round-robin
     // muxes, roughly half a full stage each.
-    let schedulers = if v > 1 { op_cost::STAGE_OVERHEAD.times(3) } else { ResourceUsage::default() };
+    let schedulers =
+        if v > 1 { op_cost::STAGE_OVERHEAD.times(3) } else { ResourceUsage::default() };
     let uram = ResourceUsage {
         uram: uram_for_curve(curve_entries, 3), // one copy per replicated function
         ..ResourceUsage::default()
@@ -108,6 +135,9 @@ pub struct MultiEngineReport {
     pub options_per_second: f64,
     /// Largest per-engine kernel seconds before contention.
     pub slowest_engine_seconds: f64,
+    /// Merged telemetry across all engines (stream high-water is the max,
+    /// busy/stall cycles and backpressure events sum).
+    pub counters: Counters,
 }
 
 impl MultiEngine {
@@ -123,7 +153,12 @@ impl MultiEngine {
     /// assert!(MultiEngine::new(market, 6).is_err());
     /// ```
     pub fn new(market: MarketData<f64>, n_engines: usize) -> Result<Self, MultiEngineError> {
-        Self::with_config(market, EngineVariant::Vectorised.config(), Device::alveo_u280(), n_engines)
+        Self::with_config(
+            market,
+            EngineVariant::Vectorised.config(),
+            Device::alveo_u280(),
+            n_engines,
+        )
     }
 
     /// Deploy with an explicit configuration and device.
@@ -136,7 +171,8 @@ impl MultiEngine {
         if n_engines == 0 {
             return Err(MultiEngineError::NoEngines);
         }
-        let max = device.max_instances(engine_resource_usage(&config, market.hazard.len())) as usize;
+        let max =
+            device.max_instances(engine_resource_usage(&config, market.hazard.len())) as usize;
         if n_engines > max {
             return Err(MultiEngineError::DoesNotFit { requested: n_engines, max });
         }
@@ -160,7 +196,7 @@ impl MultiEngine {
 
     /// Contention-adjusted speedup over one engine at `n` engines.
     pub fn model_speedup(n: usize) -> f64 {
-        n as f64 / (1.0 + (n.saturating_sub(1)) as f64 * MULTI_ENGINE_CONTENTION)
+        n as f64 / contention_factor(n)
     }
 
     /// Price a batch across the engines: options are split into `N`
@@ -175,20 +211,23 @@ impl MultiEngine {
                 total_seconds: 0.0,
                 options_per_second: 0.0,
                 slowest_engine_seconds: 0.0,
+                counters: Counters::default(),
             };
         }
         let chunk_size = options.len().div_ceil(n);
         let mut spreads = Vec::with_capacity(options.len());
         let mut slowest = 0.0f64;
+        let mut counters = Counters::default();
         for chunk in options.chunks(chunk_size) {
             let engine = FpgaCdsEngine::new(self.market.clone(), self.config.clone());
             let report: EngineRunReport = engine.price_batch(chunk);
             slowest = slowest.max(report.kernel_seconds);
+            counters.merge(&report.counters);
             spreads.extend(report.spreads);
         }
         // Engines run concurrently; the shared interconnect adds the
         // calibrated contention; one PCIe batch serves all engines.
-        let contention = 1.0 + (n - 1) as f64 * MULTI_ENGINE_CONTENTION;
+        let contention = contention_factor(n);
         let transfer = self.config.pcie.option_batch_seconds(options.len() as u64);
         let total_seconds = slowest * contention + transfer;
         MultiEngineReport {
@@ -197,6 +236,7 @@ impl MultiEngine {
             options_per_second: options.len() as f64 / total_seconds,
             slowest_engine_seconds: slowest,
             spreads,
+            counters,
         }
     }
 }
@@ -245,8 +285,8 @@ impl MultiEngine {
         let processes = g.process_count();
         let mut sim = EventSim::new(g);
         let report = sim.run().expect("multi-engine CDS graph must not deadlock");
-        let kernel = report.total_cycles
-            + self.config.region_cost.invocation_overhead(processes / n.max(1));
+        let kernel =
+            report.total_cycles + self.config.region_cost.invocation_overhead(processes / n.max(1));
         let curve_load = self
             .config
             .memory
@@ -258,16 +298,18 @@ impl MultiEngine {
             assert_eq!(collected.len(), expected);
             spreads.extend(collected.into_iter().map(|tok| tok.spread_bps));
         }
-        let contention = 1.0 + (n - 1) as f64 * MULTI_ENGINE_CONTENTION;
+        let contention = contention_factor(n);
         let kernel_seconds = self.config.clock.seconds(kernel + curve_load);
         let transfer = self.config.pcie.option_batch_seconds(options.len() as u64);
         let total_seconds = kernel_seconds * contention + transfer;
+        let trace = self.config.trace.clone().unwrap_or_default();
         MultiEngineReport {
             engines: n,
             total_seconds,
             options_per_second: options.len() as f64 / total_seconds,
             slowest_engine_seconds: kernel_seconds,
             spreads,
+            counters: Counters::from_run(&trace, &report),
         }
     }
 
@@ -284,11 +326,12 @@ impl MultiEngine {
             return self.price_batch(options);
         }
         let chunk_size = options.len().div_ceil(n);
-        let contention = 1.0 + (n - 1) as f64 * MULTI_ENGINE_CONTENTION;
+        let contention = contention_factor(n);
         let mut spreads = Vec::with_capacity(options.len());
         let mut in_done = 0.0f64;
         let mut slowest = 0.0f64;
         let mut makespan = 0.0f64;
+        let mut counters = Counters::default();
         for chunk in options.chunks(chunk_size) {
             let engine = FpgaCdsEngine::new(self.market.clone(), self.config.clone());
             let report = engine.price_batch(chunk);
@@ -297,6 +340,7 @@ impl MultiEngine {
             let out = self.config.pcie.transfer_seconds(chunk.len() as u64 * 8);
             makespan = makespan.max(compute_done) + out;
             slowest = slowest.max(report.kernel_seconds);
+            counters.merge(&report.counters);
             spreads.extend(report.spreads);
         }
         MultiEngineReport {
@@ -305,6 +349,7 @@ impl MultiEngine {
             options_per_second: options.len() as f64 / makespan,
             slowest_engine_seconds: slowest,
             spreads,
+            counters,
         }
     }
 }
@@ -362,20 +407,24 @@ mod tests {
         let r5 = MultiEngine::new(market.clone(), 5).unwrap().price_batch(&options);
         let speedup = r5.options_per_second / r1.options_per_second;
         let model = MultiEngine::model_speedup(5) / MultiEngine::model_speedup(1);
-        assert!(
-            (speedup - model).abs() / model < 0.10,
-            "speedup {speedup} vs model {model}"
-        );
+        assert!((speedup - model).abs() / model < 0.10, "speedup {speedup} vs model {model}");
     }
 
     #[test]
     fn model_speedup_fits_paper_points() {
         // Paper: 53763.86/27675.67 = 1.943 at n=2; 114115.92/27675.67 =
-        // 4.124 at n=5.
+        // 4.124 at n=5. The two contention coefficients are the exact
+        // two-point fit, so both must reproduce within 1%.
         let s2 = MultiEngine::model_speedup(2);
         let s5 = MultiEngine::model_speedup(5);
-        assert!((s2 - 1.943).abs() < 0.06, "s2 {s2}");
-        assert!((s5 - 4.124).abs() < 0.12, "s5 {s5}");
+        assert!((s2 - 1.943).abs() / 1.943 < 0.01, "s2 {s2}");
+        assert!((s5 - 4.124).abs() / 4.124 < 0.01, "s5 {s5}");
+        // Sanity at the untuned points: monotone and below linear.
+        assert_eq!(MultiEngine::model_speedup(1), 1.0);
+        let s3 = MultiEngine::model_speedup(3);
+        let s4 = MultiEngine::model_speedup(4);
+        assert!(s2 < s3 && s3 < s4 && s4 < s5);
+        assert!(s3 < 3.0 && s4 < 4.0);
     }
 
     #[test]

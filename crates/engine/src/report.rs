@@ -2,6 +2,7 @@
 //! options/second metric.
 
 use crate::config::{EngineConfig, EngineVariant};
+use dataflow_sim::trace::Counters;
 use dataflow_sim::Cycle;
 
 /// Outcome of pricing one batch of options on an engine.
@@ -25,6 +26,10 @@ pub struct EngineRunReport {
     pub total_seconds: f64,
     /// The paper's headline metric.
     pub options_per_second: f64,
+    /// Run telemetry: per-process busy/stall split (populated when the
+    /// config carries a trace recorder), stream occupancy high-water,
+    /// backpressure events and region restarts.
+    pub counters: Counters,
 }
 
 impl EngineRunReport {
@@ -34,6 +39,23 @@ impl EngineRunReport {
         spreads: Vec<f64>,
         kernel_cycles: Cycle,
         curve_load_cycles: Cycle,
+    ) -> Self {
+        Self::from_cycles_with_counters(
+            config,
+            spreads,
+            kernel_cycles,
+            curve_load_cycles,
+            Counters::default(),
+        )
+    }
+
+    /// As [`EngineRunReport::from_cycles`], carrying the run's telemetry.
+    pub fn from_cycles_with_counters(
+        config: &EngineConfig,
+        spreads: Vec<f64>,
+        kernel_cycles: Cycle,
+        curve_load_cycles: Cycle,
+        counters: Counters,
     ) -> Self {
         let options = spreads.len() as u64;
         let kernel_seconds = config.clock.seconds(kernel_cycles + curve_load_cycles);
@@ -52,6 +74,7 @@ impl EngineRunReport {
             } else {
                 0.0
             },
+            counters,
         }
     }
 

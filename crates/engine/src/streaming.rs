@@ -15,6 +15,7 @@ use crate::variants::dataflow::build_graph_with_arrivals;
 use cds_quant::option::{CdsOption, MarketData};
 use dataflow_sim::event_sim::EventSim;
 use dataflow_sim::region::RegionMode;
+use dataflow_sim::trace::Counters;
 use dataflow_sim::Cycle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +36,9 @@ pub struct StreamingReport {
     pub options_per_second: f64,
     /// Spreads, in option order.
     pub spreads: Vec<f64>,
+    /// Run telemetry (occupancy high-water, backpressure events, and —
+    /// when tracing is enabled — per-stage busy/stall cycles).
+    pub counters: Counters,
 }
 
 impl StreamingReport {
@@ -101,7 +105,11 @@ pub fn run_streaming(
     options: &[CdsOption],
     arrivals: &[Cycle],
 ) -> StreamingReport {
-    assert_eq!(config.region_mode, RegionMode::Continuous, "streaming requires the continuous region");
+    assert_eq!(
+        config.region_mode,
+        RegionMode::Continuous,
+        "streaming requires the continuous region"
+    );
     assert_eq!(options.len(), arrivals.len());
     let (g, sink) = build_graph_with_arrivals(market, config, options, 0, Some(arrivals));
     let mut sim = EventSim::new(g);
@@ -124,6 +132,8 @@ pub fn run_streaming(
         latencies[idx]
     };
     let span_seconds = config.clock.seconds(report.total_cycles);
+    let trace = config.trace.clone().unwrap_or_default();
+    let counters = Counters::from_run(&trace, &report);
     StreamingReport {
         p50_cycles: pct(0.50),
         p99_cycles: pct(0.99),
@@ -135,6 +145,7 @@ pub fn run_streaming(
         },
         spans,
         spreads,
+        counters,
     }
 }
 
@@ -231,25 +242,25 @@ mod tests {
         let lone = run_streaming(market(), &config, &opts[..1], &[0]);
         let fill = lone.p50_cycles as f64;
 
-        // Moderate load: ρ = 0.6.
+        // Moderate load: ρ = 0.6. The P-K formula is an asymptotic mean
+        // and queue waits are heavy-tailed at this load, so one finite
+        // run of 200 arrivals is noisy — pool several seeds before
+        // comparing.
         let lambda = 0.6 / service_ii;
         let rate_per_s = lambda * config.clock.hz;
-        let arrivals = poisson_arrivals(&config, rate_per_s, n, 17);
-        let report = run_streaming(market(), &config, &opts, &arrivals);
-        let mean_sim = report
-            .spans
-            .iter()
-            .map(|&(a, d)| (d - a) as f64)
-            .sum::<f64>()
-            / n as f64;
+        let mut latency_sum = 0.0;
+        let mut samples = 0usize;
+        for seed in [11, 13, 17, 19, 23] {
+            let arrivals = poisson_arrivals(&config, rate_per_s, n, seed);
+            let report = run_streaming(market(), &config, &opts, &arrivals);
+            latency_sum += report.spans.iter().map(|&(a, d)| (d - a) as f64).sum::<f64>();
+            samples += n;
+        }
+        let mean_sim = latency_sum / samples as f64;
         let mean_theory =
             md1_mean_sojourn_cycles(lambda, service_ii, fill).expect("below saturation");
         let err = (mean_sim - mean_theory).abs() / mean_theory;
-        assert!(
-            err < 0.30,
-            "DES mean {mean_sim} vs M/D/1 {mean_theory} ({:.0}% off)",
-            err * 100.0
-        );
+        assert!(err < 0.30, "DES mean {mean_sim} vs M/D/1 {mean_theory} ({:.0}% off)", err * 100.0);
     }
 
     #[test]
@@ -277,6 +288,24 @@ mod tests {
             let golden = pricer.price(o).spread_bps;
             assert!((s - golden).abs() < 1e-7 * (1.0 + golden), "{s} vs {golden}");
         }
+    }
+
+    #[test]
+    fn overload_orders_percentiles_and_records_backpressure() {
+        // Offered load far above capacity: the input FIFOs fill, rejected
+        // pushes register as backpressure, and the latency percentiles
+        // must be coherent (p50 ≤ p99 ≤ max).
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(48);
+        let arrivals = poisson_arrivals(&config, 200_000.0, 48, 3);
+        let report = run_streaming(market(), &config, &opts, &arrivals);
+        assert!(report.p50_cycles <= report.p99_cycles, "p50 > p99");
+        assert!(report.p99_cycles <= report.max_cycles, "p99 > max");
+        assert!(
+            report.counters.backpressure_events > 0,
+            "overload must produce backpressure events"
+        );
+        assert!(report.counters.stream_occupancy_high_water > 0);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use dataflow_sim::prelude::*;
 use dataflow_sim::region::RegionMode;
 use dataflow_sim::stages::SinkHandle;
 use dataflow_sim::stream::StreamReceiver;
+use dataflow_sim::trace::{Counters, TraceRecorder};
 use std::rc::Rc;
 
 /// Latency of the short arithmetic in the per-point calculation stages.
@@ -63,25 +64,57 @@ pub fn run(
             let mut sim = EventSim::new(g);
             let report = sim.run().expect("CDS dataflow graph must not deadlock");
             let kernel = report.total_cycles
-                + config.region_cost.batch_overhead(RegionMode::Continuous, options.len() as u64, processes);
-            EngineRunReport::from_cycles(config, collect_spreads(&sink, options.len()), kernel, curve_load)
+                + config.region_cost.batch_overhead(
+                    RegionMode::Continuous,
+                    options.len() as u64,
+                    processes,
+                );
+            let trace = config.trace.clone().unwrap_or_default();
+            let counters = Counters::from_run(&trace, &report);
+            EngineRunReport::from_cycles_with_counters(
+                config,
+                collect_spreads(&sink, options.len()),
+                kernel,
+                curve_load,
+                counters,
+            )
         }
         RegionMode::PerOption => {
             // "The dataflow region shuts-down and restarts between
             // options": each option is a fresh invocation paying the
             // restart overhead, and the pipelines fill and drain anew.
+            // Telemetry note: when tracing is enabled, each invocation
+            // records into a fresh recorder (spans of different
+            // invocations all start at cycle 0 and would otherwise
+            // overlap); the merged busy/stall totals land in the report's
+            // counters rather than in the caller's recorder.
             let mut spreads = Vec::with_capacity(options.len());
             let mut kernel: Cycle = 0;
+            let mut counters = Counters::default();
             for (idx, option) in options.iter().enumerate() {
-                let (g, sink) =
-                    build_graph(market.clone(), config, std::slice::from_ref(option), idx as u32);
+                let run_trace = TraceRecorder::new();
+                let run_config = config.trace.as_ref().map(|_| {
+                    let mut c = config.clone();
+                    c.trace = Some(run_trace.clone());
+                    c
+                });
+                let (g, sink) = build_graph(
+                    market.clone(),
+                    run_config.as_ref().unwrap_or(config),
+                    std::slice::from_ref(option),
+                    idx as u32,
+                );
                 let processes = g.process_count();
                 let mut sim = EventSim::new(g);
                 let report = sim.run().expect("CDS dataflow graph must not deadlock");
                 kernel += report.total_cycles + config.region_cost.invocation_overhead(processes);
+                counters.merge(&Counters::from_run(&run_trace, &report));
                 spreads.extend(collect_spreads(&sink, 1));
             }
-            EngineRunReport::from_cycles(config, spreads, kernel, curve_load)
+            counters.region_restarts = (options.len() as u64).saturating_sub(1);
+            EngineRunReport::from_cycles_with_counters(
+                config, spreads, kernel, curve_load, counters,
+            )
         }
     }
 }
@@ -162,13 +195,23 @@ pub fn build_graph_into(
         .collect();
     match arrivals {
         None => {
-            g.add(SourceStage::new(format!("{prefix}option-in"), option_toks, Cost::new(1, 1), tx_opts));
+            g.add(SourceStage::new(
+                format!("{prefix}option-in"),
+                option_toks,
+                Cost::new(1, 1),
+                tx_opts,
+            ));
         }
         Some(cycles) => {
             assert_eq!(cycles.len(), option_toks.len(), "one arrival per option");
             let schedule: Vec<(OptionTok, Cycle)> =
                 option_toks.into_iter().zip(cycles.iter().copied()).collect();
-            g.add(dataflow_sim::stages::TimedSourceStage::new(format!("{prefix}option-in"), schedule, 1, tx_opts));
+            g.add(dataflow_sim::stages::TimedSourceStage::new(
+                format!("{prefix}option-in"),
+                schedule,
+                1,
+                tx_opts,
+            ));
         }
     }
 
@@ -180,13 +223,19 @@ pub fn build_graph_into(
     // term of the same point emerges from the long hazard/interpolation
     // pipelines; its FIFO must cover the replica count plus that lag or
     // it throttles the in-flight window below `V` and starves replicas.
-    let hd_depth = config
-        .accrual_fifo_depth
-        .unwrap_or_else(|| depth.max(4 * config.vector_factor.max(1) + 8));
+    let hd_depth =
+        config.accrual_fifo_depth.unwrap_or_else(|| depth.max(4 * config.vector_factor.max(1) + 8));
     let (tx_hd, rx_hd) = g.stream::<Tok>(format!("{prefix}half_delta"), hd_depth);
     let (tx_meta, rx_meta) = g.stream::<Tok>(format!("{prefix}recovery_meta"), depth.max(8));
     g.add(TimePointGen::new(
-        format!("{prefix}time-points"), rx_opts, tx_haz, tx_t, tx_mid, tx_hd, tx_meta, n_opts,
+        format!("{prefix}time-points"),
+        rx_opts,
+        tx_haz,
+        tx_t,
+        tx_mid,
+        tx_hd,
+        tx_meta,
+        n_opts,
     ));
 
     // Scan costs per time point: full static-bound table scan, adjusted
@@ -229,10 +278,7 @@ pub fn build_graph_into(
                         (-integral).exp()
                     }
                 };
-                (
-                    Tok::new(tp.opt_idx, survival, tp.last),
-                    Cost::new(haz_ii, haz_ii + hazard_tail),
-                )
+                (Tok::new(tp.opt_idx, survival, tp.last), Cost::new(haz_ii, haz_ii + hazard_tail))
             },
         )
     };
@@ -308,7 +354,10 @@ pub fn build_graph_into(
         tx_pay,
         Some(total_points),
         |xs: &[Tok]| {
-            (Tok::new(xs[0].opt_idx, xs[1].value * xs[0].value, xs[0].last), Cost::new(1, CALC_LATENCY))
+            (
+                Tok::new(xs[0].opt_idx, xs[1].value * xs[0].value, xs[0].last),
+                Cost::new(1, CALC_LATENCY),
+            )
         },
     ));
 
@@ -347,7 +396,10 @@ pub fn build_graph_into(
         tx_accr,
         Some(total_points),
         |xs: &[Tok]| {
-            (Tok::new(xs[0].opt_idx, xs[0].value * xs[1].value, xs[0].last), Cost::new(1, CALC_LATENCY))
+            (
+                Tok::new(xs[0].opt_idx, xs[0].value * xs[1].value, xs[0].last),
+                Cost::new(1, CALC_LATENCY),
+            )
         },
     ));
 
@@ -371,8 +423,7 @@ pub fn build_graph_into(
                 (xs[0].value, xs[1].value, xs[2].value, xs[3].value);
             let lgd = 1.0 - recovery;
             let denom = premium + accrual;
-            let spread_bps =
-                if denom > 0.0 { lgd * protection / denom * 10_000.0 } else { 0.0 };
+            let spread_bps = if denom > 0.0 { lgd * protection / denom * 10_000.0 } else { 0.0 };
             (
                 SpreadTok { opt_idx: xs[0].opt_idx, spread_bps },
                 Cost::new(1, FP_DIV_LATENCY_CYCLES + CALC_LATENCY),
@@ -542,9 +593,8 @@ mod tests {
         let market = market();
         let pricer = CdsPricer::new((*market).clone());
         // Distinct maturities so any misordering would be caught.
-        let options: Vec<CdsOption> = (1..=6)
-            .map(|i| CdsOption::new(i as f64, PaymentFrequency::Quarterly, 0.4))
-            .collect();
+        let options: Vec<CdsOption> =
+            (1..=6).map(|i| CdsOption::new(i as f64, PaymentFrequency::Quarterly, 0.4)).collect();
         let report = run(market.clone(), &EngineVariant::Vectorised.config(), &options);
         for (o, s) in options.iter().zip(&report.spreads) {
             let golden = pricer.price(o).spread_bps;

@@ -32,7 +32,11 @@ use dataflow_sim::pipeline::PipelinedLoop;
 use dataflow_sim::Cycle;
 
 /// Price a batch on the baseline engine, returning spreads and timing.
-pub fn run(market: &MarketData<f64>, config: &EngineConfig, options: &[CdsOption]) -> EngineRunReport {
+pub fn run(
+    market: &MarketData<f64>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+) -> EngineRunReport {
     let mut spreads = Vec::with_capacity(options.len());
     let mut kernel_cycles: Cycle = 0;
     let hazard_loop = PipelinedLoop::new(config.hazard_ii.ii(), FP_ADD_LATENCY_CYCLES);

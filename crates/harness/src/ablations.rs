@@ -101,7 +101,11 @@ pub fn vector_sweep(workload: &Workload, factors: &[usize]) -> Vec<VectorSweepRo
         let engine = FpgaCdsEngine::new(workload.market.clone(), config);
         let rate = engine.price_batch(&workload.options).options_per_second;
         let base_rate = *base.get_or_insert(rate);
-        rows.push(VectorSweepRow { factor: v, options_per_second: rate, speedup: rate / base_rate });
+        rows.push(VectorSweepRow {
+            factor: v,
+            options_per_second: rate,
+            speedup: rate / base_rate,
+        });
     }
     rows
 }
@@ -236,8 +240,7 @@ pub fn futurework(workload: &Workload) -> Vec<FutureWorkRow> {
     let device = Device::alveo_u280();
     let power = cds_power::FpgaPowerModel::alveo_u280_cds();
     let pricer = CdsPricer::new(workload.market.clone());
-    let reference: Vec<f64> =
-        workload.options.iter().map(|o| pricer.price(o).spread_bps).collect();
+    let reference: Vec<f64> = workload.options.iter().map(|o| pricer.price(o).spread_bps).collect();
 
     let mut rows = Vec::new();
     for (precision, label) in [
@@ -462,9 +465,7 @@ mod tests {
             rows.iter().find(|r| r.description.contains(needle)).unwrap().options_per_second
         };
         assert!(rate("baseline, II=1") > rate("baseline, II=7") * 1.5);
-        assert!(
-            rate("inter-option dataflow, II=1") > rate("inter-option dataflow, II=7") * 3.0
-        );
+        assert!(rate("inter-option dataflow, II=1") > rate("inter-option dataflow, II=7") * 3.0);
     }
 
     #[test]
@@ -494,15 +495,23 @@ mod tests {
         let inter = FpgaCdsEngine::new(wl().market.clone(), EngineVariant::InterOption.config())
             .price_batch(&wl().options)
             .options_per_second;
-        assert!(rows[0].options_per_second > 0.80 * inter, "{} vs {inter}", rows[0].options_per_second);
+        assert!(
+            rows[0].options_per_second > 0.80 * inter,
+            "{} vs {inter}",
+            rows[0].options_per_second
+        );
     }
 
     #[test]
     fn streaming_latency_grows_with_load() {
         let rows = streaming_sweep(&wl(), &[2_000.0, 100_000.0], 16);
         assert_eq!(rows.len(), 2);
-        assert!(rows[1].p99_us > rows[0].p99_us * 1.5,
-            "light p99 {} vs heavy p99 {}", rows[0].p99_us, rows[1].p99_us);
+        assert!(
+            rows[1].p99_us > rows[0].p99_us * 1.5,
+            "light p99 {} vs heavy p99 {}",
+            rows[0].p99_us,
+            rows[1].p99_us
+        );
     }
 
     #[test]

@@ -71,10 +71,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "12345".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "12345".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

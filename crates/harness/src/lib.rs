@@ -16,14 +16,21 @@
 //! | [`ablations::depth_sweep`] | stream-depth sensitivity |
 //! | [`ablations::precision`] | reduced-precision exploration (§V further work) |
 //! | [`hostcpu::host_report`] | real host-CPU engine measurement |
+//!
+//! The [`bench`] module flattens the whole ladder into one
+//! machine-readable report ([`metrics::RunMetrics`] records serialised by
+//! the hand-rolled [`json`] module) for CI regression gating.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ablations;
+pub mod bench;
 pub mod figures;
 pub mod format;
 pub mod hostcpu;
+pub mod json;
+pub mod metrics;
 pub mod tables;
 pub mod validate;
 pub mod workload;

@@ -20,10 +20,16 @@
 //!   ablation-curve      constant-data size sweep
 //!   trace               stage occupancy Gantt of the vectorised engine
 //!   host-cpu            measure the real CPU engine on this machine
+//!   bench               machine-readable benchmark ladder (BENCH.json)
 //!   all                 everything above
 //! ```
+//!
+//! `bench` additionally takes `--json PATH` (write the report),
+//! `--check BASELINE` (exit nonzero on regression against a committed
+//! baseline) and `--tolerance F` (relative gate width, default 0.10).
 
 use cds_harness::ablations;
+use cds_harness::bench;
 use cds_harness::figures;
 use cds_harness::format::{rate, ratio, render_csv, render_table};
 use cds_harness::hostcpu;
@@ -34,9 +40,12 @@ use std::path::PathBuf;
 
 struct Args {
     command: String,
-    options: usize,
+    options: Option<usize>,
     seed: u64,
     csv_dir: Option<PathBuf>,
+    json_path: Option<PathBuf>,
+    check_baseline: Option<PathBuf>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Args {
@@ -44,17 +53,21 @@ fn parse_args() -> Args {
     let command = args.next().unwrap_or_else(|| usage("missing command"));
     let mut parsed = Args {
         command,
-        options: cds_harness::DEFAULT_BATCH,
+        options: None,
         seed: cds_harness::DEFAULT_SEED,
         csv_dir: None,
+        json_path: None,
+        check_baseline: None,
+        tolerance: 0.10,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--options" => {
-                parsed.options = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage("--options needs a positive integer"));
+                parsed.options = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--options needs a positive integer")),
+                );
             }
             "--seed" => {
                 parsed.seed = args
@@ -67,6 +80,23 @@ fn parse_args() -> Args {
                     args.next().unwrap_or_else(|| usage("--csv needs a directory")),
                 ));
             }
+            "--json" => {
+                parsed.json_path = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--json needs a file path")),
+                ));
+            }
+            "--check" => {
+                parsed.check_baseline = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| usage("--check needs a baseline file")),
+                ));
+            }
+            "--tolerance" => {
+                parsed.tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| usage("--tolerance needs a fraction in [0, 1)"));
+            }
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -77,8 +107,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
-         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|all> \
-         [--options N] [--seed S] [--csv DIR]"
+         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|all> \
+         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F]"
     );
     std::process::exit(2);
 }
@@ -101,7 +131,12 @@ fn cmd_table1(w: &Workload, csv: &Option<PathBuf>) {
         .rows
         .iter()
         .map(|r| {
-            vec![r.description.clone(), rate(r.measured), rate(r.paper), ratio(r.measured / r.paper)]
+            vec![
+                r.description.clone(),
+                rate(r.measured),
+                rate(r.paper),
+                ratio(r.measured / r.paper),
+            ]
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
@@ -198,10 +233,8 @@ fn cmd_ii(w: &Workload, csv: &Option<PathBuf>) {
     println!("== Hazard accumulation II ablation ==\n");
     let rows_data = ablations::ii_sweep(w);
     let headers = ["Engine", "Options/s"];
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| vec![r.description.clone(), rate(r.options_per_second)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        rows_data.iter().map(|r| vec![r.description.clone(), rate(r.options_per_second)]).collect();
     println!("{}", render_table(&headers, &rows));
     write_csv(csv, "ablation_ii.csv", &headers, &rows);
 }
@@ -210,10 +243,8 @@ fn cmd_depth(w: &Workload, csv: &Option<PathBuf>) {
     println!("== Stream depth sweep (vectorised engine) ==\n");
     let rows_data = ablations::depth_sweep(w, &[1, 2, 4, 8, 16, 32]);
     let headers = ["FIFO depth", "Options/s"];
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| vec![r.depth.to_string(), rate(r.options_per_second)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        rows_data.iter().map(|r| vec![r.depth.to_string(), rate(r.options_per_second)]).collect();
     println!("{}", render_table(&headers, &rows));
     write_csv(csv, "ablation_depth.csv", &headers, &rows);
 }
@@ -297,10 +328,8 @@ fn cmd_curvesize(w: &Workload, csv: &Option<PathBuf>) {
     let n = w.len().min(64);
     let rows_data = ablations::curve_size_sweep(w.seed, n, &[256, 512, 1024, 2048, 4096]);
     let headers = ["Curve knots", "Options/s"];
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| vec![r.knots.to_string(), rate(r.options_per_second)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        rows_data.iter().map(|r| vec![r.knots.to_string(), rate(r.options_per_second)]).collect();
     println!("{}", render_table(&headers, &rows));
     println!("(steady state is one full table scan per time point: throughput ~ 1/knots)\n");
     write_csv(csv, "curve_size.csv", &headers, &rows);
@@ -364,9 +393,71 @@ fn cmd_hostcpu(w: &Workload, csv: &Option<PathBuf>) {
     write_csv(csv, "host_cpu.csv", &headers, &rows);
 }
 
+fn cmd_bench(args: &Args) {
+    let batch = args.options.unwrap_or(bench::DEFAULT_BENCH_BATCH);
+    println!("== Machine-readable benchmark ladder (seed {}, batch {batch}) ==\n", args.seed);
+    let report = bench::run(args.seed, batch);
+    let headers = ["Metric", "Backend", "Options/s", "p99 (us)", "Util", "Backpressure"];
+    let rows: Vec<Vec<String>> = report
+        .metrics
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.backend.clone(),
+                rate(m.options_per_second),
+                if m.p99_latency_us > 0.0 {
+                    format!("{:.1}", m.p99_latency_us)
+                } else {
+                    "-".to_string()
+                },
+                if m.mean_utilisation > 0.0 {
+                    format!("{:.2}", m.mean_utilisation)
+                } else {
+                    "-".to_string()
+                },
+                m.backpressure_events.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    if let Some(path) = &args.json_path {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create bench output dir");
+        }
+        std::fs::write(path, report.pretty()).expect("write bench json");
+        println!("[bench report written to {}]", path.display());
+    }
+    if let Some(baseline_path) = &args.check_baseline {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        });
+        let baseline = bench::BenchReport::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: malformed baseline {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        });
+        let problems = bench::compare(&baseline, &report, args.tolerance);
+        if problems.is_empty() {
+            println!(
+                "check against {}: PASS ({} metrics within {:.0}%)",
+                baseline_path.display(),
+                baseline.metrics.len(),
+                args.tolerance * 100.0
+            );
+        } else {
+            eprintln!("check against {}: FAIL", baseline_path.display());
+            for p in &problems {
+                eprintln!("  regression: {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let workload = Workload::paper(args.seed, args.options);
+    let workload = Workload::paper(args.seed, args.options.unwrap_or(cds_harness::DEFAULT_BATCH));
     match args.command.as_str() {
         "table1" => cmd_table1(&workload, &args.csv_dir),
         "table2" => cmd_table2(&workload, &args.csv_dir),
@@ -377,7 +468,11 @@ fn main() {
         "ablation-vector" => cmd_vector(&workload, &args.csv_dir),
         "ablation-ii" => cmd_ii(&workload, &args.csv_dir),
         "ablation-depth" => cmd_depth(&workload, &args.csv_dir),
-        "ablation-precision" => cmd_precision(args.seed, args.options, &args.csv_dir),
+        "ablation-precision" => cmd_precision(
+            args.seed,
+            args.options.unwrap_or(cds_harness::DEFAULT_BATCH),
+            &args.csv_dir,
+        ),
         "fit" => cmd_fit(&workload),
         "trace" => cmd_trace(&workload),
         "futurework" => cmd_futurework(&workload, &args.csv_dir),
@@ -386,6 +481,7 @@ fn main() {
         "ablation-curve" => cmd_curvesize(&workload, &args.csv_dir),
         "ablation-restart" => cmd_restart(&workload, &args.csv_dir),
         "host-cpu" => cmd_hostcpu(&workload, &args.csv_dir),
+        "bench" => cmd_bench(&args),
         "all" => {
             if let Some(dir) = &args.csv_dir {
                 std::fs::create_dir_all(dir).expect("create artifact dir");
@@ -402,7 +498,11 @@ fn main() {
             cmd_vector(&workload, &args.csv_dir);
             cmd_ii(&workload, &args.csv_dir);
             cmd_depth(&workload, &args.csv_dir);
-            cmd_precision(args.seed, args.options, &args.csv_dir);
+            cmd_precision(
+                args.seed,
+                args.options.unwrap_or(cds_harness::DEFAULT_BATCH),
+                &args.csv_dir,
+            );
             cmd_fit(&workload);
             cmd_futurework(&workload, &args.csv_dir);
             cmd_streaming(&workload, &args.csv_dir);
@@ -411,6 +511,7 @@ fn main() {
             cmd_validate(&workload);
             cmd_trace(&workload);
             cmd_hostcpu(&workload, &args.csv_dir);
+            cmd_bench(&args);
         }
         other => usage(&format!("unknown command {other}")),
     }

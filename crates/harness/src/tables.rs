@@ -154,9 +154,8 @@ mod tests {
         assert_eq!(t.rows.len(), 5);
         // Paper ordering of wins: baseline < CPU core < optimised <
         // inter-option < vectorised.
-        let rate = |needle: &str| {
-            t.rows.iter().find(|r| r.description.contains(needle)).unwrap().measured
-        };
+        let rate =
+            |needle: &str| t.rows.iter().find(|r| r.description.contains(needle)).unwrap().measured;
         assert!(rate("Xilinx") < rate("CPU core"));
         assert!(rate("CPU core") > rate("Optimised"));
         assert!(rate("Optimised") < rate("inter-options"));
@@ -181,7 +180,11 @@ mod tests {
     fn table2_headline_ratios() {
         let t = table2(&small_workload());
         assert_eq!(t.rows.len(), 4);
-        assert!((1.2..1.8).contains(&t.fpga_vs_cpu_performance()), "{}", t.fpga_vs_cpu_performance());
+        assert!(
+            (1.2..1.8).contains(&t.fpga_vs_cpu_performance()),
+            "{}",
+            t.fpga_vs_cpu_performance()
+        );
         assert!((4.2..5.2).contains(&t.power_ratio()), "{}", t.power_ratio());
         assert!((5.5..8.5).contains(&t.efficiency_ratio()), "{}", t.efficiency_ratio());
     }
@@ -191,7 +194,13 @@ mod tests {
         let t = table2(&small_workload());
         for row in &t.rows {
             let (_, p_watts, _) = row.paper;
-            assert!((row.watts - p_watts).abs() / p_watts < 0.02, "{}: {} vs {}", row.description, row.watts, p_watts);
+            assert!(
+                (row.watts - p_watts).abs() / p_watts < 0.02,
+                "{}: {} vs {}",
+                row.description,
+                row.watts,
+                p_watts
+            );
         }
     }
 }

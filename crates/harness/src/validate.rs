@@ -149,14 +149,16 @@ fn des_vs_queueing_theory(workload: &Workload) -> Check {
     let lambda = 0.6 / service_ii;
     let arrivals = poisson_arrivals(&config, lambda * config.clock.hz, n, workload.seed);
     let report = run_streaming(market, &config, &options, &arrivals);
-    let mean_sim =
-        report.spans.iter().map(|&(a, d)| (d - a) as f64).sum::<f64>() / n as f64;
+    let mean_sim = report.spans.iter().map(|&(a, d)| (d - a) as f64).sum::<f64>() / n as f64;
     let theory = md1_mean_sojourn_cycles(lambda, service_ii, fill).expect("below saturation");
     let err = (mean_sim - theory).abs() / theory;
     Check {
         name: "streaming DES ≡ M/D/1 queueing theory".into(),
         passed: err < 0.30,
-        detail: format!("mean sojourn {mean_sim:.0} vs P-K formula {theory:.0} cycles ({:.0}% off)", err * 100.0),
+        detail: format!(
+            "mean sojourn {mean_sim:.0} vs P-K formula {theory:.0} cycles ({:.0}% off)",
+            err * 100.0
+        ),
     }
 }
 

@@ -71,11 +71,7 @@ mod tests {
     fn table2_efficiency_reproduced_from_paper_numbers() {
         // Using the paper's own measured rates, our fitted power models
         // must reproduce its options/Watt column.
-        let cases = [
-            (27675.67, 1u32, 771.77),
-            (53763.86, 2, 1502.20),
-            (114115.92, 5, 3052.86),
-        ];
+        let cases = [(27675.67, 1u32, 771.77), (53763.86, 2, 1502.20), (114115.92, 5, 3052.86)];
         let fpga = FpgaPowerModel::alveo_u280_cds();
         for (rate, engines, expect) in cases {
             let got = options_per_watt(rate, fpga.watts(engines));

@@ -166,8 +166,7 @@ pub fn imm_schedule(
 ) -> Result<(Date, PaymentSchedule<f64>), QuantError> {
     let maturity = imm_maturity(trade, tenor_years);
     let dates = imm_payment_dates(trade, &maturity);
-    let points: Vec<f64> =
-        dates.iter().map(|d| trade.year_fraction_until(d, daycount)).collect();
+    let points: Vec<f64> = dates.iter().map(|d| trade.year_fraction_until(d, daycount)).collect();
     let schedule = PaymentSchedule::from_points(points)?;
     Ok((maturity, schedule))
 }
@@ -243,20 +242,13 @@ mod tests {
         let dates = imm_payment_dates(&d(2026, 7, 5), &d(2027, 9, 20));
         assert_eq!(
             dates,
-            vec![
-                d(2026, 9, 20),
-                d(2026, 12, 20),
-                d(2027, 3, 20),
-                d(2027, 6, 20),
-                d(2027, 9, 20)
-            ]
+            vec![d(2026, 9, 20), d(2026, 12, 20), d(2027, 3, 20), d(2027, 6, 20), d(2027, 9, 20)]
         );
     }
 
     #[test]
     fn dated_schedule_bridges_to_engine_inputs() {
-        let (maturity, schedule) =
-            imm_schedule(&d(2026, 7, 5), 5, DayCount::Act365Fixed).unwrap();
+        let (maturity, schedule) = imm_schedule(&d(2026, 7, 5), 5, DayCount::Act365Fixed).unwrap();
         assert_eq!(maturity, d(2031, 9, 20));
         // 21 quarterly payments from Sep-2026 to Sep-2031.
         assert_eq!(schedule.len(), 21);

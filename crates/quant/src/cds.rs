@@ -266,9 +266,7 @@ mod tests {
         let market = flat_market(0.02, 0.02);
         let lo_rec = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.20);
         let hi_rec = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.60);
-        assert!(
-            price_cds(&market, &lo_rec).spread_bps > price_cds(&market, &hi_rec).spread_bps
-        );
+        assert!(price_cds(&market, &lo_rec).spread_bps > price_cds(&market, &hi_rec).spread_bps);
     }
 
     #[test]
@@ -345,7 +343,11 @@ mod tests {
         // extends to the roll after trade+5y).
         let synthetic = price_cds(
             &market,
-            &CdsOption::new(schedule.points().last().copied().unwrap(), PaymentFrequency::Quarterly, 0.40),
+            &CdsOption::new(
+                schedule.points().last().copied().unwrap(),
+                PaymentFrequency::Quarterly,
+                0.40,
+            ),
         );
         let rel = (dated.spread_bps - synthetic.spread_bps).abs() / synthetic.spread_bps;
         assert!(rel < 0.01, "dated {} vs synthetic {}", dated.spread_bps, synthetic.spread_bps);

@@ -88,10 +88,7 @@ impl<F: CdsFloat> Curve<F> {
     pub fn flat(value: F, n: usize, horizon: F) -> Self {
         assert!(n >= 2, "flat curve needs at least 2 points");
         let points = (1..=n)
-            .map(|i| CurvePoint {
-                tenor: horizon * F::from_usize(i) / F::from_usize(n),
-                value,
-            })
+            .map(|i| CurvePoint { tenor: horizon * F::from_usize(i) / F::from_usize(n), value })
             .collect();
         Curve::new(points).expect("flat curve construction is always valid")
     }

@@ -110,7 +110,13 @@ impl<'a, F: CdsFloat> Interpolator<'a, F> {
         } else if self.pos == self.xs.len() {
             self.ys[self.ys.len() - 1]
         } else {
-            segment(self.xs[self.pos - 1], self.xs[self.pos], self.ys[self.pos - 1], self.ys[self.pos], x)
+            segment(
+                self.xs[self.pos - 1],
+                self.xs[self.pos],
+                self.ys[self.pos - 1],
+                self.ys[self.pos],
+                x,
+            )
         };
         (v, advanced)
     }
@@ -209,23 +215,24 @@ mod proptests {
 
     fn table() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
         // Strictly increasing xs built from positive gaps; bounded ys.
-        (2usize..64).prop_flat_map(|n| {
-            (
-                proptest::collection::vec(0.01f64..1.0, n),
-                proptest::collection::vec(-5.0f64..5.0, n),
-            )
-        })
-        .prop_map(|(gaps, ys)| {
-            let mut acc = 0.0;
-            let xs = gaps
-                .iter()
-                .map(|g| {
-                    acc += g;
-                    acc
-                })
-                .collect::<Vec<_>>();
-            (xs, ys)
-        })
+        (2usize..64)
+            .prop_flat_map(|n| {
+                (
+                    proptest::collection::vec(0.01f64..1.0, n),
+                    proptest::collection::vec(-5.0f64..5.0, n),
+                )
+            })
+            .prop_map(|(gaps, ys)| {
+                let mut acc = 0.0;
+                let xs = gaps
+                    .iter()
+                    .map(|g| {
+                        acc += g;
+                        acc
+                    })
+                    .collect::<Vec<_>>();
+                (xs, ys)
+            })
     }
 
     proptest! {

@@ -55,12 +55,16 @@ pub mod schedule;
 pub mod prelude {
     pub use crate::bootstrap::{bootstrap_hazard, BootstrapResult, CdsQuote};
     pub use crate::calendar::{imm_schedule, Date};
-    pub use crate::cds::{price_cds, price_cds_generic, price_cds_with_schedule, CdsPricer, SpreadResult};
+    pub use crate::cds::{
+        price_cds, price_cds_generic, price_cds_with_schedule, CdsPricer, SpreadResult,
+    };
     pub use crate::curve::{Curve, CurvePoint};
     pub use crate::daycount::YearFraction;
     pub use crate::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
     pub use crate::precision::CdsFloat;
-    pub use crate::risk::{mark_to_market, sensitivities, spread_ladder, MarkToMarket, Sensitivities};
+    pub use crate::risk::{
+        mark_to_market, sensitivities, spread_ladder, MarkToMarket, Sensitivities,
+    };
     pub use crate::schedule::PaymentSchedule;
 }
 

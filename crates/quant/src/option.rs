@@ -63,8 +63,7 @@ impl CdsOption {
     /// Construct an option; panics on out-of-domain parameters (use
     /// [`CdsOption::validated`] for fallible construction).
     pub fn new(maturity: f64, frequency: PaymentFrequency, recovery_rate: f64) -> Self {
-        Self::validated(maturity, frequency, recovery_rate)
-            .expect("invalid CDS option parameters")
+        Self::validated(maturity, frequency, recovery_rate).expect("invalid CDS option parameters")
     }
 
     /// Fallible construction with domain validation.
@@ -74,7 +73,9 @@ impl CdsOption {
         recovery_rate: f64,
     ) -> Result<Self, QuantError> {
         if maturity <= 0.0 || !maturity.is_finite() {
-            return Err(QuantError::InvalidOption { reason: "maturity must be positive and finite" });
+            return Err(QuantError::InvalidOption {
+                reason: "maturity must be positive and finite",
+            });
         }
         if !(0.0..1.0).contains(&recovery_rate) {
             return Err(QuantError::InvalidOption { reason: "recovery rate must lie in [0, 1)" });
@@ -219,7 +220,12 @@ impl PortfolioGenerator {
     /// all options share maturity and frequency so per-option work is
     /// uniform (6y quarterly, the configuration whose time-point count
     /// reproduces the paper's baseline throughput).
-    pub fn uniform(n: usize, maturity: f64, frequency: PaymentFrequency, recovery: f64) -> Vec<CdsOption> {
+    pub fn uniform(
+        n: usize,
+        maturity: f64,
+        frequency: PaymentFrequency,
+        recovery: f64,
+    ) -> Vec<CdsOption> {
         (0..n).map(|_| CdsOption::new(maturity, frequency, recovery)).collect()
     }
 }

@@ -89,10 +89,7 @@ pub fn sensitivities(
     };
     let ir01 = mark_to_market(&rates_up, option, contract_spread_bps).value_per_notional - base;
 
-    let rec_up = CdsOption {
-        recovery_rate: (option.recovery_rate + 0.01).min(0.999),
-        ..*option
-    };
+    let rec_up = CdsOption { recovery_rate: (option.recovery_rate + 0.01).min(0.999), ..*option };
     let rec01 = mark_to_market(market, &rec_up, contract_spread_bps).value_per_notional - base;
 
     Sensitivities { cs01, ir01, rec01 }
@@ -178,11 +175,7 @@ mod tests {
         let mtm = mark_to_market(&m, &o, 100.0);
         let s = sensitivities(&m, &o, 100.0);
         let approx = (1.0 - o.recovery_rate) * mtm.risky_annuity * 1e-4;
-        assert!(
-            (s.cs01 - approx).abs() / approx < 0.12,
-            "cs01 {} vs approx {approx}",
-            s.cs01
-        );
+        assert!((s.cs01 - approx).abs() / approx < 0.12, "cs01 {} vs approx {approx}", s.cs01);
     }
 
     #[test]
@@ -205,7 +198,8 @@ mod tests {
     fn ladder_monotone_for_rising_hazard() {
         // The paper workload's hazard rises with tenor, so longer CDS
         // carry wider spreads.
-        let ladder = spread_ladder(&market(), &[1.0, 3.0, 5.0, 7.0], PaymentFrequency::Quarterly, 0.4);
+        let ladder =
+            spread_ladder(&market(), &[1.0, 3.0, 5.0, 7.0], PaymentFrequency::Quarterly, 0.4);
         for w in ladder.windows(2) {
             assert!(w[1].1 > w[0].1, "{:?}", ladder);
         }

@@ -24,7 +24,9 @@ impl<F: CdsFloat> PaymentSchedule<F> {
     /// maturity is not a whole number of periods.
     pub fn generate(maturity: F, payments_per_year: u32) -> Result<Self, QuantError> {
         if maturity <= F::ZERO || !maturity.is_finite() {
-            return Err(QuantError::InvalidOption { reason: "maturity must be positive and finite" });
+            return Err(QuantError::InvalidOption {
+                reason: "maturity must be positive and finite",
+            });
         }
         if payments_per_year == 0 {
             return Err(QuantError::InvalidOption { reason: "payment frequency must be positive" });
@@ -91,9 +93,7 @@ impl<F: CdsFloat> PaymentSchedule<F> {
     /// Iterate over periods as `(start, end)` pairs, starting at the
     /// valuation date.
     pub fn periods(&self) -> impl Iterator<Item = (F, F)> + '_ {
-        std::iter::once(F::ZERO)
-            .chain(self.points.iter().copied())
-            .zip(self.points.iter().copied())
+        std::iter::once(F::ZERO).chain(self.points.iter().copied()).zip(self.points.iter().copied())
     }
 
     /// Accrual period lengths `Δᵢ = tᵢ − tᵢ₋₁`.

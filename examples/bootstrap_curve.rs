@@ -14,17 +14,45 @@ fn main() {
     // A quoted CDS ladder, as a desk would see it (upward-sloping credit).
     let interest = Curve::flat(0.02, 128, 30.0);
     let quotes = vec![
-        CdsQuote { maturity: 1.0, spread_bps: 55.0, frequency: PaymentFrequency::Quarterly, recovery: 0.40 },
-        CdsQuote { maturity: 2.0, spread_bps: 72.0, frequency: PaymentFrequency::Quarterly, recovery: 0.40 },
-        CdsQuote { maturity: 3.0, spread_bps: 96.0, frequency: PaymentFrequency::Quarterly, recovery: 0.40 },
-        CdsQuote { maturity: 5.0, spread_bps: 128.0, frequency: PaymentFrequency::Quarterly, recovery: 0.40 },
-        CdsQuote { maturity: 7.0, spread_bps: 146.0, frequency: PaymentFrequency::Quarterly, recovery: 0.40 },
+        CdsQuote {
+            maturity: 1.0,
+            spread_bps: 55.0,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        },
+        CdsQuote {
+            maturity: 2.0,
+            spread_bps: 72.0,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        },
+        CdsQuote {
+            maturity: 3.0,
+            spread_bps: 96.0,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        },
+        CdsQuote {
+            maturity: 5.0,
+            spread_bps: 128.0,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        },
+        CdsQuote {
+            maturity: 7.0,
+            spread_bps: 146.0,
+            frequency: PaymentFrequency::Quarterly,
+            recovery: 0.40,
+        },
     ];
 
     let result = bootstrap_hazard(&interest, &quotes).expect("arbitrage-free ladder bootstraps");
 
     println!("bootstrapped piecewise hazard curve");
-    println!("{:>10} {:>12} {:>16} {:>12}", "maturity", "quote (bps)", "fwd hazard (%)", "iterations");
+    println!(
+        "{:>10} {:>12} {:>16} {:>12}",
+        "maturity", "quote (bps)", "fwd hazard (%)", "iterations"
+    );
     let mut prev = 0.0;
     for ((q, h), it) in quotes.iter().zip(&result.segment_hazards).zip(&result.iterations) {
         println!(
@@ -42,10 +70,8 @@ fn main() {
     // Round trip: reprice every quote off the fitted curve — on the FPGA
     // engine this time.
     let market = MarketData { interest, hazard: result.hazard.clone() };
-    let options: Vec<CdsOption> = quotes
-        .iter()
-        .map(|q| CdsOption::new(q.maturity, q.frequency, q.recovery))
-        .collect();
+    let options: Vec<CdsOption> =
+        quotes.iter().map(|q| CdsOption::new(q.maturity, q.frequency, q.recovery)).collect();
     let engine = FpgaCdsEngine::new(market, EngineVariant::Vectorised.config());
     let report = engine.price_batch(&options);
 
@@ -54,7 +80,10 @@ fn main() {
     for (q, s) in quotes.iter().zip(&report.spreads) {
         let err = (s - q.spread_bps).abs();
         worst = worst.max(err);
-        println!("  {:>4}y: quoted {:>7.2} bps, repriced {:>10.5} bps  (err {err:.2e})", q.maturity, q.spread_bps, s);
+        println!(
+            "  {:>4}y: quoted {:>7.2} bps, repriced {:>10.5} bps  (err {err:.2e})",
+            q.maturity, q.spread_bps, s
+        );
     }
     assert!(worst < 1e-5, "round trip drifted by {worst} bps");
     println!("\nround-trip error below 1e-5 bps for every quote ✓");

@@ -20,7 +20,10 @@ fn main() {
     let fixed = run_accumulator(1);
     println!("   II=7 accumulation over 64 values: {naive} cycles");
     println!("   II=1 (Listing-1) accumulation   : {fixed} cycles");
-    println!("   speedup: {:.2}x (paper: ~7x on the long hazard loop)\n", naive as f64 / fixed as f64);
+    println!(
+        "   speedup: {:.2}x (paper: ~7x on the long hazard loop)\n",
+        naive as f64 / fixed as f64
+    );
 
     println!("2. Backpressure: a slow consumer throttles the pipeline\n");
     for depth in [1usize, 2, 8] {

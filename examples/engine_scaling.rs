@@ -27,7 +27,10 @@ fn main() {
     let per_engine = engine_resource_usage(&config, market.hazard.len());
     let max = MultiEngine::max_engines(&market, &config, &device);
     println!("one vectorised engine uses:");
-    println!("  {} LUTs, {} DSPs, {} URAM blocks", per_engine.luts, per_engine.dsps, per_engine.uram);
+    println!(
+        "  {} LUTs, {} DSPs, {} URAM blocks",
+        per_engine.luts, per_engine.dsps, per_engine.uram
+    );
     println!("=> {max} engines fit on the {} (paper: five)\n", device.name);
 
     let cpu_perf = CpuPerfModel::xeon_8260m();

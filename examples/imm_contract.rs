@@ -42,8 +42,11 @@ fn main() {
     // Compare with the synthetic evenly-spaced contract of the same
     // economic length (what the throughput experiments price).
     let synthetic_maturity = *schedule.points().last().expect("non-empty schedule");
-    let synthetic = CdsPricer::new(market)
-        .price(&CdsOption::new(synthetic_maturity, PaymentFrequency::Quarterly, 0.40));
+    let synthetic = CdsPricer::new(market).price(&CdsOption::new(
+        synthetic_maturity,
+        PaymentFrequency::Quarterly,
+        0.40,
+    ));
     println!("synthetic {synthetic_maturity:.3}y equivalent  : {:.4} bps", synthetic.spread_bps);
 
     let diff_bps = (dated.spread_bps - synthetic.spread_bps).abs();

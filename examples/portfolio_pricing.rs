@@ -73,9 +73,6 @@ fn row(label: &str, rate: f64) {
 
 fn check(spreads: &[f64], reference: &[f64], label: &str) {
     for (s, r) in spreads.iter().zip(reference) {
-        assert!(
-            (s - r).abs() < 1e-6 * (1.0 + r.abs()),
-            "{label}: {s} vs reference {r}"
-        );
+        assert!((s - r).abs() < 1e-6 * (1.0 + r.abs()), "{label}: {s} vs reference {r}");
     }
 }

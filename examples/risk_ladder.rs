@@ -17,10 +17,8 @@ fn main() {
     // 1. Spread ladder across the standard maturity grid, priced on the
     //    vectorised FPGA engine.
     let grid = [1.0, 2.0, 3.0, 5.0, 7.0];
-    let ladder_options: Vec<CdsOption> = grid
-        .iter()
-        .map(|&m| CdsOption::new(m, PaymentFrequency::Quarterly, 0.40))
-        .collect();
+    let ladder_options: Vec<CdsOption> =
+        grid.iter().map(|&m| CdsOption::new(m, PaymentFrequency::Quarterly, 0.40)).collect();
     let engine = FpgaCdsEngine::new(market.clone(), EngineVariant::Vectorised.config());
     let report = engine.price_batch(&ladder_options);
 

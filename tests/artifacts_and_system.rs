@@ -126,8 +126,8 @@ fn shallow_accrual_fifo_starves_the_replicas() {
         .price_batch(&workload.options);
     let mut starved_config = EngineVariant::Vectorised.config();
     starved_config.accrual_fifo_depth = Some(2);
-    let starved = FpgaCdsEngine::new(workload.market.clone(), starved_config)
-        .price_batch(&workload.options);
+    let starved =
+        FpgaCdsEngine::new(workload.market.clone(), starved_config).price_batch(&workload.options);
     assert_eq!(healthy.spreads, starved.spreads, "numerics must be unaffected");
     let slowdown = starved.kernel_cycles as f64 / healthy.kernel_cycles as f64;
     assert!(slowdown > 1.2, "expected starvation, got slowdown {slowdown}");

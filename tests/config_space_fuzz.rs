@@ -12,9 +12,9 @@ use proptest::prelude::*;
 
 fn any_config() -> impl Strategy<Value = EngineConfig> {
     (
-        1usize..=8,              // stream depth
-        1usize..=8,              // vector factor
-        1usize..=4,              // uram ports per function
+        1usize..=8, // stream depth
+        1usize..=8, // vector factor
+        1usize..=4, // uram ports per function
         prop_oneof![Just(EnginePrecision::Double), Just(EnginePrecision::Single)],
         prop_oneof![Just(RegionMode::Continuous), Just(RegionMode::PerOption)],
         prop_oneof![Just(HazardIiMode::PartialSums), Just(HazardIiMode::DependencyChained)],

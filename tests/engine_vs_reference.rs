@@ -15,10 +15,7 @@ const TOL: f64 = 1e-7;
 fn assert_close(label: &str, got: &[f64], want: &[f64]) {
     assert_eq!(got.len(), want.len(), "{label}: length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
-        assert!(
-            (g - w).abs() < TOL * (1.0 + w.abs()),
-            "{label}[{i}]: {g} vs {w}"
-        );
+        assert!((g - w).abs() < TOL * (1.0 + w.abs()), "{label}[{i}]: {g} vs {w}");
     }
 }
 

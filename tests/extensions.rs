@@ -29,14 +29,17 @@ fn bootstrap_round_trip_through_fpga_engine() {
         .collect();
     let fitted = bootstrap_hazard(&interest, &quotes).expect("ladder bootstraps");
     let market = MarketData { interest, hazard: fitted.hazard };
-    let options: Vec<CdsOption> = quotes
-        .iter()
-        .map(|q| CdsOption::new(q.maturity, q.frequency, q.recovery))
-        .collect();
+    let options: Vec<CdsOption> =
+        quotes.iter().map(|q| CdsOption::new(q.maturity, q.frequency, q.recovery)).collect();
     let engine = FpgaCdsEngine::new(market, EngineVariant::Vectorised.config());
     let report = engine.price_batch(&options);
     for (q, s) in quotes.iter().zip(&report.spreads) {
-        assert!((s - q.spread_bps).abs() < 1e-5, "maturity {}: {s} vs {}", q.maturity, q.spread_bps);
+        assert!(
+            (s - q.spread_bps).abs() < 1e-5,
+            "maturity {}: {s} vs {}",
+            q.maturity,
+            q.spread_bps
+        );
     }
 }
 
@@ -55,7 +58,11 @@ fn streaming_saturated_throughput_matches_batch() {
     let arrivals = poisson_arrivals(&config, 500_000.0, options.len(), 1);
     let streamed = run_streaming(market, &config, &options, &arrivals);
     let ratio = streamed.options_per_second / batch_rate;
-    assert!((0.85..1.15).contains(&ratio), "streamed {} vs batch {batch_rate}", streamed.options_per_second);
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "streamed {} vs batch {batch_rate}",
+        streamed.options_per_second
+    );
 }
 
 #[test]
@@ -75,7 +82,12 @@ fn streaming_latency_hockey_stick() {
         &options,
         &poisson_arrivals(&config, 150_000.0, options.len(), 2),
     );
-    assert!(heavy.p99_cycles > 4 * light.p99_cycles, "light p99 {} heavy p99 {}", light.p99_cycles, heavy.p99_cycles);
+    assert!(
+        heavy.p99_cycles > 4 * light.p99_cycles,
+        "light p99 {} heavy p99 {}",
+        light.p99_cycles,
+        heavy.p99_cycles
+    );
     // Spreads identical regardless of arrival pattern.
     assert_eq!(light.spreads, heavy.spreads);
 }

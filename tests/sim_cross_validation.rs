@@ -17,17 +17,29 @@ fn check_agreement(config: &EngineConfig, options: &[CdsOption]) {
     let (g_cycle, sink_cycle) = build_graph(market.clone(), config, options, 0);
 
     let r_event = EventSim::new(g_event).run().expect("event sim completes");
-    let r_cycle = CycleSim::new(g_cycle)
-        .with_max_cycles(10_000_000)
-        .run()
-        .expect("cycle sim completes");
+    let r_cycle =
+        CycleSim::new(g_cycle).with_max_cycles(10_000_000).run().expect("cycle sim completes");
 
     assert_eq!(
         r_event.total_cycles, r_cycle.total_cycles,
         "completion cycle diverges for {:?}",
         config.variant
     );
-    assert_eq!(r_event.streams, r_cycle.streams, "stream stats diverge");
+    // Backpressure counts scheduler retry effort (how often a blocked
+    // producer was re-stepped), which legitimately differs between the
+    // event-driven and cycle-stepped schedulers — zero it, like
+    // `SimReport::events`, before demanding exact agreement.
+    let strip = |streams: &[dataflow_sim::graph::StreamReport]| -> Vec<_> {
+        streams
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.backpressure = 0;
+                s
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&r_event.streams), strip(&r_cycle.streams), "stream stats diverge");
     assert_eq!(sink_event.collected(), sink_cycle.collected(), "spread tokens diverge");
 }
 

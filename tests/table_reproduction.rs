@@ -49,9 +49,8 @@ fn table1_crossovers_match_paper() {
     // performance"; inter-option is "for the first time … out performing
     // the CPU core"; vectorised beats it by ~3x.
     let t = table1(&workload());
-    let rate = |needle: &str| {
-        t.rows.iter().find(|r| r.description.contains(needle)).unwrap().measured
-    };
+    let rate =
+        |needle: &str| t.rows.iter().find(|r| r.description.contains(needle)).unwrap().measured;
     let cpu = rate("CPU core");
     assert!(rate("Xilinx") < cpu);
     assert!(rate("Optimised") < cpu);

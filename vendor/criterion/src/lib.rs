@@ -1,0 +1,196 @@
+//! In-tree stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use, so `cargo bench` works offline.
+//!
+//! It is a measurement harness, not a statistics package: each benchmark
+//! runs a warm-up iteration plus `sample_size` timed iterations and
+//! prints the mean wall-clock time per iteration. `--test` (the CI smoke
+//! mode, `cargo bench -- --test`) runs every benchmark body exactly once
+//! and reports `ok` without timing. Unknown CLI flags are ignored, so
+//! whatever cargo forwards is tolerated.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to every bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one("", &id.into().full, 10, test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration work (accepted, not used in reporting).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Time one closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().full, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Time one closure over a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().full, self.sample_size, self.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    samples: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    let mut bencher =
+        Bencher { iterations: if test_mode { 1 } else { samples as u64 }, elapsed: Duration::ZERO };
+    if test_mode {
+        f(&mut bencher);
+        println!("test {label} ... ok");
+        return;
+    }
+    // One untimed warm-up pass, then the timed samples.
+    let mut warm = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut warm);
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iterations.max(1) as f64;
+    println!("{label:<60} {per_iter:>14.1} ns/iter ({} iters)", bencher.iterations);
+}
+
+/// Timing handle handed to the benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Declared per-iteration workload size.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collect bench functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: an exact `usize` or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+        let len = self.size.lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_name("collection_unit");
+        let exact = vec(0u8..10, 5usize);
+        assert_eq!(exact.generate(&mut rng).len(), 5);
+        let ranged = vec(0u8..10, 0..4usize);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[ranged.generate(&mut rng).len()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "lengths 0..=3 all reachable");
+    }
+}

@@ -1,0 +1,135 @@
+//! In-tree stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses, so property tests run without network access.
+//!
+//! Differences from upstream, by design:
+//!
+//! * generation is plain uniform random from a **fixed per-test seed**
+//!   (derived from the test name), so every run explores the same cases
+//!   — deterministic CI, reproducible failures;
+//! * there is **no shrinking**: a failing case panics with the values'
+//!   `Debug` rendering where available and the case index always;
+//! * only the combinators this repo calls exist: ranges, tuples,
+//!   [`strategy::Just`], `prop_map`, `prop_flat_map`,
+//!   [`collection::vec`], [`option::of`], and [`prop_oneof!`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each argument is drawn from its strategy and
+/// the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let __vals = ($(
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng),
+                )+);
+                let __res: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        let ($($pat,)+) = __vals;
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __res {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        e.message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a property test; failure aborts the case with a message
+/// instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} != {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: both sides equal {:?}", __l);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}

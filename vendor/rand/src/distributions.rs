@@ -1,0 +1,81 @@
+//! Uniform sampling over ranges, mirroring the slice of
+//! `rand::distributions::uniform` the workspace touches.
+
+/// Uniform-range sampling traits.
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a bounded range.
+    pub trait SampleUniform: Sized {
+        /// Sample from `[lo, hi)` when `inclusive` is false, `[lo, hi]`
+        /// otherwise.
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    // Span computed in u128 so signed ranges and wide
+                    // unsigned ranges cannot overflow.
+                    let lo_w = lo as i128;
+                    let hi_w = hi as i128;
+                    let span = (hi_w - lo_w + if inclusive { 1 } else { 0 }) as u128;
+                    assert!(span > 0, "cannot sample from empty range");
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo_w + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: Self,
+                    hi: Self,
+                    _inclusive: bool,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(hi > lo, "cannot sample from empty range");
+                    // 53 random mantissa bits -> unit in [0, 1).
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    lo + (hi - lo) * unit as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_float!(f32, f64);
+
+    /// Range-like arguments accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draw one value.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+}

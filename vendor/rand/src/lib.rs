@@ -1,0 +1,48 @@
+//! In-tree stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses, so the build has no network dependency (the CI and dev
+//! containers are offline; see `docs/OBSERVABILITY.md`).
+//!
+//! Covered surface: [`SeedableRng::seed_from_u64`], [`Rng::gen_range`]
+//! over half-open and inclusive integer/float ranges, and
+//! [`rngs::StdRng`]. The generator is xoshiro256++ seeded with
+//! splitmix64 — deterministic for a given seed on every platform, which
+//! is exactly the property the harness and tests rely on. It is **not**
+//! the same bit stream as upstream `StdRng` (ChaCha12); nothing in this
+//! repo depends on upstream's stream, only on seed-determinism.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction of a generator from a seed, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
