@@ -8,6 +8,7 @@
 //! tests assert both produce identical values, identical token counts and
 //! identical completion cycles on randomly generated graphs.
 
+use crate::fault::SharedFaults;
 use crate::graph::{GraphBuilder, SimError, SimReport, StreamReport};
 use crate::process::{Process, ProcessStatus};
 use crate::stream::StreamStats;
@@ -26,13 +27,21 @@ pub struct CycleSim {
     stream_names: Vec<String>,
     version: Rc<Cell<u64>>,
     max_cycles: Cycle,
+    faults: Option<SharedFaults>,
 }
 
 impl CycleSim {
     /// Take ownership of a graph for execution.
     pub fn new(graph: GraphBuilder) -> Self {
-        let (processes, streams, version, stream_names) = graph.into_parts();
-        CycleSim { processes, streams, stream_names, version, max_cycles: DEFAULT_MAX_CYCLES }
+        let (processes, streams, version, stream_names, faults) = graph.into_parts();
+        CycleSim {
+            processes,
+            streams,
+            stream_names,
+            version,
+            max_cycles: DEFAULT_MAX_CYCLES,
+            faults: faults.map(|(_, shared)| shared),
+        }
     }
 
     /// Override the cycle budget.
@@ -48,7 +57,36 @@ impl CycleSim {
         let mut done = vec![false; n];
         let mut events: u64 = 0;
         let mut last_activity: Cycle = 0;
+        // Planned region deaths, resolved to process sets, cycle-ordered.
+        let deaths: Vec<(Cycle, Vec<usize>)> = match &self.faults {
+            None => Vec::new(),
+            Some(shared) => {
+                let state = shared.borrow();
+                let mut deaths: Vec<(Cycle, Vec<usize>)> = state
+                    .deaths
+                    .iter()
+                    .map(|d| {
+                        let pids = (0..n)
+                            .filter(|&pid| self.processes[pid].name().starts_with(&d.prefix))
+                            .collect();
+                        (d.at_cycle, pids)
+                    })
+                    .collect();
+                deaths.sort_by_key(|&(at, _)| at);
+                deaths
+            }
+        };
+        let mut next_death = 0usize;
         for now in 0..=self.max_cycles {
+            while next_death < deaths.len() && deaths[next_death].0 <= now {
+                for &pid in &deaths[next_death].1 {
+                    done[pid] = true;
+                }
+                if let Some(shared) = &self.faults {
+                    shared.borrow_mut().counters.region_deaths += 1;
+                }
+                next_death += 1;
+            }
             let mut min_wake: Option<Cycle>;
             let mut any_blocked;
             loop {
@@ -84,6 +122,11 @@ impl CycleSim {
                 return Ok(self.report(last_activity, events));
             }
             if min_wake.is_none() {
+                // A region death still lies ahead: keep stepping cycles
+                // until it fires and changes the picture.
+                if next_death < deaths.len() {
+                    continue;
+                }
                 // No process has a future wake: either everything left is
                 // passively completable, or we are deadlocked.
                 debug_assert!(any_blocked);
@@ -93,6 +136,11 @@ impl CycleSim {
                     .map(|pid| self.processes[pid].name().to_string())
                     .collect();
                 if stuck.is_empty() && all_streams_empty {
+                    return Ok(self.report(last_activity, events));
+                }
+                // Stranded work under an active fault plan terminates
+                // gracefully (mirrors the event scheduler).
+                if self.faults.as_ref().is_some_and(|s| s.borrow().counters.any()) {
                     return Ok(self.report(last_activity, events));
                 }
                 let stuck = if stuck.is_empty() {
@@ -113,6 +161,7 @@ impl CycleSim {
         SimReport {
             total_cycles,
             events,
+            faults: self.faults.as_ref().map(|s| s.borrow().counters).unwrap_or_default(),
             streams: self
                 .streams
                 .iter()

@@ -9,6 +9,7 @@
 //! cycles are always present in the heap because every [`ProcessStatus`]
 //! either names a future cycle or is woken by another process's progress.
 
+use crate::fault::SharedFaults;
 use crate::graph::{GraphBuilder, Pid, SimError, SimReport, StreamReport};
 use crate::process::{Process, ProcessStatus};
 use crate::stream::StreamStats;
@@ -29,13 +30,21 @@ pub struct EventSim {
     stream_names: Vec<String>,
     version: Rc<Cell<u64>>,
     max_events: u64,
+    faults: Option<SharedFaults>,
 }
 
 impl EventSim {
     /// Take ownership of a graph for execution.
     pub fn new(graph: GraphBuilder) -> Self {
-        let (processes, streams, version, stream_names) = graph.into_parts();
-        EventSim { processes, streams, stream_names, version, max_events: DEFAULT_MAX_EVENTS }
+        let (processes, streams, version, stream_names, faults) = graph.into_parts();
+        EventSim {
+            processes,
+            streams,
+            stream_names,
+            version,
+            max_events: DEFAULT_MAX_EVENTS,
+            faults: faults.map(|(_, shared)| shared),
+        }
     }
 
     /// Override the runaway-protection step budget.
@@ -67,7 +76,41 @@ impl EventSim {
         let mut events: u64 = 0;
         let mut last_activity: Cycle = 0;
 
+        // Resolve planned region deaths to process sets once, in cycle
+        // order; `next_death` indexes the first not-yet-applied one.
+        let deaths: Vec<(Cycle, Vec<Pid>)> = match &self.faults {
+            None => Vec::new(),
+            Some(shared) => {
+                let state = shared.borrow();
+                let mut deaths: Vec<(Cycle, Vec<Pid>)> = state
+                    .deaths
+                    .iter()
+                    .map(|d| {
+                        let pids = (0..n)
+                            .filter(|&pid| self.processes[pid].name().starts_with(&d.prefix))
+                            .collect();
+                        (d.at_cycle, pids)
+                    })
+                    .collect();
+                deaths.sort_by_key(|&(at, _)| at);
+                deaths
+            }
+        };
+        let mut next_death = 0usize;
+
         loop {
+            // Apply any region death due at or before the current cycle:
+            // every process of the region halts where it stands.
+            while next_death < deaths.len() && deaths[next_death].0 <= now {
+                for &pid in &deaths[next_death].1 {
+                    done[pid] = true;
+                }
+                if let Some(shared) = &self.faults {
+                    shared.borrow_mut().counters.region_deaths += 1;
+                }
+                next_death += 1;
+            }
+
             // Fixpoint at the current cycle: step every non-done process
             // until the cycle is quiescent.
             loop {
@@ -118,9 +161,12 @@ impl EventSim {
                 next = Some(t);
                 break;
             }
-            match next {
-                Some(t) => now = t,
-                None => {
+            let pending_death = deaths.get(next_death).map(|&(at, _)| at);
+            match (next, pending_death) {
+                (Some(t), Some(d)) => now = t.min(d),
+                (Some(t), None) => now = t,
+                (None, Some(d)) => now = d,
+                (None, None) => {
                     // Nothing scheduled: finish if all remaining work is
                     // passively completable, else report the deadlock.
                     let all_streams_empty =
@@ -130,6 +176,14 @@ impl EventSim {
                         .map(|pid| self.processes[pid].name().to_string())
                         .collect();
                     if stuck.is_empty() && all_streams_empty {
+                        return Ok(self.report(last_activity, events));
+                    }
+                    // Under an active fault plan, stranded work is the
+                    // *expected* consequence of injected faults: terminate
+                    // gracefully so the engine layer can recover.
+                    let faults_applied =
+                        self.faults.as_ref().is_some_and(|s| s.borrow().counters.any());
+                    if faults_applied {
                         return Ok(self.report(last_activity, events));
                     }
                     let stuck = if stuck.is_empty() {
@@ -150,6 +204,7 @@ impl EventSim {
         SimReport {
             total_cycles,
             events,
+            faults: self.faults.as_ref().map(|s| s.borrow().counters).unwrap_or_default(),
             streams: self
                 .streams
                 .iter()
@@ -171,6 +226,13 @@ impl EventSim {
 
 #[cfg(test)]
 mod tests {
+    fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
     use super::*;
     use crate::process::Cost;
     use crate::stages::{MapStage, SourceStage, ZipStage};
@@ -182,7 +244,7 @@ mod tests {
         g.add(SourceStage::new("src", (0..10).collect(), Cost::new(1, 1), tx));
         let sink = g.add_counted_sink("sink", rx, 10);
         let mut sim = EventSim::new(g);
-        let report = sim.run().unwrap();
+        let report = ok(sim.run());
         assert_eq!(sink.values(), (0..10).collect::<Vec<u64>>());
         // Fully pipelined: token i emitted at cycle i, visible at i+1,
         // last (i=9) consumed at cycle 10.
@@ -197,7 +259,7 @@ mod tests {
         g.add(SourceStage::new("src", (0..4).collect(), Cost::new(7, 7), tx));
         let sink = g.add_counted_sink("sink", rx, 4);
         let mut sim = EventSim::new(g);
-        let report = sim.run().unwrap();
+        let report = ok(sim.run());
         let arrivals: Vec<Cycle> = sink.collected().iter().map(|&(_, c)| c).collect();
         assert_eq!(arrivals, vec![7, 14, 21, 28]);
         assert_eq!(report.total_cycles, 28);
@@ -212,7 +274,7 @@ mod tests {
         g.add(MapStage::new("double", rx, tx2, Some(5), |v| (v * 2, Cost::new(1, 4))));
         let sink = g.add_counted_sink("sink", rx2, 5);
         let mut sim = EventSim::new(g);
-        sim.run().unwrap();
+        ok(sim.run());
         assert_eq!(sink.values(), vec![2, 4, 6, 8, 10]);
     }
 
@@ -226,11 +288,14 @@ mod tests {
         g.add(MapStage::new("slow", rx, tx2, Some(6), |v| (v, Cost::new(10, 10))));
         let sink = g.add_counted_sink("sink", rx2, 6);
         let mut sim = EventSim::new(g);
-        let report = sim.run().unwrap();
+        let report = ok(sim.run());
         assert_eq!(sink.values(), (0..6).collect::<Vec<u64>>());
         // Throughput bound by the slow stage: ~6 × 10 cycles.
         assert!(report.total_cycles >= 60, "cycles = {}", report.total_cycles);
-        let narrow = report.streams.iter().find(|s| s.name == "narrow").unwrap();
+        let narrow = match report.streams.iter().find(|s| s.name == "narrow") {
+            Some(s) => s,
+            None => panic!("narrow stream missing from report"),
+        };
         assert_eq!(narrow.max_occupancy, 2, "FIFO should have filled");
     }
 
@@ -247,7 +312,7 @@ mod tests {
         }));
         let sink = g.add_counted_sink("sink", rxo, 3);
         let mut sim = EventSim::new(g);
-        let report = sim.run().unwrap();
+        let report = ok(sim.run());
         assert_eq!(sink.values(), vec![0, 2, 4]);
         // Paced by the slow input: last b token at cycle 27.
         assert!(report.total_cycles >= 27);
@@ -260,7 +325,7 @@ mod tests {
         g.add(SourceStage::new("src", vec![1, 2, 3], Cost::new(1, 1), tx));
         let sink = g.add_collecting_sink("sink", rx);
         let mut sim = EventSim::new(g);
-        sim.run().unwrap();
+        ok(sim.run());
         assert_eq!(sink.values(), vec![1, 2, 3]);
     }
 
@@ -297,9 +362,9 @@ mod tests {
         g.add(SourceStage::new("src", vec![7, 8], Cost::new(1, 1), tx));
         let sink = g.add_counted_sink("sink", rx, 2);
         let mut sim = EventSim::new(g);
-        let r1 = sim.run().unwrap();
+        let r1 = ok(sim.run());
         sim.reset();
-        let r2 = sim.run().unwrap();
+        let r2 = ok(sim.run());
         assert_eq!(r1.total_cycles, r2.total_cycles);
         assert_eq!(sink.values(), vec![7, 8]);
     }
@@ -311,7 +376,7 @@ mod tests {
         g.add(SourceStage::new("src", (0..20).collect(), Cost::new(1, 1), tx));
         g.add_counted_sink("sink", rx, 20);
         let mut sim = EventSim::new(g);
-        let report = sim.run().unwrap();
+        let report = ok(sim.run());
         let s = &report.streams[0];
         assert_eq!(s.pushes, 20);
         assert_eq!(s.pops, 20);

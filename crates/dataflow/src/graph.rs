@@ -7,9 +7,10 @@
 //! [`Process::outputs`]), which powers the DOT export used to regenerate
 //! the paper's architecture figures.
 
+use crate::fault::{FaultCounters, FaultPlan, SharedFaults};
 use crate::process::Process;
 use crate::stages::{SinkHandle, SinkStage};
-use crate::stream::{stream_pair, StreamId, StreamReceiver, StreamSender, StreamStats};
+use crate::stream::{stream_pair_with_faults, StreamId, StreamReceiver, StreamSender, StreamStats};
 use crate::Cycle;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -18,8 +19,13 @@ use std::rc::Rc;
 pub type Pid = usize;
 
 /// The components a scheduler takes over from a builder.
-pub(crate) type GraphParts =
-    (Vec<Box<dyn Process>>, Vec<Rc<RefCell<dyn StreamStats>>>, Rc<Cell<u64>>, Vec<String>);
+pub(crate) type GraphParts = (
+    Vec<Box<dyn Process>>,
+    Vec<Rc<RefCell<dyn StreamStats>>>,
+    Rc<Cell<u64>>,
+    Vec<String>,
+    Option<(FaultPlan, SharedFaults)>,
+);
 
 /// Builder for a dataflow graph.
 pub struct GraphBuilder {
@@ -28,6 +34,7 @@ pub struct GraphBuilder {
     stream_names: Vec<String>,
     processes: Vec<Box<dyn Process>>,
     default_depth: usize,
+    faults: Option<(FaultPlan, SharedFaults)>,
 }
 
 impl Default for GraphBuilder {
@@ -45,7 +52,19 @@ impl GraphBuilder {
             stream_names: Vec::new(),
             processes: Vec::new(),
             default_depth: 2,
+            faults: None,
         }
+    }
+
+    /// Install a fault-injection plan. Must be called before any stream
+    /// is created, so every stream the plan targets gets its hooks.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.stream_stats.is_empty(),
+            "set_fault_plan must be called before any stream is created"
+        );
+        let shared = plan.runtime();
+        self.faults = Some((plan, shared));
     }
 
     /// Create a stream of the given FIFO depth, returning both endpoints.
@@ -56,7 +75,10 @@ impl GraphBuilder {
     ) -> (StreamSender<T>, StreamReceiver<T>) {
         let id: StreamId = self.stream_stats.len();
         let name = name.into();
-        let (tx, rx, stats) = stream_pair(id, name.clone(), depth, self.version.clone());
+        let hooks =
+            self.faults.as_ref().and_then(|(plan, shared)| plan.hooks_for::<T>(&name, shared));
+        let (tx, rx, stats) =
+            stream_pair_with_faults(id, name.clone(), depth, self.version.clone(), hooks);
         self.stream_stats.push(stats);
         self.stream_names.push(name);
         (tx, rx)
@@ -147,7 +169,7 @@ impl GraphBuilder {
 
     /// Decompose into the parts a scheduler needs.
     pub(crate) fn into_parts(self) -> GraphParts {
-        (self.processes, self.stream_stats, self.version, self.stream_names)
+        (self.processes, self.stream_stats, self.version, self.stream_names, self.faults)
     }
 }
 
@@ -181,6 +203,8 @@ pub struct SimReport {
     pub events: u64,
     /// Per-stream statistics.
     pub streams: Vec<StreamReport>,
+    /// Faults injected during the run (all zeros without a fault plan).
+    pub faults: FaultCounters,
 }
 
 /// Simulation failures.

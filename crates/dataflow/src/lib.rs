@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod clock;
 pub mod cycle_sim;
 pub mod event_sim;
+pub mod fault;
 pub mod graph;
 pub mod hbm;
 pub mod pipeline;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::clock::ClockModel;
     pub use crate::cycle_sim::CycleSim;
     pub use crate::event_sim::EventSim;
+    pub use crate::fault::{FaultCounters, FaultPlan};
     pub use crate::graph::{GraphBuilder, SimError, SimReport};
     pub use crate::hbm::{MemoryModel, PcieModel};
     pub use crate::pipeline::PipelinedLoop;

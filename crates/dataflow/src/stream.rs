@@ -8,6 +8,7 @@
 //! [`StreamReceiver`] reproduce those semantics for the simulator's
 //! processes.
 
+use crate::fault::StreamFaultHooks;
 use crate::Cycle;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -40,6 +41,9 @@ struct StreamCore<T> {
     /// Global activity version, shared across the graph; bumped on every
     /// push/pop so schedulers know progress happened.
     version: Rc<Cell<u64>>,
+    /// Push-time fault hooks, present only when a fault plan targets this
+    /// stream — the fault-free fast path pays a single `Option` check.
+    faults: Option<StreamFaultHooks<T>>,
 }
 
 /// Occupancy and traffic statistics of one stream, type-erased for
@@ -120,6 +124,21 @@ pub fn stream_pair<T>(
 where
     T: 'static,
 {
+    stream_pair_with_faults(id, name, depth, version, None)
+}
+
+/// [`stream_pair`] with optional fault-injection hooks attached (used by
+/// [`crate::graph::GraphBuilder`] when a fault plan is installed).
+pub(crate) fn stream_pair_with_faults<T>(
+    id: StreamId,
+    name: impl Into<String>,
+    depth: usize,
+    version: Rc<Cell<u64>>,
+    faults: Option<StreamFaultHooks<T>>,
+) -> (StreamSender<T>, StreamReceiver<T>, Rc<RefCell<dyn StreamStats>>)
+where
+    T: 'static,
+{
     assert!(depth >= 1, "stream depth must be >= 1");
     let core = Rc::new(RefCell::new(StreamCore {
         name: name.into(),
@@ -130,6 +149,7 @@ where
         max_occupancy: 0,
         backpressure: 0,
         version,
+        faults,
     }));
     let stats: Rc<RefCell<dyn StreamStats>> = core.clone();
     (StreamSender { id, core: core.clone() }, StreamReceiver { id, core }, stats)
@@ -153,6 +173,46 @@ impl<T> StreamSender<T> {
             return Err(value);
         }
         let avail = now + latency.max(1);
+        let (value, avail, dropped) = match &core.faults {
+            None => (value, avail, false),
+            Some(hooks) => {
+                let idx = core.pushes;
+                let mut value = value;
+                let mut avail = avail;
+                let mut injected = crate::fault::FaultCounters::default();
+                for &(tokens, extra) in &hooks.stalls {
+                    if idx < tokens {
+                        avail += extra;
+                        injected.stage_stalls += 1;
+                    }
+                }
+                let dropped = hooks.drops.contains(&idx);
+                if dropped {
+                    injected.dropped_tokens += 1;
+                } else {
+                    for (nth, mutate) in &hooks.corrupts {
+                        if *nth == idx {
+                            value = mutate(value);
+                            injected.corrupted_tokens += 1;
+                        }
+                    }
+                }
+                if injected.any() {
+                    hooks.shared.borrow_mut().counters.absorb(&injected);
+                }
+                // A stalled token may not overtake an earlier, later-stalled
+                // one: hardware FIFOs preserve order.
+                if let Some((_, back)) = core.queue.back() {
+                    avail = avail.max(*back);
+                }
+                (value, avail, dropped)
+            }
+        };
+        if dropped {
+            core.pushes += 1;
+            core.version.set(core.version.get() + 1);
+            return Ok(());
+        }
         debug_assert!(
             core.queue.back().map(|(_, a)| *a <= avail).unwrap_or(true),
             "stream '{}' tokens must become available in FIFO order",
@@ -186,12 +246,14 @@ impl<T> StreamReceiver<T> {
         match core.queue.front() {
             None => ReadPoll::Empty,
             Some((_, avail)) if *avail > now => ReadPoll::NotUntil(*avail),
-            Some(_) => {
-                let (value, _) = core.queue.pop_front().expect("front checked above");
-                core.pops += 1;
-                core.version.set(core.version.get() + 1);
-                ReadPoll::Ready(value)
-            }
+            Some(_) => match core.queue.pop_front() {
+                Some((value, _)) => {
+                    core.pops += 1;
+                    core.version.set(core.version.get() + 1);
+                    ReadPoll::Ready(value)
+                }
+                None => unreachable!("front checked above"),
+            },
         }
     }
 

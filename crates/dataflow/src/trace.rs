@@ -168,6 +168,9 @@ pub struct Counters {
     /// Dataflow region invocations beyond the first (the paper's
     /// "shuts-down and restarts between options" overhead).
     pub region_restarts: u64,
+    /// Faults injected by an active [`crate::fault::FaultPlan`] (all
+    /// zeros on fault-free runs).
+    pub faults: crate::fault::FaultCounters,
 }
 
 impl Counters {
@@ -199,6 +202,7 @@ impl Counters {
                 .unwrap_or(0),
             backpressure_events: report.streams.iter().map(|s| s.backpressure).sum(),
             region_restarts: 0,
+            faults: report.faults,
         }
     }
 
@@ -225,6 +229,7 @@ impl Counters {
             self.stream_occupancy_high_water.max(other.stream_occupancy_high_water);
         self.backpressure_events += other.backpressure_events;
         self.region_restarts += other.region_restarts;
+        self.faults.absorb(&other.faults);
     }
 
     /// Mean utilisation across traced processes (0 when none were traced).
@@ -268,7 +273,12 @@ mod tests {
     use crate::graph::{SimReport, StreamReport};
 
     fn report(cycles: Cycle, streams: Vec<StreamReport>) -> SimReport {
-        SimReport { total_cycles: cycles, events: 0, streams }
+        SimReport {
+            total_cycles: cycles,
+            events: 0,
+            streams,
+            faults: crate::fault::FaultCounters::default(),
+        }
     }
 
     fn stream(name: &str, max_occupancy: usize, backpressure: u64) -> StreamReport {

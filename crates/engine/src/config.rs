@@ -233,6 +233,18 @@ impl EngineConfig {
         let knots = curve_len as Cycle;
         (knots * self.replica_scan_ii()).div_ceil(self.precision.knots_per_port_cycle())
     }
+
+    /// Steady-state cycles between successive *time points* leaving the
+    /// replicated hazard unit: one replica's full-table scan (times the
+    /// accumulation II regime), amortised over the `V` replicas working
+    /// round-robin. This is the engine's aggregate service interval per
+    /// point — multiply by an option's payment count to get the
+    /// deterministic per-option service interval used by the M/D/1
+    /// admission model.
+    pub fn steady_state_point_cycles(&self, curve_len: usize) -> Cycle {
+        let v = self.vector_factor.max(1) as Cycle;
+        (self.replica_scan_cycles(curve_len) * self.hazard_ii.ii()).div_ceil(v).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +286,15 @@ mod tests {
         assert_eq!(c.replica_scan_ii(), 1);
         c.vector_factor = 5;
         assert_eq!(c.replica_scan_ii(), 3); // ceil(5/2)
+    }
+
+    #[test]
+    fn steady_state_point_cycles_matches_known_variants() {
+        // Vectorised: 1024 knots × ceil(6/2) = 3072 scan cycles, II 1,
+        // amortised over 6 replicas → 512 cycles/point.
+        assert_eq!(EngineVariant::Vectorised.config().steady_state_point_cycles(1024), 512);
+        // Inter-option: single replica scans 1024 knots at II 1.
+        assert_eq!(EngineVariant::InterOption.config().steady_state_point_cycles(1024), 1024);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod analytic;
 pub mod config;
+pub mod error;
 pub mod host;
 pub mod multi;
 pub mod report;
@@ -43,6 +44,7 @@ pub mod tokens;
 pub mod variants;
 
 pub use config::{EngineConfig, EngineVariant, HazardIiMode};
+pub use error::CdsError;
 pub use report::EngineRunReport;
 
 use cds_quant::option::{CdsOption, MarketData};
@@ -86,8 +88,12 @@ impl FpgaCdsEngine {
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::config::{EngineConfig, EngineVariant, HazardIiMode};
+    pub use crate::error::CdsError;
     pub use crate::multi::MultiEngine;
     pub use crate::report::EngineRunReport;
-    pub use crate::streaming::{poisson_arrivals, run_streaming, StreamingReport};
+    pub use crate::streaming::{
+        poisson_arrivals, run_streaming, run_streaming_with, AdmissionControl, StreamingPolicy,
+        StreamingReport,
+    };
     pub use crate::FpgaCdsEngine;
 }

@@ -12,6 +12,7 @@ use crate::config::{EngineConfig, EnginePrecision, EngineVariant};
 use crate::report::EngineRunReport;
 use crate::FpgaCdsEngine;
 use cds_quant::option::{CdsOption, MarketData};
+use dataflow_sim::fault::FaultPlan;
 use dataflow_sim::resource::{op_cost, uram_for_curve, Device, ResourceUsage};
 use dataflow_sim::trace::Counters;
 
@@ -138,6 +139,16 @@ pub struct MultiEngineReport {
     /// Merged telemetry across all engines (stream high-water is the max,
     /// busy/stall cycles and backpressure events sum).
     pub counters: Counters,
+    /// Total faults injected during the run (zero without a fault plan).
+    pub faults_injected: u64,
+    /// Options re-priced on surviving engines after an engine death or a
+    /// lost token.
+    pub options_retried: u64,
+    /// Options abandoned (only possible when recovery is exhausted).
+    pub options_shed: u64,
+    /// True when the run survived an engine death or fell back to the CPU
+    /// engine — the result is complete but the deployment is impaired.
+    pub degraded: bool,
 }
 
 impl MultiEngine {
@@ -212,6 +223,10 @@ impl MultiEngine {
                 options_per_second: 0.0,
                 slowest_engine_seconds: 0.0,
                 counters: Counters::default(),
+                faults_injected: 0,
+                options_retried: 0,
+                options_shed: 0,
+                degraded: false,
             };
         }
         let chunk_size = options.len().div_ceil(n);
@@ -237,6 +252,10 @@ impl MultiEngine {
             slowest_engine_seconds: slowest,
             spreads,
             counters,
+            faults_injected: 0,
+            options_retried: 0,
+            options_shed: 0,
+            degraded: false,
         }
     }
 }
@@ -284,7 +303,10 @@ impl MultiEngine {
         }
         let processes = g.process_count();
         let mut sim = EventSim::new(g);
-        let report = sim.run().expect("multi-engine CDS graph must not deadlock");
+        let report = match sim.run() {
+            Ok(r) => r,
+            Err(e) => panic!("multi-engine CDS graph must not deadlock: {e}"),
+        };
         let kernel =
             report.total_cycles + self.config.region_cost.invocation_overhead(processes / n.max(1));
         let curve_load = self
@@ -310,6 +332,10 @@ impl MultiEngine {
             slowest_engine_seconds: kernel_seconds,
             spreads,
             counters: Counters::from_run(&trace, &report),
+            faults_injected: 0,
+            options_retried: 0,
+            options_shed: 0,
+            degraded: false,
         }
     }
 
@@ -350,13 +376,200 @@ impl MultiEngine {
             slowest_engine_seconds: slowest,
             spreads,
             counters,
+            faults_injected: 0,
+            options_retried: 0,
+            options_shed: 0,
+            degraded: false,
         }
+    }
+
+    /// Price a batch fault-tolerantly: one single-simulation round with an
+    /// optional [`FaultPlan`] injected, followed by bounded recovery.
+    ///
+    /// Engine `k`'s processes are name-prefixed `e{k}.`, so a plan built
+    /// with [`FaultPlan::kill_region`]`("e2.", cycle)` kills exactly that
+    /// engine mid-run. After the faulted round, any engine that delivered
+    /// fewer spreads than its chunk is treated as failed; its unpriced
+    /// options are **re-sharded across the surviving engines** in up to
+    /// `max_attempts` fault-free retry rounds. If no engine survives, the
+    /// run **degrades gracefully to the CPU engine** ([`cds_cpu`]), with
+    /// the retried options' wall-clock taken from the calibrated Xeon
+    /// model. Pricing is deterministic, so recovered spreads are identical
+    /// to a fault-free run's.
+    ///
+    /// Returns [`CdsError::Exhausted`] if options remain unpriced after
+    /// the final attempt (only reachable with `max_attempts == 0`, since
+    /// retry rounds are fault-free).
+    pub fn price_batch_resilient(
+        &self,
+        options: &[CdsOption],
+        plan: Option<&FaultPlan>,
+        max_attempts: usize,
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        use crate::error::CdsError;
+        use crate::variants::dataflow::build_graph_into;
+        use dataflow_sim::event_sim::EventSim;
+        use dataflow_sim::graph::GraphBuilder;
+        use std::rc::Rc;
+
+        let n = self.n_engines;
+        if options.is_empty() {
+            return Ok(self.price_batch(options));
+        }
+        if self.config.region_mode != dataflow_sim::region::RegionMode::Continuous {
+            return Err(CdsError::Config {
+                reason: "resilient deployment requires continuous engines",
+            });
+        }
+        for o in options {
+            CdsOption::validated(o.maturity, o.frequency, o.recovery_rate)?;
+        }
+
+        let market = Rc::new(self.market.clone());
+        let chunk_size = options.len().div_ceil(n);
+        let mut g = GraphBuilder::new();
+        if let Some(p) = plan {
+            g.set_fault_plan(p.clone());
+        }
+        let mut sinks = Vec::with_capacity(n);
+        let mut base_idx = 0u32;
+        for (k, chunk) in options.chunks(chunk_size).enumerate() {
+            let sink = build_graph_into(
+                &mut g,
+                &format!("e{k}."),
+                market.clone(),
+                &self.config,
+                chunk,
+                base_idx,
+                None,
+            );
+            sinks.push((sink, chunk.len()));
+            base_idx += chunk.len() as u32;
+        }
+        let processes = g.process_count();
+        let mut sim = EventSim::new(g);
+        let report = sim.run().map_err(CdsError::Sim)?;
+        let faults_injected = report.faults.total();
+
+        // Harvest round 0: an engine that under-delivered its chunk is
+        // treated as dead for the rest of the run.
+        let mut spreads_by_idx: Vec<Option<f64>> = vec![None; options.len()];
+        let mut survivors: Vec<usize> = Vec::with_capacity(n);
+        for (k, (sink, expected)) in sinks.iter().enumerate() {
+            let collected = sink.values();
+            if collected.len() == *expected {
+                survivors.push(k);
+            }
+            for tok in collected {
+                spreads_by_idx[tok.opt_idx as usize] = Some(tok.spread_bps);
+            }
+        }
+
+        let kernel =
+            report.total_cycles + self.config.region_cost.invocation_overhead(processes / n.max(1));
+        let curve_load = self
+            .config
+            .memory
+            .curve_load_cycles(self.market.hazard.len().max(self.market.interest.len()));
+        let mut compute_seconds =
+            self.config.clock.seconds(kernel + curve_load) * contention_factor(n);
+        let slowest_engine_seconds = self.config.clock.seconds(kernel + curve_load);
+        let trace = self.config.trace.clone().unwrap_or_default();
+        let mut counters = Counters::from_run(&trace, &report);
+
+        // Bounded recovery: re-shard missing options over the survivors
+        // (fault-free), or degrade to the CPU engine when none remain.
+        let mut options_retried = 0u64;
+        let mut degraded = survivors.len() < n;
+        let mut attempts = 0usize;
+        while attempts < max_attempts {
+            let missing: Vec<usize> =
+                (0..options.len()).filter(|&i| spreads_by_idx[i].is_none()).collect();
+            if missing.is_empty() {
+                break;
+            }
+            attempts += 1;
+            options_retried += missing.len() as u64;
+            let retry_opts: Vec<CdsOption> = missing.iter().map(|&i| options[i]).collect();
+            if survivors.is_empty() {
+                // Every FPGA engine is down: fall back to the CPU engine.
+                degraded = true;
+                let cpu = cds_cpu::CpuCdsEngine::new(&self.market);
+                for (&i, spread) in missing.iter().zip(cpu.price_batch(&retry_opts)) {
+                    spreads_by_idx[i] = Some(spread);
+                }
+                compute_seconds +=
+                    cds_cpu::CpuPerfModel::xeon_8260m().batch_seconds(retry_opts.len() as u64, 24);
+                break;
+            }
+            let retry_chunk = retry_opts.len().div_ceil(survivors.len());
+            let mut rg = GraphBuilder::new();
+            let mut retry_sinks = Vec::with_capacity(survivors.len());
+            for (k, chunk) in retry_opts.chunks(retry_chunk).enumerate() {
+                let sink = build_graph_into(
+                    &mut rg,
+                    &format!("r{attempts}e{k}."),
+                    market.clone(),
+                    &self.config,
+                    chunk,
+                    (retry_chunk * k) as u32,
+                    None,
+                );
+                retry_sinks.push(sink);
+            }
+            let retry_processes = rg.process_count();
+            let mut retry_sim = EventSim::new(rg);
+            let retry_report = retry_sim.run().map_err(CdsError::Sim)?;
+            for sink in retry_sinks {
+                for tok in sink.values() {
+                    spreads_by_idx[missing[tok.opt_idx as usize]] = Some(tok.spread_bps);
+                }
+            }
+            let retry_kernel = retry_report.total_cycles
+                + self.config.region_cost.invocation_overhead(retry_processes / survivors.len());
+            compute_seconds +=
+                self.config.clock.seconds(retry_kernel) * contention_factor(survivors.len());
+            counters.merge(&Counters::from_run(&trace, &retry_report));
+        }
+
+        let unpriced = spreads_by_idx.iter().filter(|s| s.is_none()).count();
+        if unpriced > 0 {
+            return Err(CdsError::Exhausted { attempts, unpriced });
+        }
+        let spreads: Vec<f64> = spreads_by_idx
+            .into_iter()
+            .map(|s| match s {
+                Some(v) => v,
+                None => unreachable!("unpriced options returned Exhausted above"),
+            })
+            .collect();
+        let transfer = self.config.pcie.option_batch_seconds(options.len() as u64);
+        let total_seconds = compute_seconds + transfer;
+        Ok(MultiEngineReport {
+            engines: n,
+            total_seconds,
+            options_per_second: options.len() as f64 / total_seconds,
+            slowest_engine_seconds,
+            spreads,
+            counters,
+            faults_injected,
+            options_retried,
+            options_shed: 0,
+            degraded,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
     use cds_quant::cds::CdsPricer;
     use cds_quant::option::{PaymentFrequency, PortfolioGenerator};
 
@@ -387,7 +600,7 @@ mod tests {
         let market = market();
         let pricer = CdsPricer::new(market.clone());
         let options = PortfolioGenerator::new(5).portfolio(13); // uneven split
-        let multi = MultiEngine::new(market, 3).unwrap();
+        let multi = ok(MultiEngine::new(market, 3));
         let report = multi.price_batch(&options);
         assert_eq!(report.spreads.len(), 13);
         for (o, s) in options.iter().zip(&report.spreads) {
@@ -403,8 +616,8 @@ mod tests {
         // full-set runs.
         let market = market();
         let options = PortfolioGenerator::uniform(250, 5.5, PaymentFrequency::Quarterly, 0.4);
-        let r1 = MultiEngine::new(market.clone(), 1).unwrap().price_batch(&options);
-        let r5 = MultiEngine::new(market.clone(), 5).unwrap().price_batch(&options);
+        let r1 = ok(MultiEngine::new(market.clone(), 1)).price_batch(&options);
+        let r5 = ok(MultiEngine::new(market.clone(), 5)).price_batch(&options);
         let speedup = r5.options_per_second / r1.options_per_second;
         let model = MultiEngine::model_speedup(5) / MultiEngine::model_speedup(1);
         assert!((speedup - model).abs() / model < 0.10, "speedup {speedup} vs model {model}");
@@ -431,7 +644,7 @@ mod tests {
     fn single_simulation_deployment_matches_per_engine_model() {
         let market = market();
         let options = PortfolioGenerator::uniform(60, 5.5, PaymentFrequency::Quarterly, 0.4);
-        let multi = MultiEngine::new(market, 3).unwrap();
+        let multi = ok(MultiEngine::new(market, 3));
         let modelled = multi.price_batch(&options);
         let simulated = multi.price_batch_simulated(&options);
         assert_eq!(modelled.spreads, simulated.spreads, "numerics must agree");
@@ -446,7 +659,7 @@ mod tests {
     fn staggered_schedule_close_to_ideal_but_not_faster() {
         let market = market();
         let options = PortfolioGenerator::uniform(120, 5.5, PaymentFrequency::Quarterly, 0.4);
-        let multi = MultiEngine::new(market, 5).unwrap();
+        let multi = ok(MultiEngine::new(market, 5));
         let ideal = multi.price_batch(&options);
         let staggered = multi.price_batch_staggered(&options);
         assert_eq!(ideal.spreads, staggered.spreads);
@@ -461,8 +674,97 @@ mod tests {
     }
 
     #[test]
+    fn engine_death_mid_run_recovers_on_survivors() {
+        // The acceptance scenario: the 5-engine Table II deployment with
+        // one engine killed mid-run still completes every option, with
+        // spreads identical to the fault-free run.
+        let market = market();
+        let options = PortfolioGenerator::uniform(50, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let multi = ok(MultiEngine::new(market, 5));
+        let clean = multi.price_batch_simulated(&options);
+        let plan = FaultPlan::new(0xC0FFEE).kill_region("e2.", 60_000);
+        let report = match multi.price_batch_resilient(&options, Some(&plan), 3) {
+            Ok(r) => r,
+            Err(e) => panic!("resilient run must recover: {e}"),
+        };
+        assert_eq!(report.spreads, clean.spreads, "recovered spreads must be identical");
+        assert!(report.degraded, "an engine died: the run is degraded");
+        assert!(report.options_retried > 0, "the dead engine's chunk must be retried");
+        assert!(report.faults_injected > 0);
+        assert_eq!(report.options_shed, 0);
+        // Recovery costs time: slower than the fault-free deployment.
+        assert!(report.total_seconds > clean.total_seconds);
+    }
+
+    #[test]
+    fn all_engines_dead_degrades_to_cpu() {
+        let market = market();
+        let pricer = CdsPricer::new(market.clone());
+        let options = PortfolioGenerator::uniform(20, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let multi = ok(MultiEngine::new(market, 3));
+        let mut plan = FaultPlan::new(9);
+        for k in 0..3 {
+            plan = plan.kill_region(format!("e{k}."), 10_000);
+        }
+        let report = match multi.price_batch_resilient(&options, Some(&plan), 2) {
+            Ok(r) => r,
+            Err(e) => panic!("CPU fallback must price everything: {e}"),
+        };
+        assert!(report.degraded);
+        assert_eq!(report.spreads.len(), options.len());
+        assert_eq!(report.options_retried, options.len() as u64);
+        // The CPU engine is numerically identical to the reference pricer.
+        for (o, s) in options.iter().zip(&report.spreads) {
+            let golden = pricer.price(o).spread_bps;
+            assert!((s - golden).abs() < 1e-9 * (1.0 + golden.abs()), "{s} vs {golden}");
+        }
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_simulated() {
+        let market = market();
+        let options = PortfolioGenerator::new(3).portfolio(24);
+        let multi = ok(MultiEngine::new(market, 4));
+        let simulated = multi.price_batch_simulated(&options);
+        let resilient = match multi.price_batch_resilient(&options, None, 2) {
+            Ok(r) => r,
+            Err(e) => panic!("fault-free resilient run must succeed: {e}"),
+        };
+        assert_eq!(resilient.spreads, simulated.spreads);
+        assert!(!resilient.degraded);
+        assert_eq!(resilient.options_retried, 0);
+        assert_eq!(resilient.faults_injected, 0);
+    }
+
+    #[test]
+    fn zero_attempts_with_death_is_exhausted() {
+        use crate::error::CdsError;
+        let market = market();
+        let options = PortfolioGenerator::uniform(20, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let multi = ok(MultiEngine::new(market, 2));
+        let plan = FaultPlan::new(1).kill_region("e1.", 5_000);
+        match multi.price_batch_resilient(&options, Some(&plan), 0) {
+            Err(CdsError::Exhausted { attempts: 0, unpriced }) => assert!(unpriced > 0),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_rejects_invalid_option_at_ingress() {
+        use crate::error::CdsError;
+        let market = market();
+        let mut options = PortfolioGenerator::uniform(4, 5.5, PaymentFrequency::Quarterly, 0.4);
+        options[1].recovery_rate = 1.5;
+        let multi = ok(MultiEngine::new(market, 2));
+        match multi.price_batch_resilient(&options, None, 1) {
+            Err(CdsError::Quant(_)) => {}
+            other => panic!("expected Quant error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn empty_batch() {
-        let multi = MultiEngine::new(market(), 2).unwrap();
+        let multi = ok(MultiEngine::new(market(), 2));
         let r = multi.price_batch(&[]);
         assert!(r.spreads.is_empty());
         assert_eq!(r.options_per_second, 0.0);

@@ -9,11 +9,31 @@
 //! result's **latency** — arrival cycle to spread-out cycle — is
 //! recorded, yielding the p50/p99 service latencies a trading deployment
 //! would quote.
+//!
+//! A trading deployment must also survive overload and hardware faults,
+//! so the entry point [`run_streaming_with`] takes a [`StreamingPolicy`]:
+//!
+//! * **admission control** ([`AdmissionControl`]) — a virtual-queue load
+//!   shedder at the ingress. The pipelined engine is an M/D/1 server;
+//!   beyond a target utilisation the queueing wait grows without bound,
+//!   so arrivals that would push the backlog past the
+//!   Pollaczek–Khinchine wait at that utilisation are **shed** rather
+//!   than admitted, keeping the p99 of admitted traffic bounded at any
+//!   offered load;
+//! * **deadline watchdog** — per-option latency deadline; completions
+//!   over budget are counted as misses, and admitted options that never
+//!   complete (a dropped token, a dead stage) are reported as *lost*
+//!   instead of hanging the run;
+//! * **fault injection** — a seeded [`FaultPlan`] forwarded to the
+//!   dataflow simulator for chaos testing.
 
 use crate::config::EngineConfig;
-use crate::variants::dataflow::build_graph_with_arrivals;
+use crate::error::CdsError;
+use crate::variants::dataflow::build_graph_into;
 use cds_quant::option::{CdsOption, MarketData};
 use dataflow_sim::event_sim::EventSim;
+use dataflow_sim::fault::FaultPlan;
+use dataflow_sim::graph::GraphBuilder;
 use dataflow_sim::region::RegionMode;
 use dataflow_sim::trace::Counters;
 use dataflow_sim::Cycle;
@@ -24,21 +44,36 @@ use std::rc::Rc;
 /// Latency statistics of a streaming run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamingReport {
-    /// Per-option `(arrival_cycle, completion_cycle)` in option order.
+    /// Per-completed-option `(arrival_cycle, completion_cycle)`, in
+    /// original option order.
     pub spans: Vec<(Cycle, Cycle)>,
-    /// Median latency in cycles.
+    /// Median latency in cycles (completed options).
     pub p50_cycles: Cycle,
-    /// 99th-percentile latency in cycles.
+    /// 99th-percentile latency in cycles (completed options).
     pub p99_cycles: Cycle,
-    /// Worst latency in cycles.
+    /// Worst latency in cycles (completed options).
     pub max_cycles: Cycle,
     /// Achieved throughput over the run, options/second.
     pub options_per_second: f64,
-    /// Spreads, in option order.
+    /// Spreads of completed options, in original option order.
     pub spreads: Vec<f64>,
-    /// Run telemetry (occupancy high-water, backpressure events, and —
-    /// when tracing is enabled — per-stage busy/stall cycles).
+    /// Run telemetry (occupancy high-water, backpressure events, injected
+    /// faults, and — when tracing is enabled — per-stage busy/stall
+    /// cycles).
     pub counters: Counters,
+    /// Options rejected at the ingress by admission control.
+    pub options_shed: u64,
+    /// Original indices of the shed options.
+    pub shed_indices: Vec<u32>,
+    /// Admitted options that never produced a spread (lost to an injected
+    /// fault or a dead stage).
+    pub options_lost: u64,
+    /// Original indices of the lost options.
+    pub lost_indices: Vec<u32>,
+    /// Completed options whose latency exceeded the policy deadline.
+    pub deadline_misses: u64,
+    /// Total faults injected by the policy's fault plan.
+    pub faults_injected: u64,
 }
 
 impl StreamingReport {
@@ -51,6 +86,58 @@ impl StreamingReport {
     pub fn p99_us(&self, config: &EngineConfig) -> f64 {
         config.clock.seconds(self.p99_cycles) * 1e6
     }
+}
+
+/// Backpressure-aware load shedding at the streaming ingress.
+///
+/// The engine services admitted options at a deterministic interval, so
+/// the ingress can track a **virtual queue**: the cycle at which the
+/// server would free up if every admitted option took exactly
+/// `service_cycles_per_option`. An arrival that would wait longer than
+/// `max_queue_cycles` behind that backlog is shed. Because the backlog of
+/// admitted work can never exceed the threshold, the waiting time of
+/// every admitted option — and hence the p99 — stays bounded regardless
+/// of the offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Deterministic service interval per option, in cycles (e.g.
+    /// payment count × [`EngineConfig::steady_state_point_cycles`]).
+    pub service_cycles_per_option: Cycle,
+    /// Maximum backlog, in cycles, an arrival may queue behind.
+    pub max_queue_cycles: Cycle,
+}
+
+impl AdmissionControl {
+    /// Derive the queue bound from M/D/1 queueing theory: admit while the
+    /// backlog is within the Pollaczek–Khinchine mean wait at
+    /// `target_utilisation` (`Wq = ρ·s / (2(1−ρ))`). Offered load beyond
+    /// that utilisation is shed instead of queued.
+    ///
+    /// # Panics
+    /// Panics unless `0 < target_utilisation < 1` (at ρ ≥ 1 the M/D/1
+    /// wait is unbounded and no finite queue bound exists).
+    pub fn from_md1(service_cycles_per_option: Cycle, target_utilisation: f64) -> Self {
+        assert!(
+            target_utilisation > 0.0 && target_utilisation < 1.0,
+            "target utilisation must be in (0, 1), got {target_utilisation}"
+        );
+        let s = service_cycles_per_option as f64;
+        let wq = target_utilisation * s / (2.0 * (1.0 - target_utilisation));
+        AdmissionControl { service_cycles_per_option, max_queue_cycles: wq.ceil() as Cycle }
+    }
+}
+
+/// Robustness policy of a streaming run; the default is the historical
+/// behaviour (admit everything, no deadline, no faults).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingPolicy {
+    /// Per-option latency deadline; completions over budget count as
+    /// [`StreamingReport::deadline_misses`].
+    pub deadline_cycles: Option<Cycle>,
+    /// Ingress load shedding; `None` admits every arrival.
+    pub admission: Option<AdmissionControl>,
+    /// Seeded fault plan forwarded to the dataflow simulator.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Draw Poisson arrival cycles for `n` options at `rate` options/second
@@ -96,57 +183,156 @@ pub fn md1_mean_sojourn_cycles(
 /// Run a streaming session: options enter at `arrivals` cycles and flow
 /// through a continuously-running engine.
 ///
+/// Infallible wrapper over [`run_streaming_with`] with the default
+/// (admit-everything, fault-free) policy, kept for callers that treat a
+/// failure as fatal.
+///
 /// # Panics
 /// Panics if the configuration is per-option (streaming requires the
-/// continuous region) or if arrivals and options differ in length.
+/// continuous region), if arrivals and options differ in length, or if an
+/// option is outside its admissible domain.
 pub fn run_streaming(
     market: Rc<MarketData<f64>>,
     config: &EngineConfig,
     options: &[CdsOption],
     arrivals: &[Cycle],
 ) -> StreamingReport {
-    assert_eq!(
-        config.region_mode,
-        RegionMode::Continuous,
-        "streaming requires the continuous region"
-    );
-    assert_eq!(options.len(), arrivals.len());
-    let (g, sink) = build_graph_with_arrivals(market, config, options, 0, Some(arrivals));
-    let mut sim = EventSim::new(g);
-    let report = sim.run().expect("streaming CDS graph must not deadlock");
+    match run_streaming_with(market, config, options, arrivals, &StreamingPolicy::default()) {
+        Ok(report) => report,
+        Err(e) => panic!("streaming run failed: {e}"),
+    }
+}
 
+/// Run a streaming session under an explicit robustness [`StreamingPolicy`].
+///
+/// Options are re-validated at the ingress ([`CdsOption::validated`]), the
+/// admission controller sheds arrivals that would exceed the queue bound,
+/// and the watchdog classifies every admitted option as completed (with a
+/// latency and possibly a deadline miss) or lost. Latency percentiles are
+/// computed over completed options only.
+pub fn run_streaming_with(
+    market: Rc<MarketData<f64>>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+    arrivals: &[Cycle],
+    policy: &StreamingPolicy,
+) -> Result<StreamingReport, CdsError> {
+    if config.region_mode != RegionMode::Continuous {
+        return Err(CdsError::Config { reason: "streaming requires the continuous region" });
+    }
+    if options.len() != arrivals.len() {
+        return Err(CdsError::Config { reason: "need exactly one arrival cycle per option" });
+    }
+    for o in options {
+        CdsOption::validated(o.maturity, o.frequency, o.recovery_rate)?;
+    }
+
+    // Ingress admission: virtual-queue load shedding.
+    let mut admitted: Vec<usize> = Vec::with_capacity(options.len());
+    let mut shed_indices: Vec<u32> = Vec::new();
+    match &policy.admission {
+        None => admitted.extend(0..options.len()),
+        Some(ac) => {
+            let mut server_free_at: Cycle = 0;
+            for (i, &arr) in arrivals.iter().enumerate() {
+                let backlog = server_free_at.saturating_sub(arr);
+                if backlog > ac.max_queue_cycles {
+                    shed_indices.push(i as u32);
+                } else {
+                    admitted.push(i);
+                    server_free_at = server_free_at.max(arr) + ac.service_cycles_per_option;
+                }
+            }
+        }
+    }
+
+    if admitted.is_empty() {
+        return Ok(StreamingReport {
+            spans: Vec::new(),
+            p50_cycles: 0,
+            p99_cycles: 0,
+            max_cycles: 0,
+            options_per_second: 0.0,
+            spreads: Vec::new(),
+            counters: Counters::default(),
+            options_shed: shed_indices.len() as u64,
+            shed_indices,
+            options_lost: 0,
+            lost_indices: Vec::new(),
+            deadline_misses: 0,
+            faults_injected: 0,
+        });
+    }
+
+    let admitted_opts: Vec<CdsOption> = admitted.iter().map(|&i| options[i]).collect();
+    let admitted_arrivals: Vec<Cycle> = admitted.iter().map(|&i| arrivals[i]).collect();
+
+    let mut g = GraphBuilder::new();
+    if let Some(plan) = &policy.fault_plan {
+        g.set_fault_plan(plan.clone());
+    }
+    let sink =
+        build_graph_into(&mut g, "", market, config, &admitted_opts, 0, Some(&admitted_arrivals));
+    let mut sim = EventSim::new(g);
+    let report = sim.run().map_err(CdsError::Sim)?;
+
+    // Watchdog: classify every admitted option as completed or lost.
     let collected = sink.collected();
-    assert_eq!(collected.len(), options.len(), "every option must produce a spread");
-    let mut spans = Vec::with_capacity(options.len());
-    let mut latencies = Vec::with_capacity(options.len());
-    let mut spreads = Vec::with_capacity(options.len());
+    let mut done = vec![false; admitted.len()];
+    // (original index, arrival, completion, spread), sorted by index.
+    let mut per_option: Vec<(usize, Cycle, Cycle, f64)> = Vec::with_capacity(collected.len());
     for (tok, done_at) in &collected {
-        let arrival = arrivals[tok.opt_idx as usize];
-        spans.push((arrival, *done_at));
-        latencies.push(done_at.saturating_sub(arrival));
-        spreads.push(tok.spread_bps);
+        let pos = tok.opt_idx as usize;
+        done[pos] = true;
+        per_option.push((admitted[pos], admitted_arrivals[pos], *done_at, tok.spread_bps));
+    }
+    per_option.sort_unstable_by_key(|&(idx, ..)| idx);
+    let lost_indices: Vec<u32> =
+        admitted.iter().zip(&done).filter(|(_, &d)| !d).map(|(&idx, _)| idx as u32).collect();
+
+    let mut spans = Vec::with_capacity(per_option.len());
+    let mut latencies = Vec::with_capacity(per_option.len());
+    let mut spreads = Vec::with_capacity(per_option.len());
+    let mut deadline_misses = 0u64;
+    for &(_, arrival, done_at, spread) in &per_option {
+        let latency = done_at.saturating_sub(arrival);
+        if policy.deadline_cycles.is_some_and(|d| latency > d) {
+            deadline_misses += 1;
+        }
+        spans.push((arrival, done_at));
+        latencies.push(latency);
+        spreads.push(spread);
     }
     latencies.sort_unstable();
     let pct = |p: f64| -> Cycle {
+        if latencies.is_empty() {
+            return 0;
+        }
         let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
         latencies[idx]
     };
     let span_seconds = config.clock.seconds(report.total_cycles);
     let trace = config.trace.clone().unwrap_or_default();
     let counters = Counters::from_run(&trace, &report);
-    StreamingReport {
+    Ok(StreamingReport {
         p50_cycles: pct(0.50),
         p99_cycles: pct(0.99),
-        max_cycles: *latencies.last().expect("non-empty run"),
+        max_cycles: latencies.last().copied().unwrap_or(0),
         options_per_second: if span_seconds > 0.0 {
-            options.len() as f64 / span_seconds
+            spreads.len() as f64 / span_seconds
         } else {
             0.0
         },
         spans,
         spreads,
+        faults_injected: counters.faults.total(),
         counters,
-    }
+        options_shed: shed_indices.len() as u64,
+        shed_indices,
+        options_lost: lost_indices.len() as u64,
+        lost_indices,
+        deadline_misses,
+    })
 }
 
 #[cfg(test)]
@@ -314,5 +500,156 @@ mod tests {
         let config = EngineVariant::OptimisedDataflow.config();
         let opts = options(2);
         let _ = run_streaming(market(), &config, &opts, &[0, 10]);
+    }
+
+    #[test]
+    fn default_policy_matches_legacy_api() {
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(12);
+        let arrivals = poisson_arrivals(&config, 15_000.0, 12, 9);
+        let legacy = run_streaming(market(), &config, &opts, &arrivals);
+        let with =
+            run_streaming_with(market(), &config, &opts, &arrivals, &StreamingPolicy::default());
+        let with = match with {
+            Ok(r) => r,
+            Err(e) => panic!("default policy must succeed: {e}"),
+        };
+        assert_eq!(legacy.spreads, with.spreads);
+        assert_eq!(legacy.p99_cycles, with.p99_cycles);
+        assert_eq!(with.options_shed, 0);
+        assert_eq!(with.options_lost, 0);
+        assert_eq!(with.faults_injected, 0);
+    }
+
+    #[test]
+    fn invalid_option_rejected_at_ingress() {
+        let config = EngineVariant::Vectorised.config();
+        let mut bad = options(1);
+        bad[0].maturity = -2.0;
+        let err = run_streaming_with(market(), &config, &bad, &[0], &StreamingPolicy::default());
+        assert!(matches!(err, Err(CdsError::Quant(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn empty_streaming_run_is_ok() {
+        let config = EngineVariant::Vectorised.config();
+        let report = run_streaming_with(market(), &config, &[], &[], &StreamingPolicy::default());
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => panic!("empty run must succeed: {e}"),
+        };
+        assert!(report.spreads.is_empty());
+        assert_eq!(report.p99_cycles, 0);
+    }
+
+    #[test]
+    fn admission_control_sheds_and_bounds_p99_at_twice_saturation() {
+        // Offered load 2× the engine's capacity. Without shedding the
+        // queue grows without bound and late arrivals see enormous
+        // latencies; with the M/D/1 admission bound the p99 of admitted
+        // traffic stays within a small multiple of the unloaded p99.
+        let config = EngineVariant::Vectorised.config();
+        let n = 200;
+        let opts = options(n);
+        let service = 22 * config.steady_state_point_cycles(1024);
+        let lone = run_streaming(market(), &config, &opts[..1], &[0]);
+        let unloaded_p99 = lone.p99_cycles;
+
+        let capacity_per_s = config.clock.hz / service as f64;
+        let arrivals = poisson_arrivals(&config, 2.0 * capacity_per_s, n, 21);
+        let policy = StreamingPolicy {
+            admission: Some(AdmissionControl::from_md1(service, 0.8)),
+            ..Default::default()
+        };
+        let report = match run_streaming_with(market(), &config, &opts, &arrivals, &policy) {
+            Ok(r) => r,
+            Err(e) => panic!("shedding run must succeed: {e}"),
+        };
+        assert!(report.options_shed > 0, "2x load must shed");
+        assert_eq!(report.options_lost, 0, "every admitted option must be priced");
+        assert_eq!(report.spreads.len() as u64 + report.options_shed, n as u64);
+        assert!(
+            report.p99_cycles <= 10 * unloaded_p99,
+            "p99 {} must stay within 10x unloaded p99 {}",
+            report.p99_cycles,
+            unloaded_p99
+        );
+        // Unthrottled run for contrast: the tail is much worse.
+        let open = run_streaming(market(), &config, &opts, &arrivals);
+        assert!(open.p99_cycles > report.p99_cycles, "shedding must improve the tail");
+    }
+
+    #[test]
+    fn dropped_result_is_flagged_lost_not_hung() {
+        // Drop the third token on the spread output stream: option 2 is
+        // admitted, priced, and then lost in flight. The watchdog reports
+        // it instead of deadlocking the run.
+        let m = market();
+        let pricer = CdsPricer::new((*m).clone());
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(6);
+        let arrivals: Vec<Cycle> = (0..6).map(|i| i * 50_000).collect();
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(0xD20).drop_nth("spreads", 2)),
+            ..Default::default()
+        };
+        let report = match run_streaming_with(m, &config, &opts, &arrivals, &policy) {
+            Ok(r) => r,
+            Err(e) => panic!("faulted run must terminate gracefully: {e}"),
+        };
+        assert_eq!(report.options_lost, 1);
+        assert_eq!(report.lost_indices, vec![2]);
+        assert!(report.faults_injected > 0);
+        assert_eq!(report.spreads.len(), 5);
+        // Survivors are unaffected by the drop.
+        let golden = pricer.price(&opts[0]).spread_bps;
+        for s in &report.spreads {
+            assert!((s - golden).abs() < 1e-7 * (1.0 + golden), "{s} vs {golden}");
+        }
+    }
+
+    #[test]
+    fn deadline_watchdog_counts_misses_under_load() {
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(48);
+        let arrivals = poisson_arrivals(&config, 200_000.0, 48, 3);
+        // Deadline below the saturated-queue sojourn: late completions
+        // are flagged, none are lost.
+        let policy = StreamingPolicy { deadline_cycles: Some(30_000), ..Default::default() };
+        let report = match run_streaming_with(market(), &config, &opts, &arrivals, &policy) {
+            Ok(r) => r,
+            Err(e) => panic!("deadline run must succeed: {e}"),
+        };
+        assert!(report.deadline_misses > 0, "saturated run must miss a 30k deadline");
+        assert_eq!(report.options_lost, 0);
+        assert_eq!(report.spreads.len(), 48);
+    }
+
+    #[test]
+    fn stage_stall_fault_raises_latency_and_is_counted() {
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(8);
+        let arrivals: Vec<Cycle> = (0..8).map(|i| i * 40_000).collect();
+        let clean = run_streaming(market(), &config, &opts, &arrivals);
+        // Stall every survival token of the first option (22 quarterly
+        // points at 5.5y): its completion is gated by its last point, so
+        // the stall shows up as end-to-end latency.
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(7).stall_stage("hazard_out", 5_000, 22)),
+            ..Default::default()
+        };
+        let stalled = match run_streaming_with(market(), &config, &opts, &arrivals, &policy) {
+            Ok(r) => r,
+            Err(e) => panic!("stalled run must succeed: {e}"),
+        };
+        assert!(stalled.faults_injected > 0);
+        assert_eq!(stalled.options_lost, 0, "a stall delays but never loses work");
+        assert_eq!(stalled.spreads, clean.spreads, "stalls must not change numerics");
+        assert!(
+            stalled.max_cycles > clean.max_cycles,
+            "stall {} vs clean {}",
+            stalled.max_cycles,
+            clean.max_cycles
+        );
     }
 }

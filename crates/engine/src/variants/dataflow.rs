@@ -423,7 +423,15 @@ pub fn build_graph_into(
                 (xs[0].value, xs[1].value, xs[2].value, xs[3].value);
             let lgd = 1.0 - recovery;
             let denom = premium + accrual;
-            let spread_bps = if denom > 0.0 { lgd * protection / denom * 10_000.0 } else { 0.0 };
+            // A vanishing payment-leg PV means the fair-spread quotient
+            // diverges (the reference pricer's DegenerateOption error);
+            // the hardware stage signals it in-band as NaN rather than
+            // fabricating a zero spread.
+            let spread_bps = if denom > cds_quant::cds::DEGENERATE_ANNUITY_EPS {
+                lgd * protection / denom * 10_000.0
+            } else {
+                f64::NAN
+            };
             (
                 SpreadTok { opt_idx: xs[0].opt_idx, spread_bps },
                 Cost::new(1, FP_DIV_LATENCY_CYCLES + CALC_LATENCY),
@@ -614,6 +622,17 @@ mod tests {
         assert!(f3.contains("hazard-sched"));
         assert!(f3.contains("hazard-rep5"));
         assert!(f3.contains("hazard-merge"));
+    }
+
+    #[test]
+    fn degenerate_option_yields_nan_not_silent_zero() {
+        // A vanishing-maturity contract has a near-zero payment-leg PV;
+        // the combine stage must flag the diverging quotient in-band as
+        // NaN, mirroring the reference pricer's DegenerateOption error.
+        let market = market();
+        let options = vec![CdsOption::new(1e-13, PaymentFrequency::Quarterly, 0.4)];
+        let report = run(market, &EngineVariant::InterOption.config(), &options);
+        assert!(report.spreads[0].is_nan(), "got {}", report.spreads[0]);
     }
 
     #[test]

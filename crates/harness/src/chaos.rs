@@ -1,0 +1,499 @@
+//! Seeded chaos matrix: fault injection × deployment, with a survival
+//! gate.
+//!
+//! [`run`] drives the engine's fault-injection framework through a fixed
+//! matrix of failure scenarios — stage stalls, dropped tokens, engine
+//! deaths, total FPGA loss, and overload shedding — on both the streaming
+//! and multi-engine deployments. Every scenario is **deterministic**
+//! (seeded fault placement, discrete-event timing, no wall clock), so two
+//! runs produce byte-identical reports and the committed baseline
+//! (`results/chaos_baseline.json`) can be gated with **exact** equality:
+//! any change in survival behaviour, retry counts, or shed counts is a
+//! regression.
+
+use crate::json::Json;
+use cds_engine::config::EngineVariant;
+use cds_engine::multi::MultiEngine;
+use cds_engine::streaming::{
+    poisson_arrivals, run_streaming, run_streaming_with, AdmissionControl, StreamingPolicy,
+};
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
+use dataflow_sim::fault::FaultPlan;
+use dataflow_sim::Cycle;
+use std::rc::Rc;
+
+/// Version of the chaos JSON schema (independent of the bench schema).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Outcome of one chaos scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosCase {
+    /// Stable scenario slug, e.g. `streaming/drop`.
+    pub name: String,
+    /// Faults the plan actually injected.
+    pub faults_injected: u64,
+    /// Options offered to the deployment.
+    pub options_total: u64,
+    /// Options that produced a spread.
+    pub options_completed: u64,
+    /// Options re-priced by failover.
+    pub options_retried: u64,
+    /// Options shed by admission control.
+    pub options_shed: u64,
+    /// Options lost in flight (admitted, never completed).
+    pub options_lost: u64,
+    /// Deployment ran impaired (engine death or CPU fallback).
+    pub degraded: bool,
+    /// Completed spreads agree with the fault-free run.
+    pub spreads_match_clean: bool,
+    /// Latency tail stayed within the scenario's bound.
+    pub p99_bounded: bool,
+    /// The scenario's overall pass verdict.
+    pub survived: bool,
+}
+
+impl ChaosCase {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("faults_injected", Json::Number(self.faults_injected as f64)),
+            ("options_total", Json::Number(self.options_total as f64)),
+            ("options_completed", Json::Number(self.options_completed as f64)),
+            ("options_retried", Json::Number(self.options_retried as f64)),
+            ("options_shed", Json::Number(self.options_shed as f64)),
+            ("options_lost", Json::Number(self.options_lost as f64)),
+            ("degraded", Json::Bool(self.degraded)),
+            ("spreads_match_clean", Json::Bool(self.spreads_match_clean)),
+            ("p99_bounded", Json::Bool(self.p99_bounded)),
+            ("survived", Json::Bool(self.survived)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<u64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("chaos case missing numeric field '{key}'"))
+        };
+        let flag = |key: &str| -> Result<bool, String> {
+            match value.get(key) {
+                Some(Json::Bool(b)) => Ok(*b),
+                _ => Err(format!("chaos case missing boolean field '{key}'")),
+            }
+        };
+        Ok(ChaosCase {
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("chaos case missing 'name'")?
+                .to_string(),
+            faults_injected: num("faults_injected")?,
+            options_total: num("options_total")?,
+            options_completed: num("options_completed")?,
+            options_retried: num("options_retried")?,
+            options_shed: num("options_shed")?,
+            options_lost: num("options_lost")?,
+            degraded: flag("degraded")?,
+            spreads_match_clean: flag("spreads_match_clean")?,
+            p99_bounded: flag("p99_bounded")?,
+            survived: flag("survived")?,
+        })
+    }
+}
+
+/// A full chaos-matrix run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Schema version of the serialised form ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Seed the fault placements and workloads derive from.
+    pub seed: u64,
+    /// All scenarios, in matrix order.
+    pub cases: Vec<ChaosCase>,
+}
+
+impl ChaosReport {
+    /// Look a scenario up by its stable name.
+    pub fn find(&self, name: &str) -> Option<&ChaosCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// True when every scenario survived.
+    pub fn all_survived(&self) -> bool {
+        self.cases.iter().all(|c| c.survived)
+    }
+
+    /// Serialise to the versioned JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema_version", Json::Number(self.schema_version as f64)),
+            ("seed", Json::Number(self.seed as f64)),
+            ("cases", Json::Array(self.cases.iter().map(ChaosCase::to_json).collect())),
+        ])
+    }
+
+    /// Pretty-printed JSON document (stable: object keys are sorted).
+    pub fn pretty(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parse a serialised report, validating the schema version.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("chaos report missing numeric field '{key}'"))
+        };
+        let schema_version = num("schema_version")? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "chaos schema version {schema_version} != supported {SCHEMA_VERSION} — regenerate the baseline"
+            ));
+        }
+        let cases = value
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "chaos report missing 'cases' array".to_string())?
+            .iter()
+            .map(ChaosCase::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ChaosReport { schema_version, seed: num("seed")? as u64, cases })
+    }
+
+    /// Parse from JSON text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&crate::json::parse(text)?)
+    }
+}
+
+/// Gate `current` against `baseline`. The matrix is fully deterministic,
+/// so the comparison is **exact**: every baseline case must be present
+/// and field-for-field identical, and no new cases may appear silently.
+pub fn compare(baseline: &ChaosReport, current: &ChaosReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        problems.push(format!(
+            "schema version mismatch: baseline {} vs current {}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.seed != current.seed {
+        problems.push(format!(
+            "seed mismatch: baseline {} vs current {} — rerun with --seed {}",
+            baseline.seed, current.seed, baseline.seed
+        ));
+    }
+    for base in &baseline.cases {
+        match current.find(&base.name) {
+            None => problems.push(format!("case '{}' missing from current run", base.name)),
+            Some(cur) if cur != base => {
+                problems.push(format!(
+                    "case '{}' changed: baseline {base:?} vs current {cur:?}",
+                    base.name
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for cur in &current.cases {
+        if baseline.find(&cur.name).is_none() {
+            problems.push(format!(
+                "case '{}' not in baseline — regenerate results/chaos_baseline.json",
+                cur.name
+            ));
+        }
+    }
+    problems
+}
+
+/// Near-equality for recovered spreads: the CPU fallback is numerically
+/// identical to the reference pricer, while the FPGA path agrees with it
+/// to well under this tolerance.
+fn spreads_close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-6 * (1.0 + y.abs()))
+}
+
+fn uniform_options(n: usize) -> Vec<CdsOption> {
+    PortfolioGenerator::uniform(n, 5.5, PaymentFrequency::Quarterly, 0.40)
+}
+
+/// Execute the chaos matrix. Deterministic in `seed`.
+pub fn run(seed: u64) -> ChaosReport {
+    let market = MarketData::paper_workload(seed);
+    let shared = Rc::new(market.clone());
+    let config = EngineVariant::Vectorised.config();
+    let mut cases = Vec::new();
+
+    // -- streaming/stall: a transient slowdown delays but never loses work.
+    {
+        let opts = uniform_options(8);
+        let arrivals: Vec<Cycle> = (0..8).map(|i| i * 40_000).collect();
+        let clean = run_streaming(shared.clone(), &config, &opts, &arrivals);
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(seed).stall_stage("hazard_out", 5_000, 22)),
+            ..Default::default()
+        };
+        let r = run_streaming_with(shared.clone(), &config, &opts, &arrivals, &policy)
+            .unwrap_or_else(|e| panic!("streaming/stall must terminate: {e}"));
+        let spreads_match_clean = r.spreads == clean.spreads;
+        cases.push(ChaosCase {
+            name: "streaming/stall".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: 0,
+            options_shed: r.options_shed,
+            options_lost: r.options_lost,
+            degraded: false,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: r.faults_injected > 0 && r.options_lost == 0 && spreads_match_clean,
+        });
+    }
+
+    // -- streaming/drop: a lost result is flagged, not hung.
+    {
+        let opts = uniform_options(6);
+        let arrivals: Vec<Cycle> = (0..6).map(|i| i * 50_000).collect();
+        let clean = run_streaming(shared.clone(), &config, &opts, &arrivals);
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(seed).drop_nth("spreads", 2)),
+            ..Default::default()
+        };
+        let r = run_streaming_with(shared.clone(), &config, &opts, &arrivals, &policy)
+            .unwrap_or_else(|e| panic!("streaming/drop must terminate: {e}"));
+        // Survivors must match the fault-free spreads at the same indices.
+        let survivor_clean: Vec<f64> = clean
+            .spreads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !r.lost_indices.contains(&(*i as u32)))
+            .map(|(_, &s)| s)
+            .collect();
+        let spreads_match_clean = r.spreads == survivor_clean;
+        cases.push(ChaosCase {
+            name: "streaming/drop".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: 0,
+            options_shed: r.options_shed,
+            options_lost: r.options_lost,
+            degraded: false,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: r.options_lost == 1 && r.faults_injected > 0 && spreads_match_clean,
+        });
+    }
+
+    // -- streaming/shed: 2x saturation with M/D/1 admission control — the
+    // p99 of admitted traffic stays within 10x the unloaded p99.
+    {
+        let n = 200;
+        let opts = uniform_options(n);
+        let service = 22 * config.steady_state_point_cycles(shared.hazard.len());
+        let lone = run_streaming(shared.clone(), &config, &opts[..1], &[0]);
+        let capacity_per_s = config.clock.hz / service as f64;
+        let arrivals = poisson_arrivals(&config, 2.0 * capacity_per_s, n, seed);
+        let policy = StreamingPolicy {
+            admission: Some(AdmissionControl::from_md1(service, 0.8)),
+            ..Default::default()
+        };
+        let r = run_streaming_with(shared.clone(), &config, &opts, &arrivals, &policy)
+            .unwrap_or_else(|e| panic!("streaming/shed must terminate: {e}"));
+        let p99_bounded = r.p99_cycles <= 10 * lone.p99_cycles;
+        cases.push(ChaosCase {
+            name: "streaming/shed".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: n as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: 0,
+            options_shed: r.options_shed,
+            options_lost: r.options_lost,
+            degraded: false,
+            spreads_match_clean: true,
+            p99_bounded,
+            survived: r.options_shed > 0 && r.options_lost == 0 && p99_bounded,
+        });
+    }
+
+    // -- multi/engine-death: the acceptance scenario. One of the five
+    // Table II engines dies mid-run; the batch still completes with
+    // spreads identical to the fault-free run.
+    {
+        let opts = uniform_options(50);
+        let multi = match MultiEngine::new(market.clone(), 5) {
+            Ok(m) => m,
+            Err(e) => panic!("five engines fit the U280: {e}"),
+        };
+        let clean = multi.price_batch_simulated(&opts);
+        let plan = FaultPlan::new(seed).kill_region("e2.", 60_000);
+        let r = multi
+            .price_batch_resilient(&opts, Some(&plan), 3)
+            .unwrap_or_else(|e| panic!("multi/engine-death must recover: {e}"));
+        let spreads_match_clean = r.spreads == clean.spreads;
+        cases.push(ChaosCase {
+            name: "multi/engine-death".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: r.options_retried,
+            options_shed: r.options_shed,
+            options_lost: 0,
+            degraded: r.degraded,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: spreads_match_clean
+                && r.degraded
+                && r.options_retried > 0
+                && r.faults_injected > 0,
+        });
+    }
+
+    // -- multi/all-dead: every FPGA engine dies; the deployment degrades
+    // to the CPU engine and still prices the whole batch.
+    {
+        let opts = uniform_options(20);
+        let multi = match MultiEngine::new(market.clone(), 3) {
+            Ok(m) => m,
+            Err(e) => panic!("three engines fit the U280: {e}"),
+        };
+        let clean = multi.price_batch_simulated(&opts);
+        let mut plan = FaultPlan::new(seed);
+        for k in 0..3 {
+            plan = plan.kill_region(format!("e{k}."), 10_000);
+        }
+        let r = multi
+            .price_batch_resilient(&opts, Some(&plan), 2)
+            .unwrap_or_else(|e| panic!("multi/all-dead must fall back to CPU: {e}"));
+        let spreads_match_clean = spreads_close(&r.spreads, &clean.spreads);
+        cases.push(ChaosCase {
+            name: "multi/all-dead".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: r.options_retried,
+            options_shed: r.options_shed,
+            options_lost: 0,
+            degraded: r.degraded,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: spreads_match_clean && r.degraded && r.spreads.len() == opts.len(),
+        });
+    }
+
+    // -- multi/stall: a slowdown inside one engine of a three-engine
+    // deployment; no retries needed, numerics untouched.
+    {
+        let opts = uniform_options(24);
+        let multi = match MultiEngine::new(market.clone(), 3) {
+            Ok(m) => m,
+            Err(e) => panic!("three engines fit the U280: {e}"),
+        };
+        let clean = multi.price_batch_simulated(&opts);
+        let plan = FaultPlan::new(seed).stall_stage("e1.hazard_out", 2_000, 22);
+        let r = multi
+            .price_batch_resilient(&opts, Some(&plan), 2)
+            .unwrap_or_else(|e| panic!("multi/stall must complete: {e}"));
+        let spreads_match_clean = r.spreads == clean.spreads;
+        cases.push(ChaosCase {
+            name: "multi/stall".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: r.options_retried,
+            options_shed: r.options_shed,
+            options_lost: 0,
+            degraded: r.degraded,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: spreads_match_clean
+                && !r.degraded
+                && r.options_retried == 0
+                && r.faults_injected > 0,
+        });
+    }
+
+    ChaosReport { schema_version: SCHEMA_VERSION, seed, cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ChaosReport {
+        run(42)
+    }
+
+    #[test]
+    fn chaos_matrix_is_deterministic() {
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b);
+        assert_eq!(a.pretty(), b.pretty());
+    }
+
+    #[test]
+    fn every_scenario_survives() {
+        let r = report();
+        for c in &r.cases {
+            assert!(c.survived, "case {} failed: {c:?}", c.name);
+        }
+        assert!(r.all_survived());
+    }
+
+    #[test]
+    fn matrix_covers_deployments_and_fault_kinds() {
+        let r = report();
+        for name in [
+            "streaming/stall",
+            "streaming/drop",
+            "streaming/shed",
+            "multi/engine-death",
+            "multi/all-dead",
+            "multi/stall",
+        ] {
+            assert!(r.find(name).is_some(), "missing case {name}");
+        }
+        // The acceptance scenario's exact contract.
+        let death = r.find("multi/engine-death").expect("engine-death case");
+        assert!(death.degraded && death.options_retried > 0 && death.spreads_match_clean);
+        let shed = r.find("streaming/shed").expect("shed case");
+        assert!(shed.options_shed > 0 && shed.p99_bounded && shed.options_lost == 0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let back = ChaosReport::parse(&r.pretty()).expect("parse own output");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut r = report();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let err = match ChaosReport::parse(&r.pretty()) {
+            Err(e) => e,
+            Ok(_) => panic!("future schema must be rejected"),
+        };
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn compare_is_exact() {
+        let base = report();
+        assert!(compare(&base, &base).is_empty());
+        let mut changed = base.clone();
+        changed.cases[0].options_retried += 1;
+        let problems = compare(&base, &changed);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("changed"), "{problems:?}");
+        let mut missing = base.clone();
+        missing.cases.pop();
+        assert!(compare(&base, &missing).iter().any(|p| p.contains("missing")));
+    }
+}

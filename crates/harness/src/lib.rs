@@ -19,13 +19,17 @@
 //!
 //! The [`bench`] module flattens the whole ladder into one
 //! machine-readable report ([`metrics::RunMetrics`] records serialised by
-//! the hand-rolled [`json`] module) for CI regression gating.
+//! the hand-rolled [`json`] module) for CI regression gating, and the
+//! [`chaos`] module drives the engine's fault-injection framework through
+//! a deterministic failure matrix whose survival report is gated the same
+//! way.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod ablations;
 pub mod bench;
+pub mod chaos;
 pub mod figures;
 pub mod format;
 pub mod hostcpu;

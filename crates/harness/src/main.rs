@@ -21,22 +21,26 @@
 //!   trace               stage occupancy Gantt of the vectorised engine
 //!   host-cpu            measure the real CPU engine on this machine
 //!   bench               machine-readable benchmark ladder (BENCH.json)
+//!   chaos               seeded fault-injection matrix (CHAOS.json)
 //!   all                 everything above
 //! ```
 //!
-//! `bench` additionally takes `--json PATH` (write the report),
-//! `--check BASELINE` (exit nonzero on regression against a committed
-//! baseline) and `--tolerance F` (relative gate width, default 0.10).
+//! `bench` and `chaos` additionally take `--json PATH` (write the
+//! report) and `--check BASELINE` (exit 1 on regression against a
+//! committed baseline); `bench` also takes `--tolerance F` (relative
+//! gate width, default 0.10 — the chaos gate is exact). IO and usage
+//! errors exit 2 with a message; gate failures exit 1.
 
 use cds_harness::ablations;
 use cds_harness::bench;
+use cds_harness::chaos;
 use cds_harness::figures;
 use cds_harness::format::{rate, ratio, render_csv, render_table};
 use cds_harness::hostcpu;
 use cds_harness::tables;
 use cds_harness::validate;
 use cds_harness::workload::Workload;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 struct Args {
     command: String,
@@ -46,6 +50,21 @@ struct Args {
     json_path: Option<PathBuf>,
     check_baseline: Option<PathBuf>,
     tolerance: f64,
+}
+
+/// How a subcommand failed. `Fatal` is an environment/usage problem
+/// (unreadable baseline, unwritable output) and exits 2; `GateFailed`
+/// is a genuine regression or validation failure and exits 1, so CI can
+/// tell "the harness broke" apart from "the numbers moved".
+enum CliError {
+    Fatal(String),
+    GateFailed,
+}
+
+type CliResult = Result<(), CliError>;
+
+fn fatal(msg: impl Into<String>) -> CliError {
+    CliError::Fatal(msg.into())
 }
 
 fn parse_args() -> Args {
@@ -107,22 +126,53 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
-         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|all> \
+         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|all> \
          [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F]"
     );
     std::process::exit(2);
 }
 
-fn write_csv(dir: &Option<PathBuf>, name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create csv dir");
-        let path = dir.join(name);
-        std::fs::write(&path, render_csv(headers, rows)).expect("write csv");
-        println!("  [csv written to {}]", path.display());
-    }
+fn write_file(path: &Path, contents: &str) -> CliResult {
+    std::fs::write(path, contents)
+        .map_err(|e| fatal(format!("cannot write {}: {e}", path.display())))
 }
 
-fn cmd_table1(w: &Workload, csv: &Option<PathBuf>) {
+fn create_dir(dir: &Path) -> CliResult {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| fatal(format!("cannot create directory {}: {e}", dir.display())))
+}
+
+fn write_csv(
+    dir: &Option<PathBuf>,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> CliResult {
+    if let Some(dir) = dir {
+        create_dir(dir)?;
+        let path = dir.join(name);
+        write_file(&path, &render_csv(headers, rows))?;
+        println!("  [csv written to {}]", path.display());
+    }
+    Ok(())
+}
+
+/// Read and parse a `--check` baseline. Runs *before* the expensive
+/// matrix/ladder so a bad path fails fast with exit 2.
+fn read_baseline<T>(path: &Path, parse: impl Fn(&str) -> Result<T, String>) -> Result<T, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| fatal(format!("cannot read baseline {}: {e}", path.display())))?;
+    parse(&text).map_err(|e| fatal(format!("malformed baseline {}: {e}", path.display())))
+}
+
+fn write_json_report(path: &Path, pretty: &str) -> CliResult {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        create_dir(dir)?;
+    }
+    write_file(path, pretty)
+}
+
+fn cmd_table1(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Table I: engine-variant throughput (options/second) ==");
     println!("   workload: {} options, 1024 interest + 1024 hazard rates\n", w.len());
     let t = tables::table1(w);
@@ -146,10 +196,10 @@ fn cmd_table1(w: &Workload, csv: &Option<PathBuf>) {
         ratio(t.speedup_over_baseline("inter-options")),
         ratio(t.speedup_over_baseline("Vectorisation")),
     );
-    write_csv(csv, "table1.csv", &headers, &rows);
+    write_csv(csv, "table1.csv", &headers, &rows)
 }
 
-fn cmd_table2(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_table2(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Table II: scaling, power and efficiency ==\n");
     let t = tables::table2(w);
     let headers = [
@@ -183,10 +233,10 @@ fn cmd_table2(w: &Workload, csv: &Option<PathBuf>) {
         ratio(t.power_ratio()),
         ratio(t.efficiency_ratio()),
     );
-    write_csv(csv, "table2.csv", &headers, &rows);
+    write_csv(csv, "table2.csv", &headers, &rows)
 }
 
-fn cmd_listing1(csv: &Option<PathBuf>) {
+fn cmd_listing1(csv: &Option<PathBuf>) -> CliResult {
     println!("== Listing 1: hazard accumulation kernels ==\n");
     let rows_data = ablations::listing1(&[64, 100, 1024, 4096, 4099]);
     let headers = [
@@ -213,10 +263,10 @@ fn cmd_listing1(csv: &Option<PathBuf>) {
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
-    write_csv(csv, "listing1.csv", &headers, &rows);
+    write_csv(csv, "listing1.csv", &headers, &rows)
 }
 
-fn cmd_vector(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_vector(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Vectorisation sweep (Fig 3 mechanism) ==\n");
     let rows_data = ablations::vector_sweep(w, &[1, 2, 3, 4, 6, 8]);
     let headers = ["Replication V", "Options/s", "Speedup over V=1"];
@@ -226,30 +276,30 @@ fn cmd_vector(w: &Workload, csv: &Option<PathBuf>) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     println!("(gain saturates at the URAM port bandwidth — the paper saw 2x at V=6)\n");
-    write_csv(csv, "ablation_vector.csv", &headers, &rows);
+    write_csv(csv, "ablation_vector.csv", &headers, &rows)
 }
 
-fn cmd_ii(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_ii(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Hazard accumulation II ablation ==\n");
     let rows_data = ablations::ii_sweep(w);
     let headers = ["Engine", "Options/s"];
     let rows: Vec<Vec<String>> =
         rows_data.iter().map(|r| vec![r.description.clone(), rate(r.options_per_second)]).collect();
     println!("{}", render_table(&headers, &rows));
-    write_csv(csv, "ablation_ii.csv", &headers, &rows);
+    write_csv(csv, "ablation_ii.csv", &headers, &rows)
 }
 
-fn cmd_depth(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_depth(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Stream depth sweep (vectorised engine) ==\n");
     let rows_data = ablations::depth_sweep(w, &[1, 2, 4, 8, 16, 32]);
     let headers = ["FIFO depth", "Options/s"];
     let rows: Vec<Vec<String>> =
         rows_data.iter().map(|r| vec![r.depth.to_string(), rate(r.options_per_second)]).collect();
     println!("{}", render_table(&headers, &rows));
-    write_csv(csv, "ablation_depth.csv", &headers, &rows);
+    write_csv(csv, "ablation_depth.csv", &headers, &rows)
 }
 
-fn cmd_precision(seed: u64, n: usize, csv: &Option<PathBuf>) {
+fn cmd_precision(seed: u64, n: usize, csv: &Option<PathBuf>) -> CliResult {
     println!("== Reduced precision (f32) exploration — paper §V further work ==\n");
     let w = Workload::mixed(seed, n);
     let r = ablations::precision(&w);
@@ -261,10 +311,10 @@ fn cmd_precision(seed: u64, n: usize, csv: &Option<PathBuf>) {
         format!("{:.2e}", r.max_relative_error),
     ]];
     println!("{}", render_table(&headers, &rows));
-    write_csv(csv, "ablation_precision.csv", &headers, &rows);
+    write_csv(csv, "ablation_precision.csv", &headers, &rows)
 }
 
-fn cmd_fit(w: &Workload) {
+fn cmd_fit(w: &Workload) -> CliResult {
     println!("== Alveo U280 resource fit ==\n");
     let r = ablations::fit_report(&w.market);
     let headers = ["Resource", "Per engine", "Usable on U280", "Engines"];
@@ -285,9 +335,10 @@ fn cmd_fit(w: &Workload) {
     ];
     println!("{}", render_table(&headers, &rows));
     println!("maximum engines: {} (paper: five fit on the U280)\n", r.max_engines);
+    Ok(())
 }
 
-fn cmd_validate(w: &Workload) {
+fn cmd_validate(w: &Workload) -> CliResult {
     println!("== Artifact validation: independent cross-checks ==\n");
     let checks = validate::validate_all(w);
     let mut all = true;
@@ -296,12 +347,14 @@ fn cmd_validate(w: &Workload) {
         println!("  [{}] {}\n        {}", if c.passed { "PASS" } else { "FAIL" }, c.name, c.detail);
     }
     println!("\n{}", if all { "all checks passed ✓" } else { "SOME CHECKS FAILED ✗" });
-    if !all {
-        std::process::exit(1);
+    if all {
+        Ok(())
+    } else {
+        Err(CliError::GateFailed)
     }
 }
 
-fn cmd_streaming(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_streaming(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Streaming latency vs offered load (vectorised engine) ==\n");
     let rates = [5_000.0, 15_000.0, 25_000.0, 50_000.0, 100_000.0];
     let n = w.len().min(192);
@@ -320,10 +373,10 @@ fn cmd_streaming(w: &Workload, csv: &Option<PathBuf>) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     println!("(beyond ~26.5k opts/s the engine saturates and queueing delay dominates)\n");
-    write_csv(csv, "streaming.csv", &headers, &rows);
+    write_csv(csv, "streaming.csv", &headers, &rows)
 }
 
-fn cmd_curvesize(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_curvesize(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Constant-data size sweep (inter-option engine) ==\n");
     let n = w.len().min(64);
     let rows_data = ablations::curve_size_sweep(w.seed, n, &[256, 512, 1024, 2048, 4096]);
@@ -332,10 +385,10 @@ fn cmd_curvesize(w: &Workload, csv: &Option<PathBuf>) {
         rows_data.iter().map(|r| vec![r.knots.to_string(), rate(r.options_per_second)]).collect();
     println!("{}", render_table(&headers, &rows));
     println!("(steady state is one full table scan per time point: throughput ~ 1/knots)\n");
-    write_csv(csv, "curve_size.csv", &headers, &rows);
+    write_csv(csv, "curve_size.csv", &headers, &rows)
 }
 
-fn cmd_restart(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_restart(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Region-restart overhead sweep (optimised dataflow engine) ==\n");
     let rows_data = ablations::restart_sweep(w, &[0, 4_000, 9_000, 18_200, 27_000, 36_000]);
     let headers = ["Restart (cycles)", "Options/s"];
@@ -345,10 +398,10 @@ fn cmd_restart(w: &Workload, csv: &Option<PathBuf>) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     println!("(18200 is the calibrated value implied by the paper's Table I rows)\n");
-    write_csv(csv, "ablation_restart.csv", &headers, &rows);
+    write_csv(csv, "ablation_restart.csv", &headers, &rows)
 }
 
-fn cmd_futurework(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_futurework(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     println!("== Further work (paper \u{a7}V): reduced-precision engines ==\n");
     let rows_data = ablations::futurework(w);
     let headers = ["Configuration", "Engines", "Options/s", "Opts/Watt", "Max err (bps)"];
@@ -366,18 +419,19 @@ fn cmd_futurework(w: &Workload, csv: &Option<PathBuf>) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     println!("(f32 halves the scan footprint and the datapath, so more, faster engines fit)\n");
-    write_csv(csv, "futurework.csv", &headers, &rows);
+    write_csv(csv, "futurework.csv", &headers, &rows)
 }
 
-fn cmd_trace(w: &Workload) {
+fn cmd_trace(w: &Workload) -> CliResult {
     println!("== Stage occupancy (vectorised engine, 8 options) ==\n");
     let r = ablations::occupancy(w, 8);
     print!("{}", r.gantt);
     println!("\ntotal: {} cycles; the replicated scan stages dominate — every", r.total_cycles);
     println!("other stage idles waiting on them, the stall pattern §III describes.\n");
+    Ok(())
 }
 
-fn cmd_hostcpu(w: &Workload, csv: &Option<PathBuf>) {
+fn cmd_hostcpu(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     let max = hostcpu::host_parallelism();
     println!("== Host CPU measurement ({max} hardware threads) ==\n");
     let counts: Vec<usize> =
@@ -390,11 +444,16 @@ fn cmd_hostcpu(w: &Workload, csv: &Option<PathBuf>) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     println!("(the paper's 24-core Cascade Lake scaled 8.68x — sub-linear, like above)\n");
-    write_csv(csv, "host_cpu.csv", &headers, &rows);
+    write_csv(csv, "host_cpu.csv", &headers, &rows)
 }
 
-fn cmd_bench(args: &Args) {
+fn cmd_bench(args: &Args) -> CliResult {
     let batch = args.options.unwrap_or(bench::DEFAULT_BENCH_BATCH);
+    // Fail fast on an unreadable/malformed baseline before the ladder runs.
+    let baseline = match &args.check_baseline {
+        Some(path) => Some((path, read_baseline(path, bench::BenchReport::parse)?)),
+        None => None,
+    };
     println!("== Machine-readable benchmark ladder (seed {}, batch {batch}) ==\n", args.seed);
     let report = bench::run(args.seed, batch);
     let headers = ["Metric", "Backend", "Options/s", "p99 (us)", "Util", "Backpressure"];
@@ -422,48 +481,102 @@ fn cmd_bench(args: &Args) {
         .collect();
     println!("{}", render_table(&headers, &rows));
     if let Some(path) = &args.json_path {
-        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::create_dir_all(dir).expect("create bench output dir");
-        }
-        std::fs::write(path, report.pretty()).expect("write bench json");
+        write_json_report(path, &report.pretty())?;
         println!("[bench report written to {}]", path.display());
     }
-    if let Some(baseline_path) = &args.check_baseline {
-        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
-            eprintln!("error: cannot read baseline {}: {e}", baseline_path.display());
-            std::process::exit(2);
-        });
-        let baseline = bench::BenchReport::parse(&text).unwrap_or_else(|e| {
-            eprintln!("error: malformed baseline {}: {e}", baseline_path.display());
-            std::process::exit(2);
-        });
+    if let Some((path, baseline)) = baseline {
         let problems = bench::compare(&baseline, &report, args.tolerance);
         if problems.is_empty() {
             println!(
                 "check against {}: PASS ({} metrics within {:.0}%)",
-                baseline_path.display(),
+                path.display(),
                 baseline.metrics.len(),
                 args.tolerance * 100.0
             );
         } else {
-            eprintln!("check against {}: FAIL", baseline_path.display());
+            eprintln!("check against {}: FAIL", path.display());
             for p in &problems {
                 eprintln!("  regression: {p}");
             }
-            std::process::exit(1);
+            return Err(CliError::GateFailed);
         }
     }
+    Ok(())
 }
 
-fn main() {
-    let args = parse_args();
-    let workload = Workload::paper(args.seed, args.options.unwrap_or(cds_harness::DEFAULT_BATCH));
+fn cmd_chaos(args: &Args, standalone: bool) -> CliResult {
+    // Fail fast on an unreadable/malformed baseline before the matrix runs.
+    let baseline = match args.check_baseline.as_ref().filter(|_| standalone) {
+        Some(path) => Some((path, read_baseline(path, chaos::ChaosReport::parse)?)),
+        None => None,
+    };
+    println!("== Fault-injection chaos matrix (seed {}) ==\n", args.seed);
+    let report = chaos::run(args.seed);
+    let headers =
+        ["Scenario", "Faults", "Total", "Done", "Retried", "Shed", "Lost", "Degraded", "Survived"];
+    let rows: Vec<Vec<String>> = report
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.faults_injected.to_string(),
+                c.options_total.to_string(),
+                c.options_completed.to_string(),
+                c.options_retried.to_string(),
+                c.options_shed.to_string(),
+                c.options_lost.to_string(),
+                if c.degraded { "yes" } else { "no" }.to_string(),
+                if c.survived { "PASS" } else { "FAIL" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    if let Some(path) = args.json_path.as_ref().filter(|_| standalone) {
+        write_json_report(path, &report.pretty())?;
+        println!("[chaos report written to {}]", path.display());
+    }
+    if let Some((path, baseline)) = baseline {
+        let problems = chaos::compare(&baseline, &report);
+        if problems.is_empty() {
+            println!(
+                "check against {}: PASS ({} scenarios identical)",
+                path.display(),
+                baseline.cases.len()
+            );
+        } else {
+            eprintln!("check against {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  regression: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
+    } else if !report.all_survived() {
+        eprintln!("chaos matrix: FAIL (a scenario did not survive)");
+        return Err(CliError::GateFailed);
+    }
+    Ok(())
+}
+
+fn run(args: &Args) -> CliResult {
+    let workload =
+        Workload::try_paper(args.seed, args.options.unwrap_or(cds_harness::DEFAULT_BATCH))
+            .map_err(|e| fatal(format!("invalid workload parameters: {e}")))?;
     match args.command.as_str() {
         "table1" => cmd_table1(&workload, &args.csv_dir),
         "table2" => cmd_table2(&workload, &args.csv_dir),
-        "fig1" => print!("{}", figures::fig1_dot()),
-        "fig2" => print!("{}", figures::fig2_dot(&workload.market)),
-        "fig3" => print!("{}", figures::fig3_dot(&workload.market)),
+        "fig1" => {
+            print!("{}", figures::fig1_dot());
+            Ok(())
+        }
+        "fig2" => {
+            print!("{}", figures::fig2_dot(&workload.market));
+            Ok(())
+        }
+        "fig3" => {
+            print!("{}", figures::fig3_dot(&workload.market));
+            Ok(())
+        }
         "listing1" => cmd_listing1(&args.csv_dir),
         "ablation-vector" => cmd_vector(&workload, &args.csv_dir),
         "ablation-ii" => cmd_ii(&workload, &args.csv_dir),
@@ -481,38 +594,52 @@ fn main() {
         "ablation-curve" => cmd_curvesize(&workload, &args.csv_dir),
         "ablation-restart" => cmd_restart(&workload, &args.csv_dir),
         "host-cpu" => cmd_hostcpu(&workload, &args.csv_dir),
-        "bench" => cmd_bench(&args),
+        "bench" => cmd_bench(args),
+        "chaos" => cmd_chaos(args, true),
         "all" => {
             if let Some(dir) = &args.csv_dir {
-                std::fs::create_dir_all(dir).expect("create artifact dir");
-                std::fs::write(dir.join("fig1.dot"), figures::fig1_dot()).expect("write fig1");
-                std::fs::write(dir.join("fig2.dot"), figures::fig2_dot(&workload.market))
-                    .expect("write fig2");
-                std::fs::write(dir.join("fig3.dot"), figures::fig3_dot(&workload.market))
-                    .expect("write fig3");
+                create_dir(dir)?;
+                write_file(&dir.join("fig1.dot"), &figures::fig1_dot())?;
+                write_file(&dir.join("fig2.dot"), &figures::fig2_dot(&workload.market))?;
+                write_file(&dir.join("fig3.dot"), &figures::fig3_dot(&workload.market))?;
                 println!("[figures written to {}/fig{{1,2,3}}.dot]\n", dir.display());
             }
-            cmd_table1(&workload, &args.csv_dir);
-            cmd_table2(&workload, &args.csv_dir);
-            cmd_listing1(&args.csv_dir);
-            cmd_vector(&workload, &args.csv_dir);
-            cmd_ii(&workload, &args.csv_dir);
-            cmd_depth(&workload, &args.csv_dir);
+            cmd_table1(&workload, &args.csv_dir)?;
+            cmd_table2(&workload, &args.csv_dir)?;
+            cmd_listing1(&args.csv_dir)?;
+            cmd_vector(&workload, &args.csv_dir)?;
+            cmd_ii(&workload, &args.csv_dir)?;
+            cmd_depth(&workload, &args.csv_dir)?;
             cmd_precision(
                 args.seed,
                 args.options.unwrap_or(cds_harness::DEFAULT_BATCH),
                 &args.csv_dir,
-            );
-            cmd_fit(&workload);
-            cmd_futurework(&workload, &args.csv_dir);
-            cmd_streaming(&workload, &args.csv_dir);
-            cmd_curvesize(&workload, &args.csv_dir);
-            cmd_restart(&workload, &args.csv_dir);
-            cmd_validate(&workload);
-            cmd_trace(&workload);
-            cmd_hostcpu(&workload, &args.csv_dir);
-            cmd_bench(&args);
+            )?;
+            cmd_fit(&workload)?;
+            cmd_futurework(&workload, &args.csv_dir)?;
+            cmd_streaming(&workload, &args.csv_dir)?;
+            cmd_curvesize(&workload, &args.csv_dir)?;
+            cmd_restart(&workload, &args.csv_dir)?;
+            cmd_validate(&workload)?;
+            cmd_trace(&workload)?;
+            cmd_hostcpu(&workload, &args.csv_dir)?;
+            cmd_bench(args)?;
+            // `--check`/`--json` under `all` name the *bench* artefacts;
+            // the chaos gate has its own baseline and runs survival-only.
+            cmd_chaos(args, false)
         }
         other => usage(&format!("unknown command {other}")),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => {}
+        Err(CliError::Fatal(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+        Err(CliError::GateFailed) => std::process::exit(1),
     }
 }

@@ -2,6 +2,7 @@
 //! and hazard rates are used", processing a batch of CDS options.
 
 use cds_quant::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
+use cds_quant::QuantError;
 
 /// A fully specified experiment workload.
 #[derive(Debug, Clone)]
@@ -19,20 +20,37 @@ impl Workload {
     /// time points each — the per-option work level at which the
     /// simulator reproduces the paper's Table I rates; DESIGN.md §5).
     pub fn paper(seed: u64, n_options: usize) -> Self {
-        Workload {
-            market: MarketData::paper_workload(seed),
-            options: PortfolioGenerator::uniform(n_options, 5.5, PaymentFrequency::Quarterly, 0.40),
-            seed,
+        match Self::try_paper(seed, n_options) {
+            Ok(w) => w,
+            Err(e) => panic!("paper workload parameters are invalid: {e}"),
         }
+    }
+
+    /// As [`Workload::paper`], surfacing contract violations as
+    /// [`QuantError`] instead of panicking.
+    pub fn try_paper(seed: u64, n_options: usize) -> Result<Self, QuantError> {
+        Ok(Workload {
+            market: MarketData::paper_workload(seed),
+            options: PortfolioGenerator::try_uniform(
+                n_options,
+                5.5,
+                PaymentFrequency::Quarterly,
+                0.40,
+            )?,
+            seed,
+        })
     }
 
     /// A realistic mixed portfolio (maturities 1–10y, mostly quarterly).
     pub fn mixed(seed: u64, n_options: usize) -> Self {
-        Workload {
-            market: MarketData::paper_workload(seed),
-            options: PortfolioGenerator::new(seed).portfolio(n_options),
-            seed,
-        }
+        let options = PortfolioGenerator::new(seed).portfolio(n_options);
+        debug_assert!(options.iter().all(|o| CdsOption::validated(
+            o.maturity,
+            o.frequency,
+            o.recovery_rate
+        )
+        .is_ok()));
+        Workload { market: MarketData::paper_workload(seed), options, seed }
     }
 
     /// Number of options in the batch.
@@ -63,6 +81,16 @@ mod tests {
         let w = Workload::mixed(1, 64);
         let first = w.options[0].maturity;
         assert!(w.options.iter().any(|o| o.maturity != first));
+    }
+
+    #[test]
+    fn try_paper_matches_paper() {
+        let a = Workload::paper(3, 8);
+        let b = match Workload::try_paper(3, 8) {
+            Ok(w) => w,
+            Err(e) => panic!("paper parameters are valid: {e}"),
+        };
+        assert_eq!(a.options, b.options);
     }
 
     #[test]

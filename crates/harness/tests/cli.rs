@@ -1,0 +1,85 @@
+//! Black-box tests of the `cds-harness` binary's exit-code contract:
+//! usage and IO errors exit 2 with an `error:` message, gate failures
+//! exit 1, success exits 0. Uses fast subcommands only.
+
+use std::process::Command;
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cds-harness"))
+}
+
+#[test]
+fn missing_command_exits_2() {
+    let out = harness().output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = harness().arg("no-such-command").output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn bad_flag_value_exits_2() {
+    let out = harness().args(["fit", "--options", "minus-one"]).output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--options"));
+}
+
+#[test]
+fn chaos_with_nonexistent_baseline_exits_2_fast() {
+    // The baseline is read before the matrix runs, so a bad path fails
+    // immediately instead of after the full fault sweep.
+    let out = harness()
+        .args(["chaos", "--check", "/nonexistent/dir/chaos_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read baseline"), "{stderr}");
+}
+
+#[test]
+fn bench_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["bench", "--check", "/nonexistent/dir/bench_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read baseline"), "{stderr}");
+}
+
+#[test]
+fn bench_with_malformed_baseline_exits_2() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("malformed.json");
+    std::fs::write(&path, "{ not json").expect("write malformed baseline");
+    let out = harness()
+        .args(["bench", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed baseline"));
+}
+
+#[test]
+fn fit_succeeds_with_exit_0() {
+    let out = harness().args(["fit", "--options", "4"]).output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("maximum engines"));
+}
+
+#[test]
+fn csv_write_to_unwritable_dir_exits_2() {
+    let out = harness()
+        .args(["listing1", "--csv", "/proc/no-such-dir/csv"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}

@@ -96,11 +96,12 @@ const MAX_ITER: u32 = 80;
 ///     frequency: PaymentFrequency::Quarterly,
 ///     recovery: 0.40,
 /// }];
-/// let fitted = bootstrap_hazard(&rates, &quotes).unwrap();
+/// let fitted = bootstrap_hazard(&rates, &quotes)?;
 /// // The fitted curve reprices the quote to par.
 /// let market = MarketData { interest: rates, hazard: fitted.hazard };
 /// let spread = price_cds(&market, &CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40));
 /// assert!((spread.spread_bps - 120.0).abs() < 1e-6);
+/// # Ok::<(), cds_quant::bootstrap::BootstrapError>(())
 /// ```
 pub fn bootstrap_hazard(
     interest: &Curve<f64>,
@@ -182,7 +183,7 @@ pub fn bootstrap_hazard(
 
     Ok(BootstrapResult {
         hazard: Curve::from_slices(&knot_tenors, &knot_values)
-            .expect("bootstrap knots are strictly increasing"),
+            .unwrap_or_else(|e| unreachable!("bootstrap knots are strictly increasing: {e}")),
         segment_hazards,
         residuals_bps: residuals,
         iterations,
@@ -204,12 +205,20 @@ fn curve_with_segment(tenors: &[f64], values: &[f64], maturity: f64, h: f64) -> 
     }
     ts.push(maturity);
     vs.push(h);
-    Curve::from_slices(&ts, &vs).expect("candidate knots strictly increasing")
+    Curve::from_slices(&ts, &vs)
+        .unwrap_or_else(|e| unreachable!("candidate knots strictly increasing: {e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
 
     fn flat_rates() -> Curve<f64> {
         Curve::flat(0.02, 64, 30.0)
@@ -227,7 +236,7 @@ mod tests {
         let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
         let par = price_cds(&market, &option).spread_bps;
 
-        let result = bootstrap_hazard(&flat_rates(), &[quote(5.0, par)]).unwrap();
+        let result = ok(bootstrap_hazard(&flat_rates(), &[quote(5.0, par)]));
         assert_eq!(result.segment_hazards.len(), 1);
         let h_fit = result.segment_hazards[0];
         assert!((h_fit - h_true).abs() < 1e-6, "fitted {h_fit} vs true {h_true}");
@@ -238,7 +247,7 @@ mod tests {
     fn multi_quote_round_trip_reprices_exactly() {
         let rates = flat_rates();
         let quotes = vec![quote(1.0, 60.0), quote(3.0, 95.0), quote(5.0, 130.0), quote(7.0, 150.0)];
-        let result = bootstrap_hazard(&rates, &quotes).unwrap();
+        let result = ok(bootstrap_hazard(&rates, &quotes));
         // Every input quote must reprice to par off the fitted curve.
         let market = MarketData { interest: rates, hazard: result.hazard.clone() };
         for q in &quotes {
@@ -260,7 +269,7 @@ mod tests {
     #[test]
     fn steeply_inverted_curve_yields_falling_hazards() {
         let quotes = vec![quote(1.0, 300.0), quote(5.0, 150.0)];
-        let result = bootstrap_hazard(&flat_rates(), &quotes).unwrap();
+        let result = ok(bootstrap_hazard(&flat_rates(), &quotes));
         assert!(result.segment_hazards[1] < result.segment_hazards[0]);
     }
 
@@ -287,7 +296,7 @@ mod tests {
     #[test]
     fn solver_converges_quickly() {
         let quotes = vec![quote(1.0, 60.0), quote(5.0, 130.0), quote(10.0, 180.0)];
-        let result = bootstrap_hazard(&flat_rates(), &quotes).unwrap();
+        let result = ok(bootstrap_hazard(&flat_rates(), &quotes));
         for (i, iters) in result.iterations.iter().enumerate() {
             assert!(*iters <= 20, "quote {i} took {iters} iterations");
         }
@@ -297,7 +306,7 @@ mod tests {
     fn credit_triangle_is_a_good_first_guess() {
         // The fitted hazard should be near spread/(1−R).
         let quotes = vec![quote(5.0, 120.0)];
-        let result = bootstrap_hazard(&flat_rates(), &quotes).unwrap();
+        let result = ok(bootstrap_hazard(&flat_rates(), &quotes));
         let triangle = 120.0 / 10_000.0 / 0.6;
         assert!((result.segment_hazards[0] - triangle).abs() / triangle < 0.05);
     }
@@ -321,10 +330,15 @@ mod proptests {
             let market = MarketData { interest: rates.clone(), hazard: Curve::flat(h, 32, 30.0) };
             let option = CdsOption::new(maturity, PaymentFrequency::Quarterly, 0.40);
             let par = price_cds(&market, &option).spread_bps;
-            let result = bootstrap_hazard(
+            let fitted = bootstrap_hazard(
                 &rates,
                 &[CdsQuote { maturity, spread_bps: par, frequency: PaymentFrequency::Quarterly, recovery: 0.40 }],
-            ).unwrap();
+            );
+            prop_assert!(fitted.is_ok());
+            let result = match fitted {
+                Ok(r) => r,
+                Err(_) => unreachable!(),
+            };
             prop_assert!((result.segment_hazards[0] - h).abs() < 1e-5,
                 "fitted {} vs true {}", result.segment_hazards[0], h);
         }
@@ -341,7 +355,12 @@ mod proptests {
                 CdsQuote { maturity: 5.0, spread_bps: base + step1, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
                 CdsQuote { maturity: 8.0, spread_bps: base + step1 + step2, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
             ];
-            let result = bootstrap_hazard(&rates, &quotes).unwrap();
+            let fitted = bootstrap_hazard(&rates, &quotes);
+            prop_assert!(fitted.is_ok());
+            let result = match fitted {
+                Ok(r) => r,
+                Err(_) => unreachable!(),
+            };
             let market = MarketData { interest: rates, hazard: result.hazard };
             for q in &quotes {
                 let option = CdsOption::new(q.maturity, q.frequency, q.recovery);

@@ -125,10 +125,11 @@ pub fn is_imm_date(date: &Date) -> bool {
 pub fn next_imm_date(date: &Date) -> Date {
     for &m in &IMM_MONTHS {
         if date.month < m || (date.month == m && date.day < 20) {
-            return Date::new(date.year, m, 20).expect("IMM dates are valid");
+            return Date::new(date.year, m, 20)
+                .unwrap_or_else(|e| unreachable!("IMM dates are valid: {e}"));
         }
     }
-    Date::new(date.year + 1, 3, 20).expect("IMM dates are valid")
+    Date::new(date.year + 1, 3, 20).unwrap_or_else(|e| unreachable!("IMM dates are valid: {e}"))
 }
 
 /// Standard CDS maturity for a trade date and a tenor in whole years: the
@@ -136,13 +137,15 @@ pub fn next_imm_date(date: &Date) -> Date {
 ///
 /// ```
 /// use cds_quant::calendar::{imm_maturity, Date};
-/// let trade = Date::new(2026, 7, 5).unwrap();
+/// let trade = Date::new(2026, 7, 5)?;
 /// let maturity = imm_maturity(&trade, 5);
 /// assert_eq!(maturity.to_string(), "2031-09-20");
+/// # Ok::<(), cds_quant::QuantError>(())
 /// ```
 pub fn imm_maturity(trade: &Date, tenor_years: u32) -> Date {
     let roll = next_imm_date(trade);
-    Date::new(roll.year + tenor_years as i32, roll.month, 20).expect("IMM dates are valid")
+    Date::new(roll.year + tenor_years as i32, roll.month, 20)
+        .unwrap_or_else(|e| unreachable!("IMM dates are valid: {e}"))
 }
 
 /// All quarterly IMM payment dates in `(trade, maturity]`.
@@ -176,7 +179,10 @@ mod tests {
     use super::*;
 
     fn d(y: i32, m: u8, day: u8) -> Date {
-        Date::new(y, m, day).unwrap()
+        match Date::new(y, m, day) {
+            Ok(date) => date,
+            Err(e) => panic!("test date invalid: {e}"),
+        }
     }
 
     #[test]
@@ -248,7 +254,10 @@ mod tests {
 
     #[test]
     fn dated_schedule_bridges_to_engine_inputs() {
-        let (maturity, schedule) = imm_schedule(&d(2026, 7, 5), 5, DayCount::Act365Fixed).unwrap();
+        let (maturity, schedule) = match imm_schedule(&d(2026, 7, 5), 5, DayCount::Act365Fixed) {
+            Ok(pair) => pair,
+            Err(e) => panic!("IMM schedule is valid: {e}"),
+        };
         assert_eq!(maturity, d(2031, 9, 20));
         // 21 quarterly payments from Sep-2026 to Sep-2031.
         assert_eq!(schedule.len(), 21);
@@ -279,7 +288,12 @@ mod proptests {
 
         #[test]
         fn next_imm_is_imm_and_strictly_later(y in 1990i32..2100, m in 1u8..=12, day in 1u8..=28) {
-            let date = Date::new(y, m, day).unwrap();
+            let built = Date::new(y, m, day);
+            prop_assert!(built.is_ok());
+            let date = match built {
+                Ok(d) => d,
+                Err(_) => unreachable!(),
+            };
             let imm = next_imm_date(&date);
             prop_assert!(is_imm_date(&imm));
             prop_assert!(imm > date);

@@ -24,6 +24,12 @@ use crate::accumulate::sum_kahan;
 use crate::option::{CdsOption, MarketData};
 use crate::precision::CdsFloat;
 use crate::schedule::PaymentSchedule;
+use crate::QuantError;
+
+/// Payment-leg PV (premium + accrual annuity) below this threshold makes
+/// the spread quotient meaningless: the fair spread diverges. Such
+/// contracts surface as [`QuantError::DegenerateOption`].
+pub const DEGENERATE_ANNUITY_EPS: f64 = 1e-12;
 
 /// Result of pricing one CDS option.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,12 +98,25 @@ pub fn time_point_terms<F: CdsFloat>(
 }
 
 /// Price one CDS option against `f64` market data — the primary,
-/// paper-faithful entry point.
+/// paper-faithful entry point. Panics on degenerate inputs; service
+/// ingestion paths should use [`try_price_cds`].
 pub fn price_cds(market: &MarketData<f64>, option: &CdsOption) -> SpreadResult {
-    let schedule = PaymentSchedule::generate(option.maturity, option.frequency.per_year())
-        .expect("validated option always yields a schedule");
+    match try_price_cds(market, option) {
+        Ok(result) => result,
+        Err(e) => panic!("reference pricing failed: {e}"),
+    }
+}
+
+/// Fallible pricer: returns a typed error instead of panicking when the
+/// schedule cannot be generated or the contract's payment-leg PV is
+/// degenerate (near zero, so the spread quotient diverges).
+pub fn try_price_cds(
+    market: &MarketData<f64>,
+    option: &CdsOption,
+) -> Result<SpreadResult, QuantError> {
+    let schedule = PaymentSchedule::generate(option.maturity, option.frequency.per_year())?;
     let terms = time_point_terms(market, option.maturity, option.frequency.per_year(), &schedule);
-    combine_terms(&terms, option.recovery_rate)
+    try_combine_terms(&terms, option.recovery_rate)
 }
 
 /// Price a contract whose payment schedule is given explicitly (e.g. an
@@ -113,8 +132,22 @@ pub fn price_cds_with_schedule(
 }
 
 /// Combine per-time-point terms into the spread, using compensated
-/// summation for the reference accumulations.
+/// summation for the reference accumulations. Panics on a degenerate
+/// payment leg; see [`try_combine_terms`] for the fallible form.
 pub fn combine_terms(terms: &[TimePointTerms<f64>], recovery_rate: f64) -> SpreadResult {
+    match try_combine_terms(terms, recovery_rate) {
+        Ok(result) => result,
+        Err(e) => panic!("degenerate CDS terms: {e}"),
+    }
+}
+
+/// Combine per-time-point terms into the spread, returning
+/// [`QuantError::DegenerateOption`] when the payment-leg PV is near zero
+/// (previously this yielded an unbounded or zero spread silently).
+pub fn try_combine_terms(
+    terms: &[TimePointTerms<f64>],
+    recovery_rate: f64,
+) -> Result<SpreadResult, QuantError> {
     let payments: Vec<f64> = terms.iter().map(|t| t.payment).collect();
     let payoffs: Vec<f64> = terms.iter().map(|t| t.payoff).collect();
     let accruals: Vec<f64> = terms.iter().map(|t| t.accrual).collect();
@@ -123,15 +156,19 @@ pub fn combine_terms(terms: &[TimePointTerms<f64>], recovery_rate: f64) -> Sprea
     let accrual_annuity = sum_kahan(&accruals);
     let lgd = 1.0 - recovery_rate;
     let denom = premium_annuity + accrual_annuity;
-    let spread = if denom > 0.0 { lgd * protection_unit / denom } else { 0.0 };
-    SpreadResult {
+    // NaN falls through the first comparison but is caught by the second.
+    if denom <= DEGENERATE_ANNUITY_EPS || !denom.is_finite() {
+        return Err(QuantError::DegenerateOption { annuity: denom });
+    }
+    let spread = lgd * protection_unit / denom;
+    Ok(SpreadResult {
         spread_bps: spread * 10_000.0,
         premium_annuity,
         protection_unit,
         accrual_annuity,
         default_prob_at_maturity: terms.last().map(|t| t.default_prob).unwrap_or(0.0),
         time_points: terms.len(),
-    }
+    })
 }
 
 /// Generic-precision pricer returning only the spread in basis points,
@@ -142,8 +179,10 @@ pub fn price_cds_generic<F: CdsFloat>(
     payments_per_year: u32,
     recovery_rate: F,
 ) -> F {
-    let schedule = PaymentSchedule::generate(maturity, payments_per_year)
-        .expect("valid parameters yield a schedule");
+    let schedule = match PaymentSchedule::generate(maturity, payments_per_year) {
+        Ok(s) => s,
+        Err(e) => panic!("valid parameters yield a schedule: {e}"),
+    };
     let terms = time_point_terms(market, maturity, payments_per_year, &schedule);
     let mut premium = F::ZERO;
     let mut protection = F::ZERO;
@@ -184,9 +223,20 @@ impl CdsPricer {
         price_cds(&self.market, option)
     }
 
+    /// Fallible single-option pricing for ingestion boundaries.
+    pub fn try_price(&self, option: &CdsOption) -> Result<SpreadResult, QuantError> {
+        try_price_cds(&self.market, option)
+    }
+
     /// Price a batch, in order.
     pub fn price_batch(&self, options: &[CdsOption]) -> Vec<SpreadResult> {
         options.iter().map(|o| self.price(o)).collect()
+    }
+
+    /// Fallible batch pricing: stops at the first degenerate or invalid
+    /// contract, reporting its typed error.
+    pub fn try_price_batch(&self, options: &[CdsOption]) -> Result<Vec<SpreadResult>, QuantError> {
+        options.iter().map(|o| self.try_price(o)).collect()
     }
 }
 
@@ -303,7 +353,10 @@ mod tests {
     fn terms_decomposition_consistent() {
         let market = MarketData::paper_workload(11);
         let option = CdsOption::new(6.0, PaymentFrequency::Quarterly, 0.40);
-        let schedule = PaymentSchedule::generate(6.0, 4).unwrap();
+        let schedule = match PaymentSchedule::generate(6.0, 4) {
+            Ok(s) => s,
+            Err(e) => panic!("schedule parameters are valid: {e}"),
+        };
         let terms = time_point_terms(&market, 6.0, 4, &schedule);
         assert_eq!(terms.len(), 24);
         // Survival decreasing, default prob increasing, all terms finite
@@ -324,8 +377,14 @@ mod tests {
     #[test]
     fn explicit_schedule_path_matches_generated_one() {
         let market = MarketData::paper_workload(11);
-        let generated = PaymentSchedule::generate(6.0, 4).unwrap();
-        let explicit = PaymentSchedule::from_points(generated.points().to_vec()).unwrap();
+        let generated = match PaymentSchedule::generate(6.0, 4) {
+            Ok(s) => s,
+            Err(e) => panic!("schedule parameters are valid: {e}"),
+        };
+        let explicit = match PaymentSchedule::from_points(generated.points().to_vec()) {
+            Ok(s) => s,
+            Err(e) => panic!("generated points are valid: {e}"),
+        };
         let a = price_cds(&market, &CdsOption::new(6.0, PaymentFrequency::Quarterly, 0.4));
         let b = price_cds_with_schedule(&market, &explicit, 0.4);
         assert_eq!(a.spread_bps, b.spread_bps);
@@ -336,15 +395,21 @@ mod tests {
         use crate::calendar::{imm_schedule, Date};
         use crate::daycount::DayCount;
         let market = MarketData::paper_workload(11);
-        let trade = Date::new(2026, 7, 5).unwrap();
-        let (_maturity, schedule) = imm_schedule(&trade, 5, DayCount::Act365Fixed).unwrap();
+        let trade = match Date::new(2026, 7, 5) {
+            Ok(d) => d,
+            Err(e) => panic!("trade date is valid: {e}"),
+        };
+        let (_maturity, schedule) = match imm_schedule(&trade, 5, DayCount::Act365Fixed) {
+            Ok(pair) => pair,
+            Err(e) => panic!("IMM schedule is valid: {e}"),
+        };
         let dated = price_cds_with_schedule(&market, &schedule, 0.40);
         // Close to the synthetic 5.2y quarterly contract (the IMM grid
         // extends to the roll after trade+5y).
         let synthetic = price_cds(
             &market,
             &CdsOption::new(
-                schedule.points().last().copied().unwrap(),
+                schedule.points()[schedule.len() - 1],
                 PaymentFrequency::Quarterly,
                 0.40,
             ),
@@ -352,6 +417,56 @@ mod tests {
         let rel = (dated.spread_bps - synthetic.spread_bps).abs() / synthetic.spread_bps;
         assert!(rel < 0.01, "dated {} vs synthetic {}", dated.spread_bps, synthetic.spread_bps);
         assert_eq!(dated.time_points, 21);
+    }
+
+    #[test]
+    fn zero_hazard_curve_prices_to_zero_spread_not_nan() {
+        // Regression: with no default risk the protection leg is zero and
+        // the premium annuity is large — the spread must be exactly 0,
+        // finite, and NOT degenerate.
+        let market = flat_market(0.02, 0.0);
+        let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+        let res = match try_price_cds(&market, &option) {
+            Ok(r) => r,
+            Err(e) => panic!("zero hazard is benign: {e}"),
+        };
+        assert_eq!(res.spread_bps, 0.0);
+        assert!(res.premium_annuity > 1.0);
+        assert_eq!(res.default_prob_at_maturity, 0.0);
+    }
+
+    #[test]
+    fn vanishing_payment_leg_is_typed_degenerate_error() {
+        // A maturity so tiny that the single accrual period has near-zero
+        // year fraction: premium + accrual PV ≈ 0 and the spread quotient
+        // diverges. Previously this silently produced a huge or zero
+        // spread; now it is a typed error.
+        let market = flat_market(0.02, 0.02);
+        let option = CdsOption::new(1e-13, PaymentFrequency::Quarterly, 0.40);
+        match try_price_cds(&market, &option) {
+            Err(QuantError::DegenerateOption { annuity }) => {
+                assert!(annuity.abs() <= DEGENERATE_ANNUITY_EPS)
+            }
+            other => panic!("expected DegenerateOption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate CDS terms")]
+    fn infallible_combine_panics_loudly_on_degenerate_terms() {
+        combine_terms(&[], 0.40);
+    }
+
+    #[test]
+    fn try_batch_surfaces_first_degenerate_contract() {
+        let pricer = CdsPricer::new(flat_market(0.02, 0.02));
+        let degenerate = vec![CdsOption::new(1e-13, PaymentFrequency::Quarterly, 0.40)];
+        assert!(matches!(
+            pricer.try_price_batch(&degenerate),
+            Err(QuantError::DegenerateOption { .. })
+        ));
+        let sane = vec![CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40)];
+        assert_eq!(pricer.try_price_batch(&sane).map(|v| v.len()), Ok(1));
     }
 
     #[test]

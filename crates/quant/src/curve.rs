@@ -37,11 +37,12 @@ pub struct CurvePoint<F: CdsFloat = f64> {
 ///
 /// ```
 /// use cds_quant::curve::Curve;
-/// let hazard = Curve::from_slices(&[1.0, 5.0], &[0.01, 0.03]).unwrap();
+/// let hazard = Curve::from_slices(&[1.0, 5.0], &[0.01, 0.03])?;
 /// // Survival falls as the integrated hazard grows.
 /// assert!(hazard.survival(1.0) > hazard.survival(5.0));
 /// // Flat extrapolation beyond the last knot.
 /// assert_eq!(hazard.value_at(10.0), 0.03);
+/// # Ok::<(), cds_quant::QuantError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Curve<F: CdsFloat = f64> {
@@ -90,7 +91,8 @@ impl<F: CdsFloat> Curve<F> {
         let points = (1..=n)
             .map(|i| CurvePoint { tenor: horizon * F::from_usize(i) / F::from_usize(n), value })
             .collect();
-        Curve::new(points).expect("flat curve construction is always valid")
+        Curve::new(points)
+            .unwrap_or_else(|e| unreachable!("flat curve construction is always valid: {e}"))
     }
 
     /// Number of knots (the paper uses 1024 for both curves).
@@ -274,7 +276,10 @@ mod tests {
 
     fn ramp() -> Curve {
         // value(t) = t over tenors 1..=4
-        Curve::from_slices(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]).unwrap()
+        match Curve::from_slices(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]) {
+            Ok(c) => c,
+            Err(e) => panic!("ramp curve is valid: {e}"),
+        }
     }
 
     #[test]

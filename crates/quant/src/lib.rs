@@ -56,7 +56,8 @@ pub mod prelude {
     pub use crate::bootstrap::{bootstrap_hazard, BootstrapResult, CdsQuote};
     pub use crate::calendar::{imm_schedule, Date};
     pub use crate::cds::{
-        price_cds, price_cds_generic, price_cds_with_schedule, CdsPricer, SpreadResult,
+        price_cds, price_cds_generic, price_cds_with_schedule, try_price_cds, CdsPricer,
+        SpreadResult,
     };
     pub use crate::curve::{Curve, CurvePoint};
     pub use crate::daycount::YearFraction;
@@ -66,6 +67,7 @@ pub mod prelude {
         mark_to_market, sensitivities, spread_ladder, MarkToMarket, Sensitivities,
     };
     pub use crate::schedule::PaymentSchedule;
+    pub use crate::QuantError;
 }
 
 /// Errors produced when constructing or evaluating quant objects.
@@ -91,6 +93,13 @@ pub enum QuantError {
         /// Human-readable description of the violated constraint.
         reason: &'static str,
     },
+    /// The contract's payment-leg PV is zero or near zero, so the fair
+    /// spread quotient diverges (e.g. survival collapses before the first
+    /// payment date).
+    DegenerateOption {
+        /// The offending premium + accrual annuity.
+        annuity: f64,
+    },
 }
 
 impl std::fmt::Display for QuantError {
@@ -106,6 +115,9 @@ impl std::fmt::Display for QuantError {
                 write!(f, "curve value at index {index} is not finite")
             }
             QuantError::InvalidOption { reason } => write!(f, "invalid CDS option: {reason}"),
+            QuantError::DegenerateOption { annuity } => {
+                write!(f, "degenerate CDS option: payment-leg PV {annuity:e} is near zero")
+            }
         }
     }
 }
@@ -123,6 +135,7 @@ mod error_tests {
             (QuantError::NonMonotoneTenors { index: 3 }, "index 3"),
             (QuantError::NonFiniteValue { index: 7 }, "index 7"),
             (QuantError::InvalidOption { reason: "bad recovery" }, "bad recovery"),
+            (QuantError::DegenerateOption { annuity: 0.0 }, "payment-leg"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

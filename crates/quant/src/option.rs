@@ -60,10 +60,18 @@ pub struct CdsOption {
 }
 
 impl CdsOption {
-    /// Construct an option; panics on out-of-domain parameters (use
-    /// [`CdsOption::validated`] for fallible construction).
+    /// Infallible constructor for tests and trusted internal call sites
+    /// whose parameters are known-valid; panics on out-of-domain
+    /// parameters. Every ingestion boundary (harness workloads, the
+    /// streaming service, multi-engine batch entry) goes through
+    /// [`CdsOption::validated`] instead, so malformed quotes surface as
+    /// typed errors rather than aborts.
+    #[doc(hidden)]
     pub fn new(maturity: f64, frequency: PaymentFrequency, recovery_rate: f64) -> Self {
-        Self::validated(maturity, frequency, recovery_rate).expect("invalid CDS option parameters")
+        match Self::validated(maturity, frequency, recovery_rate) {
+            Ok(option) => option,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Fallible construction with domain validation.
@@ -92,6 +100,15 @@ pub struct MarketData<F: CdsFloat = f64> {
     pub interest: Curve<F>,
     /// Hazard-rate term structure.
     pub hazard: Curve<F>,
+}
+
+/// Internal invariant: generator-produced curve points are valid by
+/// construction.
+fn built_curve<F: CdsFloat>(points: Vec<CurvePoint<F>>, what: &str) -> Curve<F> {
+    match Curve::new(points) {
+        Ok(curve) => curve,
+        Err(e) => panic!("generated {what} curve must be valid: {e}"),
+    }
 }
 
 impl MarketData<f64> {
@@ -134,8 +151,8 @@ impl MarketData<f64> {
             hazard.push(CurvePoint { tenor: t, value: h.max(1e-4) });
         }
         MarketData {
-            interest: Curve::new(interest).expect("generated interest curve is valid"),
-            hazard: Curve::new(hazard).expect("generated hazard curve is valid"),
+            interest: built_curve(interest, "interest"),
+            hazard: built_curve(hazard, "hazard"),
         }
     }
 
@@ -158,21 +175,21 @@ impl MarketData<f64> {
             hazard.push(CurvePoint { tenor: t, value: h.max(1e-4) });
         }
         MarketData {
-            interest: Curve::new(interest).expect("generated interest curve is valid"),
-            hazard: Curve::new(hazard).expect("generated hazard curve is valid"),
+            interest: built_curve(interest, "interest"),
+            hazard: built_curve(hazard, "hazard"),
         }
     }
 
     /// Convert to reduced precision for the paper's further-work ablation.
     pub fn to_f32(&self) -> MarketData<f32> {
         let cvt = |c: &Curve<f64>| {
-            Curve::new(
+            built_curve(
                 c.points()
                     .iter()
                     .map(|p| CurvePoint { tenor: p.tenor as f32, value: p.value as f32 })
                     .collect(),
+                "reduced-precision",
             )
-            .expect("precision conversion preserves validity")
         };
         MarketData { interest: cvt(&self.interest), hazard: cvt(&self.hazard) }
     }
@@ -208,7 +225,10 @@ impl PortfolioGenerator {
             _ => PaymentFrequency::Quarterly,
         };
         let recovery = (0.40 + self.rng.gen_range(-0.15..0.15f64)).clamp(0.05, 0.8);
-        CdsOption::new(maturity, frequency, recovery)
+        match CdsOption::validated(maturity, frequency, recovery) {
+            Ok(option) => option,
+            Err(e) => unreachable!("generator draws from the valid domain: {e}"),
+        }
     }
 
     /// Draw a portfolio of `n` options.
@@ -226,7 +246,23 @@ impl PortfolioGenerator {
         frequency: PaymentFrequency,
         recovery: f64,
     ) -> Vec<CdsOption> {
-        (0..n).map(|_| CdsOption::new(maturity, frequency, recovery)).collect()
+        match Self::try_uniform(n, maturity, frequency, recovery) {
+            Ok(portfolio) => portfolio,
+            Err(e) => panic!("uniform portfolio parameters: {e}"),
+        }
+    }
+
+    /// Fallible [`PortfolioGenerator::uniform`]: validates the shared
+    /// contract parameters once and reports a typed error, for ingestion
+    /// boundaries fed by external configuration.
+    pub fn try_uniform(
+        n: usize,
+        maturity: f64,
+        frequency: PaymentFrequency,
+        recovery: f64,
+    ) -> Result<Vec<CdsOption>, QuantError> {
+        let prototype = CdsOption::validated(maturity, frequency, recovery)?;
+        Ok(vec![prototype; n])
     }
 }
 

@@ -113,17 +113,24 @@ impl<F: CdsFloat> PaymentSchedule<F> {
 mod tests {
     use super::*;
 
+    fn ok<T>(r: Result<T, crate::QuantError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
     #[test]
     fn quarterly_five_years_has_twenty_points() {
-        let s = PaymentSchedule::<f64>::generate(5.0, 4).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(5.0, 4));
         assert_eq!(s.len(), 20);
-        assert_eq!(*s.points().last().unwrap(), 5.0);
+        assert_eq!(s.points()[s.len() - 1], 5.0);
         assert!((s.points()[0] - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn stub_period_ends_at_maturity() {
-        let s = PaymentSchedule::<f64>::generate(1.1, 2).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(1.1, 2));
         // 0.5, 1.0, then stub to 1.1.
         assert_eq!(s.len(), 3);
         assert!((s.points()[2] - 1.1).abs() < 1e-12);
@@ -133,14 +140,14 @@ mod tests {
 
     #[test]
     fn short_maturity_single_stub() {
-        let s = PaymentSchedule::<f64>::generate(0.1, 4).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(0.1, 4));
         assert_eq!(s.len(), 1);
         assert_eq!(s.points()[0], 0.1);
     }
 
     #[test]
     fn maturity_on_period_boundary_has_no_stub() {
-        let s = PaymentSchedule::<f64>::generate(2.0, 2).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(2.0, 2));
         assert_eq!(s.len(), 4);
         let lens = s.period_lengths();
         for l in lens {
@@ -150,7 +157,7 @@ mod tests {
 
     #[test]
     fn points_strictly_increasing() {
-        let s = PaymentSchedule::<f64>::generate(7.3, 12).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(7.3, 12));
         for w in s.points().windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -158,14 +165,14 @@ mod tests {
 
     #[test]
     fn periods_tile_the_horizon() {
-        let s = PaymentSchedule::<f64>::generate(3.7, 4).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(3.7, 4));
         let total: f64 = s.period_lengths().iter().sum();
         assert!((total - 3.7).abs() < 1e-12);
     }
 
     #[test]
     fn midpoints_inside_periods() {
-        let s = PaymentSchedule::<f64>::generate(4.0, 4).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(4.0, 4));
         for ((a, b), m) in s.periods().zip(s.midpoints()) {
             assert!(a < m && m < b);
         }
@@ -191,7 +198,7 @@ mod tests {
 
     #[test]
     fn annual_payments() {
-        let s = PaymentSchedule::<f64>::generate(10.0, 1).unwrap();
+        let s = ok(PaymentSchedule::<f64>::generate(10.0, 1));
         assert_eq!(s.len(), 10);
     }
 }
@@ -204,9 +211,14 @@ mod proptests {
     proptest! {
         #[test]
         fn schedule_invariants(maturity in 0.05f64..30.0, freq in 1u32..=12) {
-            let s = PaymentSchedule::<f64>::generate(maturity, freq).unwrap();
+            let generated = PaymentSchedule::<f64>::generate(maturity, freq);
+            prop_assert!(generated.is_ok());
+            let s = match generated {
+                Ok(s) => s,
+                Err(_) => unreachable!(),
+            };
             // Last point is the maturity.
-            prop_assert!((s.points().last().unwrap() - maturity).abs() < 1e-9);
+            prop_assert!((s.points()[s.len() - 1] - maturity).abs() < 1e-9);
             // Strictly increasing.
             for w in s.points().windows(2) {
                 prop_assert!(w[0] < w[1]);

@@ -1,0 +1,160 @@
+//! Property-style edge-case tests over the quant layer's public API: on
+//! extreme-but-finite inputs every entry point must return `Ok`/`Err`,
+//! never panic, and never smuggle NaN into an `Ok` result.
+
+use cds_quant::bootstrap::{bootstrap_hazard, CdsQuote};
+use cds_quant::cds::try_price_cds;
+use cds_quant::curve::Curve;
+use cds_quant::daycount::{DayCount, YearFraction};
+use cds_quant::interp::binary_search;
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
+use cds_quant::schedule::PaymentSchedule;
+use cds_quant::QuantError;
+use proptest::prelude::*;
+
+fn freq(idx: u8) -> PaymentFrequency {
+    match idx % 4 {
+        0 => PaymentFrequency::Annual,
+        1 => PaymentFrequency::SemiAnnual,
+        2 => PaymentFrequency::Quarterly,
+        _ => PaymentFrequency::Monthly,
+    }
+}
+
+proptest! {
+    /// Pricing any finite-parameter option — including tiny maturities
+    /// that collapse the premium annuity — returns Ok or a typed Err.
+    #[test]
+    fn try_price_never_panics_on_extreme_options(
+        maturity in prop_oneof![
+            Just(1e-13), Just(1e-9), Just(1e-3), 0.01f64..40.0, Just(100.0)
+        ],
+        f in 0u8..4,
+        recovery in 0.0f64..0.999,
+        hazard in prop_oneof![Just(1e-12), Just(5.0), 1e-4f64..1.0],
+    ) {
+        let market = MarketData {
+            interest: Curve::flat(0.02, 16, 50.0),
+            hazard: Curve::flat(hazard, 16, 50.0),
+        };
+        match CdsOption::validated(maturity, freq(f), recovery) {
+            Err(_) => {}
+            Ok(option) => match try_price_cds(&market, &option) {
+                Ok(res) => {
+                    prop_assert!(res.spread_bps.is_finite());
+                    prop_assert!(res.premium_annuity.is_finite());
+                }
+                Err(QuantError::DegenerateOption { .. }) => {}
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            },
+        }
+    }
+
+    /// Near-zero and single-segment schedules: generate rejects
+    /// non-positive maturities and handles micro-stubs without panicking.
+    #[test]
+    fn schedule_generation_handles_tiny_maturities(
+        maturity in prop_oneof![Just(1e-13), Just(1e-9), 1e-6f64..0.3],
+        payments in 1u32..=12,
+    ) {
+        match PaymentSchedule::<f64>::generate(maturity, payments) {
+            Err(_) => {}
+            Ok(s) => {
+                prop_assert!(!s.points().is_empty());
+                prop_assert!(s.points().iter().all(|p| p.is_finite() && *p > 0.0));
+            }
+        }
+    }
+
+    /// Single-point curves are rejected at construction, never later.
+    #[test]
+    fn single_point_and_degenerate_curves_are_rejected(t in 0.1f64..30.0, v in -1.0f64..5.0) {
+        prop_assert!(Curve::from_slices(&[t], &[v]).is_err());
+        prop_assert!(Curve::<f64>::from_slices(&[], &[]).is_err());
+        // Duplicate tenor (zero-width step) is rejected too.
+        prop_assert!(Curve::from_slices(&[t, t], &[v, v]).is_err());
+    }
+
+    /// Interpolation over a step (piecewise-constant-ish) hazard curve:
+    /// queries anywhere on the extended axis stay finite and bounded by
+    /// the knot values.
+    #[test]
+    fn step_curve_interpolation_is_bounded(
+        lo in 0.001f64..0.5,
+        hi in 0.5f64..5.0,
+        x in 0.0f64..50.0,
+    ) {
+        // A steep step via two near-coincident knots, as the bootstrap
+        // emits for piecewise-flat hazards.
+        let xs = [1.0, 1.0 + 1e-9, 30.0];
+        let ys = [lo, hi, hi];
+        let y = binary_search(&xs, &ys, x);
+        prop_assert!(y.is_finite());
+        prop_assert!(y >= lo.min(hi) - 1e-12 && y <= lo.max(hi) + 1e-12);
+    }
+
+    /// Day-count fractions stay finite and non-negative for any day/month
+    /// span a CDS schedule can produce, under every convention.
+    #[test]
+    fn daycount_fractions_are_finite(days in 0u32..200_000, months in 0u32..1_200, c in 0u8..3) {
+        let convention = match c {
+            0 => DayCount::Act365Fixed,
+            1 => DayCount::Act360,
+            _ => DayCount::Thirty360,
+        };
+        let by_days = convention.year_fraction_days(days).years();
+        let by_months = convention.year_fraction_months(months).years();
+        prop_assert!(by_days.is_finite() && by_days >= 0.0);
+        prop_assert!(by_months.is_finite() && by_months >= 0.0);
+    }
+
+    /// YearFraction validates: negative/NaN rejected, finite accepted.
+    #[test]
+    fn year_fraction_validation(years in -10.0f64..10.0) {
+        match YearFraction::new(years) {
+            Ok(y) => prop_assert!(y.years() >= 0.0),
+            Err(_) => prop_assert!(years < 0.0 || !years.is_finite()),
+        }
+    }
+
+    /// Bootstrap on a steeply stepped quote ladder either fits or reports
+    /// `NoSolution`/`NonMonotoneMaturities` — it must not panic or hang.
+    #[test]
+    fn bootstrap_survives_extreme_quote_ladders(
+        s1 in 1.0f64..2_000.0,
+        s2 in 1.0f64..2_000.0,
+        m1 in 0.25f64..3.0,
+        gap in prop_oneof![Just(0.0), 0.25f64..5.0],
+    ) {
+        let rates = Curve::flat(0.02, 16, 40.0);
+        let quotes = [
+            CdsQuote { maturity: m1, spread_bps: s1, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
+            CdsQuote { maturity: m1 + gap, spread_bps: s2, frequency: PaymentFrequency::Quarterly, recovery: 0.4 },
+        ];
+        // A typed rejection is acceptable; panicking is not.
+        if let Ok(result) = bootstrap_hazard(&rates, &quotes) {
+            prop_assert!(result.segment_hazards.iter().all(|h| h.is_finite() && *h >= 0.0));
+        }
+    }
+
+    /// The validated portfolio generator refuses out-of-domain parameters
+    /// instead of producing unpriceable options.
+    #[test]
+    fn try_uniform_rejects_invalid_parameters(
+        maturity in prop_oneof![Just(-1.0), Just(0.0), Just(f64::NAN), 0.5f64..10.0],
+        recovery in prop_oneof![Just(-0.1), Just(1.0), Just(1.5), 0.0f64..0.99],
+    ) {
+        match PortfolioGenerator::try_uniform(4, maturity, PaymentFrequency::Quarterly, recovery) {
+            Ok(opts) => {
+                prop_assert!(maturity > 0.0 && maturity.is_finite());
+                prop_assert!((0.0..1.0).contains(&recovery));
+                prop_assert_eq!(opts.len(), 4);
+            }
+            Err(_) => {
+                prop_assert!(
+                    maturity <= 0.0 || !maturity.is_finite() || !(0.0..1.0).contains(&recovery)
+                );
+            }
+        }
+    }
+}
