@@ -9,6 +9,15 @@
 use crate::engine::{CpuBatchStats, CpuCdsEngine};
 use cds_quant::option::CdsOption;
 
+/// Unwrap a worker's result, re-raising its panic payload on the calling
+/// thread instead of wrapping it in a second panic message.
+fn join_or_propagate<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Price a batch across `threads` OS threads, preserving option order.
 ///
 /// # Panics
@@ -27,7 +36,7 @@ pub fn price_parallel(engine: &CpuCdsEngine, options: &[CdsOption], threads: usi
             .chunks(chunk_size)
             .map(|chunk| scope.spawn(move || engine.price_batch(chunk)))
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("pricing thread panicked")).collect()
+        handles.into_iter().flat_map(join_or_propagate).collect()
     })
 }
 
@@ -54,7 +63,7 @@ pub fn price_parallel_stats(
             .chunks(chunk_size)
             .map(|chunk| scope.spawn(move || engine.price_batch_stats(chunk)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("pricing thread panicked")).collect()
+        handles.into_iter().map(join_or_propagate).collect()
     });
     let mut spreads = Vec::with_capacity(options.len());
     let mut stats = CpuBatchStats { threads: per_chunk.len() as u64, ..CpuBatchStats::default() };
@@ -89,7 +98,7 @@ pub fn price_parallel_soa(
             .chunks(chunk_size)
             .map(|chunk| scope.spawn(move || crate::soa::price_batch_soa(engine, chunk)))
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("pricing thread panicked")).collect()
+        handles.into_iter().flat_map(join_or_propagate).collect()
     })
 }
 

@@ -205,6 +205,11 @@ impl EventSim {
             total_cycles,
             events,
             faults: self.faults.as_ref().map(|s| s.borrow().counters).unwrap_or_default(),
+            fault_events: self
+                .faults
+                .as_ref()
+                .map(|s| s.borrow().events.clone())
+                .unwrap_or_default(),
             streams: self
                 .streams
                 .iter()

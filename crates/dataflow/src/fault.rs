@@ -70,6 +70,55 @@ impl FaultCounters {
     }
 }
 
+/// Kind of an injected per-token fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Token delayed by a stage stall.
+    Stall,
+    /// Token silently discarded.
+    Drop,
+    /// Token mutated in flight.
+    Corrupt,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Stall => write!(f, "stall"),
+            FaultKind::Drop => write!(f, "drop"),
+            FaultKind::Corrupt => write!(f, "corrupt"),
+        }
+    }
+}
+
+/// One injected per-token fault, recorded with the stream and absolute
+/// push index it hit — so survival reports can say *what* was damaged,
+/// not just how much, and the engine layer can quarantine exactly the
+/// affected options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Name of the stream the fault fired on.
+    pub stream: String,
+    /// 0-based absolute push index of the affected token.
+    pub token: u64,
+    /// What was done to the token.
+    pub kind: FaultKind,
+    /// Identity of the option the token belonged to, when the plan has a
+    /// registered extractor (see [`FaultPlan::identify`]) for the
+    /// stream's payload type.
+    pub opt_idx: Option<u32>,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}[{}]", self.kind, self.stream, self.token)?;
+        if let Some(opt) = self.opt_idx {
+            write!(f, " opt {opt}")?;
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone)]
 struct StallSpec {
     stream: String,
@@ -110,6 +159,9 @@ pub struct FaultPlan {
     drops: Vec<DropSpec>,
     corrupts: Vec<CorruptSpec>,
     deaths: Vec<DeathSpec>,
+    /// Type-erased `Rc<dyn Fn(&T) -> Option<u32>>` identity extractors,
+    /// tried in order when a stream of payload type `T` is created.
+    idents: Vec<Rc<dyn Any>>,
 }
 
 impl std::fmt::Debug for FaultPlan {
@@ -120,6 +172,7 @@ impl std::fmt::Debug for FaultPlan {
             .field("drops", &self.drops)
             .field("corrupts", &self.corrupts.len())
             .field("deaths", &self.deaths)
+            .field("idents", &self.idents.len())
             .finish()
     }
 }
@@ -184,6 +237,19 @@ impl FaultPlan {
         self
     }
 
+    /// Register an option-identity extractor for payload type `T`: when
+    /// a stall/drop/corrupt fault fires on a stream carrying `T`, the
+    /// recorded [`FaultEvent`] is tagged with the option the token
+    /// belonged to. Identity is extracted *before* any corruption is
+    /// applied, so a mutator that damages the identity field itself
+    /// still yields the true owner.
+    #[must_use]
+    pub fn identify<T: 'static>(mut self, f: impl Fn(&T) -> Option<u32> + 'static) -> Self {
+        let extractor: IdentFn<T> = Rc::new(f);
+        self.idents.push(Rc::new(extractor));
+        self
+    }
+
     /// Kill every process whose name starts with `prefix` at `at_cycle`.
     /// Models a whole dataflow region (one engine of a multi-engine
     /// deployment) dying mid-run.
@@ -198,6 +264,7 @@ impl FaultPlan {
     pub(crate) fn runtime(&self) -> SharedFaults {
         Rc::new(RefCell::new(FaultState {
             counters: FaultCounters::default(),
+            events: Vec::new(),
             deaths: self
                 .deaths
                 .iter()
@@ -233,7 +300,8 @@ impl FaultPlan {
         if stalls.is_empty() && drops.is_empty() && corrupts.is_empty() {
             return None;
         }
-        Some(StreamFaultHooks { stalls, drops, corrupts, shared: shared.clone() })
+        let ident = self.idents.iter().find_map(|i| i.downcast_ref::<IdentFn<T>>().cloned());
+        Some(StreamFaultHooks { stalls, drops, corrupts, ident, shared: shared.clone() })
     }
 }
 
@@ -242,6 +310,7 @@ impl FaultPlan {
 #[derive(Debug, Default)]
 pub(crate) struct FaultState {
     pub(crate) counters: FaultCounters,
+    pub(crate) events: Vec<FaultEvent>,
     pub(crate) deaths: Vec<DeathState>,
 }
 
@@ -257,6 +326,9 @@ pub(crate) type SharedFaults = Rc<RefCell<FaultState>>;
 /// `(token index, mutator)` pairs attached to one stream.
 pub(crate) type CorruptHooks<T> = Vec<(u64, Rc<dyn Fn(T) -> T>)>;
 
+/// Extracts the owning option index from a stream payload.
+pub(crate) type IdentFn<T> = Rc<dyn Fn(&T) -> Option<u32>>;
+
 /// Push-time fault hooks attached to a single stream.
 pub(crate) struct StreamFaultHooks<T> {
     /// `(first_n_tokens, extra_cycles)` stall windows.
@@ -265,6 +337,8 @@ pub(crate) struct StreamFaultHooks<T> {
     pub(crate) drops: Vec<u64>,
     /// 0-based push indices to mutate.
     pub(crate) corrupts: CorruptHooks<T>,
+    /// Extracts the owning option index from a payload, for event tagging.
+    pub(crate) ident: Option<IdentFn<T>>,
     pub(crate) shared: SharedFaults,
 }
 
@@ -431,6 +505,36 @@ mod sim_tests {
         assert_eq!(e.total_cycles, c.total_cycles);
         assert_eq!(e.faults, c.faults);
         assert_eq!(s1.collected(), s2.collected());
+    }
+
+    #[test]
+    fn fault_events_name_stream_and_token() {
+        let plan = FaultPlan::new(9).drop_nth("s", 4).corrupt_nth::<u64>("s", 2, |v| v + 1);
+        let (g, _sink) = pipeline(10, Some(plan));
+        let report = ok(EventSim::new(g).run());
+        assert_eq!(report.fault_events.len(), 2);
+        let corrupt = &report.fault_events[0];
+        assert_eq!((corrupt.stream.as_str(), corrupt.token), ("s", 2));
+        assert_eq!(corrupt.kind, FaultKind::Corrupt);
+        assert_eq!(corrupt.opt_idx, None, "no identity extractor registered");
+        let drop = &report.fault_events[1];
+        assert_eq!((drop.stream.as_str(), drop.token, drop.kind), ("s", 4, FaultKind::Drop));
+        assert_eq!(format!("{corrupt}"), "corrupt s[2]");
+    }
+
+    #[test]
+    fn fault_events_carry_option_identity() {
+        // Corrupt the identity field itself: the event must still name
+        // the original owner, because identity is extracted pre-mutation.
+        let plan = FaultPlan::new(10)
+            .corrupt_nth::<u64>("s", 3, |_| 999)
+            .identify::<u64>(|&v| Some(v as u32));
+        let (g, sink) = pipeline(6, Some(plan));
+        let report = ok(EventSim::new(g).run());
+        assert_eq!(sink.values(), vec![0, 1, 2, 999, 4, 5]);
+        assert_eq!(report.fault_events.len(), 1);
+        assert_eq!(report.fault_events[0].opt_idx, Some(3));
+        assert_eq!(format!("{}", report.fault_events[0]), "corrupt s[3] opt 3");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`Process::outputs`]), which powers the DOT export used to regenerate
 //! the paper's architecture figures.
 
-use crate::fault::{FaultCounters, FaultPlan, SharedFaults};
+use crate::fault::{FaultCounters, FaultEvent, FaultPlan, SharedFaults};
 use crate::process::Process;
 use crate::stages::{SinkHandle, SinkStage};
 use crate::stream::{stream_pair_with_faults, StreamId, StreamReceiver, StreamSender, StreamStats};
@@ -205,6 +205,9 @@ pub struct SimReport {
     pub streams: Vec<StreamReport>,
     /// Faults injected during the run (all zeros without a fault plan).
     pub faults: FaultCounters,
+    /// Per-token fault records (stream, push index, kind, option
+    /// identity) in injection order; empty without a fault plan.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 /// Simulation failures.

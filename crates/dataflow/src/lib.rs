@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::clock::ClockModel;
     pub use crate::cycle_sim::CycleSim;
     pub use crate::event_sim::EventSim;
-    pub use crate::fault::{FaultCounters, FaultPlan};
+    pub use crate::fault::{FaultCounters, FaultEvent, FaultKind, FaultPlan};
     pub use crate::graph::{GraphBuilder, SimError, SimReport};
     pub use crate::hbm::{MemoryModel, PcieModel};
     pub use crate::pipeline::PipelinedLoop;

@@ -180,25 +180,41 @@ impl<T> StreamSender<T> {
                 let mut value = value;
                 let mut avail = avail;
                 let mut injected = crate::fault::FaultCounters::default();
+                let mut kinds: Vec<crate::fault::FaultKind> = Vec::new();
+                // Identity is extracted before any mutation: a corrupt
+                // fault may damage the very field that names the option.
+                let opt_idx = hooks.ident.as_ref().and_then(|f| f(&value));
                 for &(tokens, extra) in &hooks.stalls {
                     if idx < tokens {
                         avail += extra;
                         injected.stage_stalls += 1;
+                        kinds.push(crate::fault::FaultKind::Stall);
                     }
                 }
                 let dropped = hooks.drops.contains(&idx);
                 if dropped {
                     injected.dropped_tokens += 1;
+                    kinds.push(crate::fault::FaultKind::Drop);
                 } else {
                     for (nth, mutate) in &hooks.corrupts {
                         if *nth == idx {
                             value = mutate(value);
                             injected.corrupted_tokens += 1;
+                            kinds.push(crate::fault::FaultKind::Corrupt);
                         }
                     }
                 }
                 if injected.any() {
-                    hooks.shared.borrow_mut().counters.absorb(&injected);
+                    let mut shared = hooks.shared.borrow_mut();
+                    shared.counters.absorb(&injected);
+                    for kind in kinds {
+                        shared.events.push(crate::fault::FaultEvent {
+                            stream: core.name.clone(),
+                            token: idx,
+                            kind,
+                            opt_idx,
+                        });
+                    }
                 }
                 // A stalled token may not overtake an earlier, later-stalled
                 // one: hardware FIFOs preserve order.

@@ -79,7 +79,7 @@ impl TraceRecorder {
             out.push_str(&format!(
                 "{:<name_w$} |{}| {:>5.1}%\n",
                 stage,
-                String::from_utf8(row).expect("ascii row"),
+                String::from_utf8_lossy(&row),
                 100.0 * self.utilisation(&stage, total),
             ));
         }
@@ -171,6 +171,10 @@ pub struct Counters {
     /// Faults injected by an active [`crate::fault::FaultPlan`] (all
     /// zeros on fault-free runs).
     pub faults: crate::fault::FaultCounters,
+    /// Per-token fault records in injection order (empty on fault-free
+    /// runs): which stream and token each fault hit, and — when the plan
+    /// registered an identity extractor — which option was affected.
+    pub fault_events: Vec<crate::fault::FaultEvent>,
 }
 
 impl Counters {
@@ -203,6 +207,7 @@ impl Counters {
             backpressure_events: report.streams.iter().map(|s| s.backpressure).sum(),
             region_restarts: 0,
             faults: report.faults,
+            fault_events: report.fault_events.clone(),
         }
     }
 
@@ -230,6 +235,7 @@ impl Counters {
         self.backpressure_events += other.backpressure_events;
         self.region_restarts += other.region_restarts;
         self.faults.absorb(&other.faults);
+        self.fault_events.extend(other.fault_events.iter().cloned());
     }
 
     /// Mean utilisation across traced processes (0 when none were traced).
@@ -278,6 +284,7 @@ mod tests {
             events: 0,
             streams,
             faults: crate::fault::FaultCounters::default(),
+            fault_events: Vec::new(),
         }
     }
 

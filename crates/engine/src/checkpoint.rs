@@ -1,0 +1,399 @@
+//! Write-ahead run journal: checkpoints and deterministic resume.
+//!
+//! A streaming or multi-engine run emits a [`Checkpoint`] after every
+//! `cadence` completed options (plus a terminal commit record). Each
+//! checkpoint is a self-contained watermark — the admitted and shed
+//! option sets, the fault-plan seed, and every completion so far with
+//! its cycle and **bit-exact** spread (serialized as raw `f64` bits) —
+//! so an engine that dies mid-run loses at most one checkpoint interval:
+//! [`crate::streaming::resume_streaming_from`] replays only the work
+//! after the watermark, and because per-option pricing is independent of
+//! batch composition the resumed spreads are bit-identical to an
+//! uninterrupted run.
+//!
+//! The serialization is a deliberately simple line-based text format
+//! (`cds-checkpoint v1`, one `key=value` per line) parsed with typed
+//! [`CdsError::Journal`] errors — checkpoint IO never panics.
+
+use crate::error::CdsError;
+use crate::streaming::StreamingReport;
+use dataflow_sim::Cycle;
+
+/// Magic first line of the text serialization.
+pub const CHECKPOINT_MAGIC: &str = "cds-checkpoint v1";
+
+/// Current checkpoint schema version.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// One completed option recorded in a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedOption {
+    /// Original index of the option.
+    pub index: u32,
+    /// Cycle at which its spread left the engine.
+    pub done_cycle: Cycle,
+    /// The spread, preserved bit-exactly across serialization.
+    pub spread_bps: f64,
+}
+
+/// A self-contained watermark of a partially completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Serialization schema version.
+    pub schema_version: u32,
+    /// Total options in the original workload.
+    pub total_options: u32,
+    /// Completions between checkpoints when this was emitted.
+    pub cadence: u32,
+    /// Completion cycle of the latest option included.
+    pub watermark_cycle: Cycle,
+    /// Seed of the active fault plan, if any.
+    pub fault_seed: Option<u64>,
+    /// Original indices admitted past the ingress, ascending.
+    pub admitted: Vec<u32>,
+    /// Original indices shed by admission control, ascending.
+    pub shed: Vec<u32>,
+    /// Completions up to the watermark, in completion order.
+    pub completed: Vec<CompletedOption>,
+}
+
+impl Checkpoint {
+    /// Original indices completed at this watermark, ascending.
+    #[must_use]
+    pub fn completed_indices(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.completed.iter().map(|c| c.index).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether every admitted option has completed (the commit record).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed.len() == self.admitted.len()
+    }
+
+    /// Serialize to the line-based text format. Spreads are written as
+    /// raw `f64` bit patterns so parsing restores them bit-identically.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let ids = |v: &[u32]| v.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
+        let completed = self
+            .completed
+            .iter()
+            .map(|c| format!("{}:{}:{:016x}", c.index, c.done_cycle, c.spread_bps.to_bits()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let fault_seed = self.fault_seed.map_or_else(|| "none".to_string(), |s| s.to_string());
+        format!(
+            "{CHECKPOINT_MAGIC}\nschema_version={}\ntotal_options={}\ncadence={}\n\
+             watermark_cycle={}\nfault_seed={fault_seed}\nadmitted={}\nshed={}\ncompleted={completed}\n",
+            self.schema_version,
+            self.total_options,
+            self.cadence,
+            self.watermark_cycle,
+            ids(&self.admitted),
+            ids(&self.shed),
+        )
+    }
+
+    /// Parse the text format. Every malformation is a typed
+    /// [`CdsError::Journal`] — this never panics.
+    pub fn parse(text: &str) -> Result<Checkpoint, CdsError> {
+        let journal = |reason: String| CdsError::Journal { reason };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(CHECKPOINT_MAGIC) {
+            return Err(journal(format!("missing magic line `{CHECKPOINT_MAGIC}`")));
+        }
+        let mut fields = std::collections::BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| journal(format!("malformed line `{line}` (expected key=value)")))?;
+            fields.insert(key.to_string(), value.to_string());
+        }
+        let take = |key: &str| -> Result<String, CdsError> {
+            fields.get(key).cloned().ok_or_else(|| journal(format!("missing field `{key}`")))
+        };
+        let int = |key: &str| -> Result<u64, CdsError> {
+            let raw = take(key)?;
+            raw.parse::<u64>()
+                .map_err(|_| journal(format!("field `{key}` is not an integer: `{raw}`")))
+        };
+        let id_list = |key: &str| -> Result<Vec<u32>, CdsError> {
+            let raw = take(key)?;
+            if raw.is_empty() {
+                return Ok(Vec::new());
+            }
+            raw.split(',')
+                .map(|s| {
+                    s.parse::<u32>()
+                        .map_err(|_| journal(format!("field `{key}` has a bad index: `{s}`")))
+                })
+                .collect()
+        };
+
+        let schema_version = int("schema_version")? as u32;
+        if schema_version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(journal(format!(
+                "unsupported schema_version {schema_version} (expected {CHECKPOINT_SCHEMA_VERSION})"
+            )));
+        }
+        let fault_seed = match take("fault_seed")?.as_str() {
+            "none" => None,
+            raw => Some(
+                raw.parse::<u64>()
+                    .map_err(|_| journal(format!("fault_seed is not an integer: `{raw}`")))?,
+            ),
+        };
+        let completed_raw = take("completed")?;
+        let mut completed = Vec::new();
+        if !completed_raw.is_empty() {
+            for item in completed_raw.split(',') {
+                let mut parts = item.split(':');
+                let (Some(idx), Some(cycle), Some(bits), None) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(journal(format!("completed entry `{item}` is not idx:cycle:bits")));
+                };
+                let index = idx
+                    .parse::<u32>()
+                    .map_err(|_| journal(format!("completed entry `{item}` has a bad index")))?;
+                let done_cycle = cycle
+                    .parse::<Cycle>()
+                    .map_err(|_| journal(format!("completed entry `{item}` has a bad cycle")))?;
+                let bits = u64::from_str_radix(bits, 16).map_err(|_| {
+                    journal(format!("completed entry `{item}` has bad spread bits"))
+                })?;
+                completed.push(CompletedOption {
+                    index,
+                    done_cycle,
+                    spread_bps: f64::from_bits(bits),
+                });
+            }
+        }
+
+        let checkpoint = Checkpoint {
+            schema_version,
+            total_options: int("total_options")? as u32,
+            cadence: int("cadence")? as u32,
+            watermark_cycle: int("watermark_cycle")?,
+            fault_seed,
+            admitted: id_list("admitted")?,
+            shed: id_list("shed")?,
+            completed,
+        };
+        checkpoint.validate()?;
+        Ok(checkpoint)
+    }
+
+    /// Internal-consistency checks shared by [`Checkpoint::parse`] and
+    /// the resume entry points.
+    pub fn validate(&self) -> Result<(), CdsError> {
+        let journal = |reason: String| CdsError::Journal { reason };
+        let total = self.total_options;
+        for (name, ids) in [("admitted", &self.admitted), ("shed", &self.shed)] {
+            if let Some(&bad) = ids.iter().find(|&&i| i >= total) {
+                return Err(journal(format!("{name} index {bad} >= total_options {total}")));
+            }
+        }
+        let admitted: std::collections::BTreeSet<u32> = self.admitted.iter().copied().collect();
+        if admitted.len() != self.admitted.len() {
+            return Err(journal("admitted contains duplicate indices".to_string()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &self.completed {
+            if !admitted.contains(&c.index) {
+                return Err(journal(format!("completed option {} was never admitted", c.index)));
+            }
+            if !seen.insert(c.index) {
+                return Err(journal(format!("option {} completed twice", c.index)));
+            }
+            if !c.spread_bps.is_finite() {
+                return Err(journal(format!("option {} has a non-finite spread", c.index)));
+            }
+        }
+        if self.shed.iter().any(|i| admitted.contains(i)) {
+            return Err(journal("an option is both admitted and shed".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// Derive the checkpoint stream of a finished streaming run.
+///
+/// Completions are ordered by completion cycle (the order a write-ahead
+/// journal on real hardware would observe); a cumulative checkpoint is
+/// emitted after every `cadence` completions, plus a terminal commit
+/// record covering any partial tail. A crash scenario therefore resumes
+/// from the last *cadence-aligned* checkpoint and loses at most one
+/// interval of work.
+pub fn streaming_checkpoints(
+    total_options: u32,
+    report: &StreamingReport,
+    fault_seed: Option<u64>,
+    cadence: u32,
+) -> Result<Vec<Checkpoint>, CdsError> {
+    if cadence == 0 {
+        return Err(CdsError::Config { reason: "checkpoint cadence must be at least 1" });
+    }
+    let shed: std::collections::BTreeSet<u32> = report.shed_indices.iter().copied().collect();
+    let lost: std::collections::BTreeSet<u32> = report.lost_indices.iter().copied().collect();
+    let admitted: Vec<u32> = (0..total_options).filter(|i| !shed.contains(i)).collect();
+    // spans/spreads are aligned, in ascending original-index order over
+    // the completed set = admitted minus lost.
+    let mut completions: Vec<CompletedOption> = admitted
+        .iter()
+        .filter(|i| !lost.contains(i))
+        .zip(report.spans.iter().zip(&report.spreads))
+        .map(|(&index, (&(_, done_cycle), &spread_bps))| CompletedOption {
+            index,
+            done_cycle,
+            spread_bps,
+        })
+        .collect();
+    completions.sort_by_key(|c| (c.done_cycle, c.index));
+    checkpoint_stream(
+        total_options,
+        cadence,
+        fault_seed,
+        &admitted,
+        &report.shed_indices,
+        &completions,
+    )
+}
+
+/// Cut a completion-ordered stream into cumulative cadence-aligned
+/// checkpoints plus a terminal commit record covering any partial tail.
+///
+/// `completions` must already be in journal (completion) order; every
+/// emitted checkpoint is a prefix of it, so a consumer holding the
+/// `k`-th checkpoint has lost at most one cadence interval relative to
+/// the `k+1`-th.
+pub fn checkpoint_stream(
+    total_options: u32,
+    cadence: u32,
+    fault_seed: Option<u64>,
+    admitted: &[u32],
+    shed: &[u32],
+    completions: &[CompletedOption],
+) -> Result<Vec<Checkpoint>, CdsError> {
+    if cadence == 0 {
+        return Err(CdsError::Config { reason: "checkpoint cadence must be at least 1" });
+    }
+    let mut out = Vec::new();
+    let n = completions.len();
+    let mut cut = cadence as usize;
+    loop {
+        let end = cut.min(n);
+        let at_boundary = end == cut;
+        let is_tail = end == n;
+        if at_boundary || is_tail {
+            out.push(Checkpoint {
+                schema_version: CHECKPOINT_SCHEMA_VERSION,
+                total_options,
+                cadence,
+                watermark_cycle: completions[..end].last().map_or(0, |c| c.done_cycle),
+                fault_seed,
+                admitted: admitted.to_vec(),
+                shed: shed.to_vec(),
+                completed: completions[..end].to_vec(),
+            });
+        }
+        if is_tail {
+            break;
+        }
+        cut += cadence as usize;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            total_options: 6,
+            cadence: 2,
+            watermark_cycle: 123_456,
+            fault_seed: Some(0xD2),
+            admitted: vec![0, 1, 2, 4, 5],
+            shed: vec![3],
+            completed: vec![
+                CompletedOption { index: 0, done_cycle: 101_000, spread_bps: 87.125 },
+                CompletedOption { index: 2, done_cycle: 123_456, spread_bps: 90.062_5 },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let ckpt = sample();
+        let parsed = match Checkpoint::parse(&ckpt.to_text()) {
+            Ok(c) => c,
+            Err(e) => panic!("round trip failed: {e}"),
+        };
+        assert_eq!(parsed, ckpt);
+        // Bit-exactness survives an awkward spread value too.
+        let mut odd = ckpt;
+        odd.completed[0].spread_bps = 1.0 / 3.0 * 271.0;
+        let parsed = match Checkpoint::parse(&odd.to_text()) {
+            Ok(c) => c,
+            Err(e) => panic!("round trip failed: {e}"),
+        };
+        assert_eq!(parsed.completed[0].spread_bps.to_bits(), odd.completed[0].spread_bps.to_bits());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input_with_typed_errors() {
+        let cases = [
+            ("", "magic"),
+            ("cds-checkpoint v1\nnonsense\n", "key=value"),
+            ("cds-checkpoint v1\nschema_version=1\n", "missing field"),
+            (
+                "cds-checkpoint v1\nschema_version=2\ntotal_options=1\ncadence=1\n\
+                 watermark_cycle=0\nfault_seed=none\nadmitted=0\nshed=\ncompleted=\n",
+                "unsupported schema_version",
+            ),
+            (
+                "cds-checkpoint v1\nschema_version=1\ntotal_options=1\ncadence=1\n\
+                 watermark_cycle=0\nfault_seed=none\nadmitted=0\nshed=\ncompleted=0:5\n",
+                "idx:cycle:bits",
+            ),
+            (
+                "cds-checkpoint v1\nschema_version=1\ntotal_options=1\ncadence=1\n\
+                 watermark_cycle=0\nfault_seed=xyz\nadmitted=0\nshed=\ncompleted=\n",
+                "fault_seed",
+            ),
+        ];
+        for (text, needle) in cases {
+            match Checkpoint::parse(text) {
+                Err(CdsError::Journal { reason }) => {
+                    assert!(reason.contains(needle), "`{reason}` should mention `{needle}`");
+                }
+                other => panic!("expected Journal error mentioning `{needle}`, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_watermarks() {
+        let mut ckpt = sample();
+        ckpt.completed.push(CompletedOption { index: 3, done_cycle: 1, spread_bps: 1.0 });
+        let err = ckpt.validate();
+        assert!(matches!(err, Err(CdsError::Journal { .. })), "shed option completed: {err:?}");
+
+        let mut ckpt = sample();
+        ckpt.completed.push(ckpt.completed[0]);
+        assert!(ckpt.validate().is_err(), "duplicate completion must be rejected");
+
+        let mut ckpt = sample();
+        ckpt.admitted.push(99);
+        assert!(ckpt.validate().is_err(), "admitted index beyond total must be rejected");
+    }
+}

@@ -45,6 +45,12 @@ pub enum CdsError {
         /// Options still unpriced after the final round.
         unpriced: usize,
     },
+    /// A run journal or checkpoint could not be parsed or is internally
+    /// inconsistent (journal IO is typed, never a panic).
+    Journal {
+        /// What was wrong with the journal/checkpoint data.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CdsError {
@@ -60,6 +66,7 @@ impl std::fmt::Display for CdsError {
             CdsError::Exhausted { attempts, unpriced } => {
                 write!(f, "{unpriced} option(s) unpriced after {attempts} recovery attempt(s)")
             }
+            CdsError::Journal { reason } => write!(f, "invalid run journal: {reason}"),
         }
     }
 }
@@ -106,6 +113,7 @@ mod tests {
             (CdsError::Config { reason: "streaming requires the continuous region" }, "continuous"),
             (CdsError::OptionsLost { lost: vec![3, 4] }, "lost"),
             (CdsError::Exhausted { attempts: 2, unpriced: 5 }, "unpriced"),
+            (CdsError::Journal { reason: "bad magic".to_string() }, "journal"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

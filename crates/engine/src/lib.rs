@@ -33,11 +33,13 @@
 #![deny(unsafe_code)]
 
 pub mod analytic;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod host;
 pub mod multi;
 pub mod report;
+pub mod scrub;
 pub mod stages;
 pub mod streaming;
 pub mod tokens;
@@ -87,13 +89,15 @@ impl FpgaCdsEngine {
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::checkpoint::{streaming_checkpoints, Checkpoint, CompletedOption};
     pub use crate::config::{EngineConfig, EngineVariant, HazardIiMode};
     pub use crate::error::CdsError;
     pub use crate::multi::MultiEngine;
     pub use crate::report::EngineRunReport;
+    pub use crate::scrub::{scrub_spreads, QuarantineRecord, ScrubPolicy, ScrubReport};
     pub use crate::streaming::{
-        poisson_arrivals, run_streaming, run_streaming_with, AdmissionControl, StreamingPolicy,
-        StreamingReport,
+        poisson_arrivals, resume_streaming_from, run_streaming, run_streaming_checkpointed,
+        run_streaming_with, AdmissionControl, StreamingPolicy, StreamingReport,
     };
     pub use crate::FpgaCdsEngine;
 }

@@ -8,13 +8,18 @@
 //! which is read in upon initialisation of the engine and stored in
 //! UltraRAM."
 
+use crate::checkpoint::{checkpoint_stream, Checkpoint, CompletedOption};
 use crate::config::{EngineConfig, EnginePrecision, EngineVariant};
 use crate::report::EngineRunReport;
+use crate::scrub::{scrub_spreads, ScrubPolicy, ScrubReport};
 use crate::FpgaCdsEngine;
 use cds_quant::option::{CdsOption, MarketData};
-use dataflow_sim::fault::FaultPlan;
+use dataflow_sim::fault::{FaultKind, FaultPlan};
 use dataflow_sim::resource::{op_cost, uram_for_curve, Device, ResourceUsage};
 use dataflow_sim::trace::Counters;
+
+/// Checkpoint cadence plus the sink receiving each emitted checkpoint.
+type JournalSink<'a> = (u32, &'a mut dyn FnMut(&Checkpoint));
 
 /// Per-extra-engine slowdown from shared memory interconnect and host
 /// sequencing — the linear coefficient of the contention model.
@@ -149,6 +154,8 @@ pub struct MultiEngineReport {
     /// True when the run survived an engine death or fell back to the CPU
     /// engine — the result is complete but the deployment is impaired.
     pub degraded: bool,
+    /// Scrubber outcome when a [`ScrubPolicy`] was supplied.
+    pub scrub: Option<ScrubReport>,
 }
 
 impl MultiEngine {
@@ -227,6 +234,7 @@ impl MultiEngine {
                 options_retried: 0,
                 options_shed: 0,
                 degraded: false,
+                scrub: None,
             };
         }
         let chunk_size = options.len().div_ceil(n);
@@ -256,6 +264,7 @@ impl MultiEngine {
             options_retried: 0,
             options_shed: 0,
             degraded: false,
+            scrub: None,
         }
     }
 }
@@ -336,6 +345,7 @@ impl MultiEngine {
             options_retried: 0,
             options_shed: 0,
             degraded: false,
+            scrub: None,
         }
     }
 
@@ -380,6 +390,7 @@ impl MultiEngine {
             options_retried: 0,
             options_shed: 0,
             degraded: false,
+            scrub: None,
         }
     }
 
@@ -406,12 +417,144 @@ impl MultiEngine {
         plan: Option<&FaultPlan>,
         max_attempts: usize,
     ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        self.price_batch_resilient_core(options, plan, max_attempts, None, None)
+    }
+
+    /// [`MultiEngine::price_batch_resilient`] with the result-integrity
+    /// scrubber enabled: every spread is guarded against its option's
+    /// invariants, options named by corruption fault events are
+    /// quarantined, and quarantined spreads are repriced on the CPU
+    /// fallback engine (see [`crate::scrub`]).
+    pub fn price_batch_resilient_scrubbed(
+        &self,
+        options: &[CdsOption],
+        plan: Option<&FaultPlan>,
+        max_attempts: usize,
+        scrub: &ScrubPolicy,
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        self.price_batch_resilient_core(options, plan, max_attempts, Some(scrub), None)
+    }
+
+    /// [`MultiEngine::price_batch_resilient`] with a write-ahead run
+    /// journal: a cumulative [`Checkpoint`] is handed to `sink` after
+    /// every `cadence` completed options (in completion order), plus a
+    /// terminal commit record. Checkpoints are emitted even when the run
+    /// ends in [`CdsError::Exhausted`], so
+    /// [`MultiEngine::resume_batch_resilient`] can finish the work.
+    pub fn price_batch_resilient_checkpointed(
+        &self,
+        options: &[CdsOption],
+        plan: Option<&FaultPlan>,
+        max_attempts: usize,
+        scrub: Option<&ScrubPolicy>,
+        cadence: u32,
+        mut sink: impl FnMut(&Checkpoint),
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        self.price_batch_resilient_core(
+            options,
+            plan,
+            max_attempts,
+            scrub,
+            Some((cadence, &mut sink)),
+        )
+    }
+
+    /// Resume a batch from a [`Checkpoint`]: options the checkpoint has
+    /// seen complete are taken verbatim (bit-exact), the remainder is
+    /// priced fault-free across the engines. Timing and counters
+    /// describe the resumed portion only; the report is marked degraded
+    /// when the checkpoint was incomplete (the original run failed).
+    pub fn resume_batch_resilient(
+        &self,
+        options: &[CdsOption],
+        checkpoint: &Checkpoint,
+        max_attempts: usize,
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
         use crate::error::CdsError;
+        checkpoint.validate()?;
+        if checkpoint.total_options as usize != options.len() {
+            return Err(CdsError::Journal {
+                reason: format!(
+                    "checkpoint covers {} options but the batch has {}",
+                    checkpoint.total_options,
+                    options.len()
+                ),
+            });
+        }
+        if !checkpoint.shed.is_empty() {
+            return Err(CdsError::Journal {
+                reason: "a batch deployment admits everything; shed options mean this checkpoint \
+                         belongs to a streaming run"
+                    .to_string(),
+            });
+        }
+        let done: std::collections::BTreeSet<u32> =
+            checkpoint.completed.iter().map(|c| c.index).collect();
+        let missing: Vec<usize> =
+            (0..options.len()).filter(|&i| !done.contains(&(i as u32))).collect();
+        let mut spreads = vec![0.0f64; options.len()];
+        for c in &checkpoint.completed {
+            spreads[c.index as usize] = c.spread_bps;
+        }
+        if missing.is_empty() {
+            return Ok(MultiEngineReport {
+                spreads,
+                engines: self.n_engines,
+                total_seconds: 0.0,
+                options_per_second: 0.0,
+                slowest_engine_seconds: 0.0,
+                counters: Counters::default(),
+                faults_injected: 0,
+                options_retried: 0,
+                options_shed: 0,
+                degraded: false,
+                scrub: None,
+            });
+        }
+        let missing_opts: Vec<CdsOption> = missing.iter().map(|&i| options[i]).collect();
+        let sub = self.price_batch_resilient(&missing_opts, None, max_attempts)?;
+        for (&i, &s) in missing.iter().zip(&sub.spreads) {
+            spreads[i] = s;
+        }
+        Ok(MultiEngineReport {
+            spreads,
+            engines: sub.engines,
+            total_seconds: sub.total_seconds,
+            options_per_second: if sub.total_seconds > 0.0 {
+                options.len() as f64 / sub.total_seconds
+            } else {
+                0.0
+            },
+            slowest_engine_seconds: sub.slowest_engine_seconds,
+            counters: sub.counters,
+            faults_injected: sub.faults_injected,
+            options_retried: missing.len() as u64,
+            options_shed: 0,
+            degraded: true, // resuming means the original deployment died mid-run
+            scrub: sub.scrub,
+        })
+    }
+
+    fn price_batch_resilient_core(
+        &self,
+        options: &[CdsOption],
+        plan: Option<&FaultPlan>,
+        max_attempts: usize,
+        scrub: Option<&ScrubPolicy>,
+        mut journal: Option<JournalSink<'_>>,
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        use crate::error::CdsError;
+        use crate::tokens::{OptionTok, SpreadTok, TimePointTok, Tok};
         use crate::variants::dataflow::build_graph_into;
         use dataflow_sim::event_sim::EventSim;
         use dataflow_sim::graph::GraphBuilder;
         use std::rc::Rc;
 
+        if let Some((cadence, _)) = &journal {
+            if *cadence == 0 {
+                return Err(CdsError::Config { reason: "checkpoint cadence must be at least 1" });
+            }
+        }
         let n = self.n_engines;
         if options.is_empty() {
             return Ok(self.price_batch(options));
@@ -429,7 +572,15 @@ impl MultiEngine {
         let chunk_size = options.len().div_ceil(n);
         let mut g = GraphBuilder::new();
         if let Some(p) = plan {
-            g.set_fault_plan(p.clone());
+            // Tag every token type with its owning (global) option index,
+            // so fault events name the option the scrubber quarantines.
+            let p = p
+                .clone()
+                .identify::<OptionTok>(|t| Some(t.opt_idx))
+                .identify::<TimePointTok>(|t| Some(t.opt_idx))
+                .identify::<Tok>(|t| Some(t.opt_idx))
+                .identify::<SpreadTok>(|t| Some(t.opt_idx));
+            g.set_fault_plan(p);
         }
         let mut sinks = Vec::with_capacity(n);
         let mut base_idx = 0u32;
@@ -452,18 +603,34 @@ impl MultiEngine {
         let faults_injected = report.faults.total();
 
         // Harvest round 0: an engine that under-delivered its chunk is
-        // treated as dead for the rest of the run.
+        // treated as dead for the rest of the run. Completion cycles are
+        // kept for the write-ahead journal.
         let mut spreads_by_idx: Vec<Option<f64>> = vec![None; options.len()];
+        let mut completions: Vec<CompletedOption> = Vec::with_capacity(options.len());
         let mut survivors: Vec<usize> = Vec::with_capacity(n);
         for (k, (sink, expected)) in sinks.iter().enumerate() {
-            let collected = sink.values();
+            let collected = sink.collected();
             if collected.len() == *expected {
                 survivors.push(k);
             }
-            for tok in collected {
+            for (tok, done_at) in collected {
                 spreads_by_idx[tok.opt_idx as usize] = Some(tok.spread_bps);
+                completions.push(CompletedOption {
+                    index: tok.opt_idx,
+                    done_cycle: done_at,
+                    spread_bps: tok.spread_bps,
+                });
             }
         }
+        completions.sort_by_key(|c| (c.done_cycle, c.index));
+        let mut cycle_base = report.total_cycles;
+        // Options whose tokens a corruption fault mutated (global indices).
+        let tainted: Vec<u32> = report
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Corrupt)
+            .filter_map(|e| e.opt_idx)
+            .collect();
 
         let kernel =
             report.total_cycles + self.config.region_cost.invocation_overhead(processes / n.max(1));
@@ -497,6 +664,11 @@ impl MultiEngine {
                 let cpu = cds_cpu::CpuCdsEngine::new(&self.market);
                 for (&i, spread) in missing.iter().zip(cpu.price_batch(&retry_opts)) {
                     spreads_by_idx[i] = Some(spread);
+                    completions.push(CompletedOption {
+                        index: i as u32,
+                        done_cycle: cycle_base,
+                        spread_bps: spread,
+                    });
                 }
                 compute_seconds +=
                     cds_cpu::CpuPerfModel::xeon_8260m().batch_seconds(retry_opts.len() as u64, 24);
@@ -521,15 +693,61 @@ impl MultiEngine {
             let mut retry_sim = EventSim::new(rg);
             let retry_report = retry_sim.run().map_err(CdsError::Sim)?;
             for sink in retry_sinks {
-                for tok in sink.values() {
-                    spreads_by_idx[missing[tok.opt_idx as usize]] = Some(tok.spread_bps);
+                for (tok, done_at) in sink.collected() {
+                    let orig = missing[tok.opt_idx as usize];
+                    spreads_by_idx[orig] = Some(tok.spread_bps);
+                    completions.push(CompletedOption {
+                        index: orig as u32,
+                        done_cycle: cycle_base + done_at,
+                        spread_bps: tok.spread_bps,
+                    });
                 }
             }
+            cycle_base += retry_report.total_cycles;
             let retry_kernel = retry_report.total_cycles
                 + self.config.region_cost.invocation_overhead(retry_processes / survivors.len());
             compute_seconds +=
                 self.config.clock.seconds(retry_kernel) * contention_factor(survivors.len());
             counters.merge(&Counters::from_run(&trace, &retry_report));
+        }
+
+        // Result-integrity scrub: guard every priced spread, quarantine
+        // tainted options, reprice on the CPU fallback. The journal
+        // records scrubbed values, so a resume reproduces clean spreads.
+        let mut scrub_report = None;
+        if let Some(sp) = scrub {
+            let mut priced: Vec<(u32, f64)> = spreads_by_idx
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|v| (i as u32, v)))
+                .collect();
+            let sr = scrub_spreads(&self.market, options, &mut priced, &tainted, sp)?;
+            for &(i, v) in &priced {
+                spreads_by_idx[i as usize] = Some(v);
+            }
+            for c in &mut completions {
+                if let Some(Some(v)) = spreads_by_idx.get(c.index as usize) {
+                    c.spread_bps = *v;
+                }
+            }
+            scrub_report = Some(sr);
+        }
+
+        // Write-ahead journal: cumulative cadence-aligned checkpoints in
+        // completion order, emitted even if recovery was exhausted below.
+        if let Some((cadence, emit)) = journal.as_mut() {
+            let admitted: Vec<u32> = (0..options.len() as u32).collect();
+            let fault_seed = plan.map(FaultPlan::seed);
+            for checkpoint in checkpoint_stream(
+                options.len() as u32,
+                *cadence,
+                fault_seed,
+                &admitted,
+                &[],
+                &completions,
+            )? {
+                emit(&checkpoint);
+            }
         }
 
         let unpriced = spreads_by_idx.iter().filter(|s| s.is_none()).count();
@@ -556,6 +774,7 @@ impl MultiEngine {
             options_retried,
             options_shed: 0,
             degraded,
+            scrub: scrub_report,
         })
     }
 }
@@ -717,6 +936,112 @@ mod tests {
         for (o, s) in options.iter().zip(&report.spreads) {
             let golden = pricer.price(o).spread_bps;
             assert!((s - golden).abs() < 1e-9 * (1.0 + golden.abs()), "{s} vs {golden}");
+        }
+    }
+
+    #[test]
+    fn resilient_scrub_restores_corrupted_spreads() {
+        // Corrupt one spread token on engine 1's output blatantly and one
+        // on engine 0's subtly; the scrubber must quarantine both (guard
+        // + taint) and converge to the fault-free spreads.
+        use crate::tokens::SpreadTok;
+        let market = market();
+        let options = PortfolioGenerator::uniform(24, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let multi = ok(MultiEngine::new(market, 3));
+        let clean = multi.price_batch_simulated(&options);
+        let plan = FaultPlan::new(0xBAD)
+            .corrupt_nth::<SpreadTok>("e1.spreads", 3, |t| SpreadTok { spread_bps: f64::NAN, ..t })
+            .corrupt_nth::<SpreadTok>("e0.spreads", 1, |t| SpreadTok {
+                spread_bps: t.spread_bps + 0.25,
+                ..t
+            });
+        let report = match multi.price_batch_resilient_scrubbed(
+            &options,
+            Some(&plan),
+            2,
+            &ScrubPolicy { cross_check_every: 0 },
+        ) {
+            Ok(r) => r,
+            Err(e) => panic!("scrubbed run must succeed: {e}"),
+        };
+        let scrub = match &report.scrub {
+            Some(s) => s,
+            None => panic!("scrub policy must produce a scrub report"),
+        };
+        assert_eq!(scrub.options_quarantined, 2, "{:?}", scrub.quarantined);
+        assert_eq!(report.spreads.len(), clean.spreads.len());
+        for (i, (s, c)) in report.spreads.iter().zip(&clean.spreads).enumerate() {
+            assert!((s - c).abs() < 1e-6 * (1.0 + c.abs()), "option {i}: {s} vs {c}");
+        }
+    }
+
+    #[test]
+    fn exhausted_run_checkpoints_and_resumes_bit_identically() {
+        // Engine death with zero retries: the run fails with Exhausted,
+        // but the write-ahead journal still holds every completion, and
+        // the resume finishes the work bit-identically to a clean run.
+        use crate::error::CdsError;
+        let market = market();
+        let options = PortfolioGenerator::uniform(30, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let multi = ok(MultiEngine::new(market, 3));
+        let clean = multi.price_batch_simulated(&options);
+
+        let plan = FaultPlan::new(7).kill_region("e1.", 40_000);
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let err =
+            multi.price_batch_resilient_checkpointed(&options, Some(&plan), 0, None, 4, |c| {
+                checkpoints.push(c.clone())
+            });
+        assert!(matches!(err, Err(CdsError::Exhausted { .. })), "got {err:?}");
+        let last = match checkpoints.last() {
+            Some(c) => c.clone(),
+            None => panic!("failed run must still emit its journal"),
+        };
+        assert!(!last.is_complete(), "engine death must leave work unfinished");
+        assert!(!last.completed.is_empty(), "survivors' completions must be journaled");
+
+        let restored = match Checkpoint::parse(&last.to_text()) {
+            Ok(c) => c,
+            Err(e) => panic!("checkpoint round trip failed: {e}"),
+        };
+        let resumed = match multi.resume_batch_resilient(&options, &restored, 2) {
+            Ok(r) => r,
+            Err(e) => panic!("resume must succeed: {e}"),
+        };
+        assert!(resumed.degraded);
+        assert_eq!(resumed.options_retried as usize, options.len() - last.completed.len());
+        assert_eq!(resumed.spreads.len(), clean.spreads.len());
+        for (i, (a, b)) in resumed.spreads.iter().zip(&clean.spreads).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "option {i}: resumed {a} vs clean {b}");
+        }
+    }
+
+    #[test]
+    fn resume_from_complete_checkpoint_runs_nothing() {
+        let market = market();
+        let options = PortfolioGenerator::uniform(10, 5.5, PaymentFrequency::Quarterly, 0.4);
+        let multi = ok(MultiEngine::new(market, 2));
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let full = match multi.price_batch_resilient_checkpointed(&options, None, 1, None, 4, |c| {
+            checkpoints.push(c.clone())
+        }) {
+            Ok(r) => r,
+            Err(e) => panic!("clean run must succeed: {e}"),
+        };
+        let last = match checkpoints.last() {
+            Some(c) => c.clone(),
+            None => panic!("expected checkpoints"),
+        };
+        assert!(last.is_complete());
+        let resumed = match multi.resume_batch_resilient(&options, &last, 1) {
+            Ok(r) => r,
+            Err(e) => panic!("resume must succeed: {e}"),
+        };
+        assert!(!resumed.degraded);
+        assert_eq!(resumed.options_retried, 0);
+        assert_eq!(resumed.total_seconds, 0.0, "nothing left to price");
+        for (a, b) in resumed.spreads.iter().zip(&full.spreads) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -27,18 +27,22 @@
 //! * **fault injection** — a seeded [`FaultPlan`] forwarded to the
 //!   dataflow simulator for chaos testing.
 
+use crate::checkpoint::{streaming_checkpoints, Checkpoint};
 use crate::config::EngineConfig;
 use crate::error::CdsError;
+use crate::scrub::{scrub_spreads, ScrubPolicy, ScrubReport};
+use crate::tokens::{OptionTok, SpreadTok, TimePointTok, Tok};
 use crate::variants::dataflow::build_graph_into;
 use cds_quant::option::{CdsOption, MarketData};
 use dataflow_sim::event_sim::EventSim;
-use dataflow_sim::fault::FaultPlan;
+use dataflow_sim::fault::{FaultKind, FaultPlan};
 use dataflow_sim::graph::GraphBuilder;
 use dataflow_sim::region::RegionMode;
 use dataflow_sim::trace::Counters;
 use dataflow_sim::Cycle;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 /// Latency statistics of a streaming run.
@@ -74,6 +78,8 @@ pub struct StreamingReport {
     pub deadline_misses: u64,
     /// Total faults injected by the policy's fault plan.
     pub faults_injected: u64,
+    /// Scrubber outcome when [`StreamingPolicy::scrub`] was set.
+    pub scrub: Option<ScrubReport>,
 }
 
 impl StreamingReport {
@@ -138,6 +144,9 @@ pub struct StreamingPolicy {
     pub admission: Option<AdmissionControl>,
     /// Seeded fault plan forwarded to the dataflow simulator.
     pub fault_plan: Option<FaultPlan>,
+    /// Result-integrity scrubbing of the completed spreads; `None`
+    /// reports engine outputs verbatim.
+    pub scrub: Option<ScrubPolicy>,
 }
 
 /// Draw Poisson arrival cycles for `n` options at `rate` options/second
@@ -261,6 +270,7 @@ pub fn run_streaming_with(
             lost_indices: Vec::new(),
             deadline_misses: 0,
             faults_injected: 0,
+            scrub: None,
         });
     }
 
@@ -269,10 +279,25 @@ pub fn run_streaming_with(
 
     let mut g = GraphBuilder::new();
     if let Some(plan) = &policy.fault_plan {
-        g.set_fault_plan(plan.clone());
+        // Tag every token type with its owning option, so fault events
+        // name the option the scrubber must quarantine.
+        let plan = plan
+            .clone()
+            .identify::<OptionTok>(|t| Some(t.opt_idx))
+            .identify::<TimePointTok>(|t| Some(t.opt_idx))
+            .identify::<Tok>(|t| Some(t.opt_idx))
+            .identify::<SpreadTok>(|t| Some(t.opt_idx));
+        g.set_fault_plan(plan);
     }
-    let sink =
-        build_graph_into(&mut g, "", market, config, &admitted_opts, 0, Some(&admitted_arrivals));
+    let sink = build_graph_into(
+        &mut g,
+        "",
+        market.clone(),
+        config,
+        &admitted_opts,
+        0,
+        Some(&admitted_arrivals),
+    );
     let mut sim = EventSim::new(g);
     let report = sim.run().map_err(CdsError::Sim)?;
 
@@ -311,6 +336,26 @@ pub fn run_streaming_with(
         let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
         latencies[idx]
     };
+    // Result-integrity scrub: guard every completed spread, quarantine
+    // options tainted by corruption faults, reprice on the CPU fallback.
+    let mut scrub = None;
+    if let Some(sp) = &policy.scrub {
+        let tainted: Vec<u32> = report
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultKind::Corrupt)
+            .filter_map(|e| e.opt_idx)
+            .filter_map(|i| admitted.get(i as usize).map(|&orig| orig as u32))
+            .collect();
+        let mut priced: Vec<(u32, f64)> =
+            per_option.iter().map(|&(idx, _, _, s)| (idx as u32, s)).collect();
+        let scrub_report = scrub_spreads(&market, options, &mut priced, &tainted, sp)?;
+        for (slot, &(_, s)) in priced.iter().enumerate() {
+            spreads[slot] = s;
+        }
+        scrub = Some(scrub_report);
+    }
+
     let span_seconds = config.clock.seconds(report.total_cycles);
     let trace = config.trace.clone().unwrap_or_default();
     let counters = Counters::from_run(&trace, &report);
@@ -332,6 +377,134 @@ pub fn run_streaming_with(
         options_lost: lost_indices.len() as u64,
         lost_indices,
         deadline_misses,
+        scrub,
+    })
+}
+
+/// Run a streaming session under `policy`, emitting a write-ahead
+/// [`Checkpoint`] to `sink` after every `cadence` completed options
+/// (plus a terminal commit record).
+///
+/// Checkpoints are derived in completion-cycle order — the order a
+/// journal on real hardware would observe — so a consumer that persists
+/// them and later calls [`resume_streaming_from`] on the last one it
+/// saw loses at most one cadence interval of work.
+pub fn run_streaming_checkpointed(
+    market: Rc<MarketData<f64>>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+    arrivals: &[Cycle],
+    policy: &StreamingPolicy,
+    cadence: u32,
+    mut sink: impl FnMut(&Checkpoint),
+) -> Result<StreamingReport, CdsError> {
+    let report = run_streaming_with(market, config, options, arrivals, policy)?;
+    let fault_seed = policy.fault_plan.as_ref().map(FaultPlan::seed);
+    for checkpoint in streaming_checkpoints(options.len() as u32, &report, fault_seed, cadence)? {
+        sink(&checkpoint);
+    }
+    Ok(report)
+}
+
+/// Resume a streaming run from a [`Checkpoint`], re-pricing only the
+/// admitted options the checkpoint has not seen complete.
+///
+/// `options` and `arrivals` must be the *original* workload. The
+/// checkpoint's admission decisions are final (no re-admission), its
+/// completions are taken verbatim (spreads are stored bit-exactly), and
+/// the remainder is run through the engine with the caller's fault plan
+/// and scrub settings. Because per-option pricing is independent of
+/// batch composition, the merged spread set is bit-identical to an
+/// uninterrupted run. Throughput and counters describe the resumed
+/// portion only; latency percentiles and deadline misses are recomputed
+/// over the merged completion set.
+pub fn resume_streaming_from(
+    market: Rc<MarketData<f64>>,
+    config: &EngineConfig,
+    options: &[CdsOption],
+    arrivals: &[Cycle],
+    policy: &StreamingPolicy,
+    checkpoint: &Checkpoint,
+) -> Result<StreamingReport, CdsError> {
+    checkpoint.validate()?;
+    if checkpoint.total_options as usize != options.len() {
+        return Err(CdsError::Journal {
+            reason: format!(
+                "checkpoint covers {} options but the workload has {}",
+                checkpoint.total_options,
+                options.len()
+            ),
+        });
+    }
+    if options.len() != arrivals.len() {
+        return Err(CdsError::Config { reason: "need exactly one arrival cycle per option" });
+    }
+
+    let done: BTreeSet<u32> = checkpoint.completed.iter().map(|c| c.index).collect();
+    let remaining: Vec<u32> =
+        checkpoint.admitted.iter().copied().filter(|i| !done.contains(i)).collect();
+    let rem_opts: Vec<CdsOption> = remaining.iter().map(|&i| options[i as usize]).collect();
+    let rem_arrivals: Vec<Cycle> = remaining.iter().map(|&i| arrivals[i as usize]).collect();
+    let sub_policy = StreamingPolicy {
+        deadline_cycles: policy.deadline_cycles,
+        admission: None, // admission decisions in the checkpoint are final
+        fault_plan: policy.fault_plan.clone(),
+        scrub: policy.scrub,
+    };
+    let sub = run_streaming_with(market, config, &rem_opts, &rem_arrivals, &sub_policy)?;
+
+    // Merge checkpointed completions with the resumed run's, back in
+    // original-index order.
+    let sub_lost: BTreeSet<u32> = sub.lost_indices.iter().map(|&i| remaining[i as usize]).collect();
+    let mut merged: Vec<(u32, Cycle, Cycle, f64)> = checkpoint
+        .completed
+        .iter()
+        .map(|c| (c.index, arrivals[c.index as usize], c.done_cycle, c.spread_bps))
+        .collect();
+    let sub_completed = remaining.iter().copied().filter(|i| !sub_lost.contains(i));
+    for (idx, (&(arrival, done_at), &spread)) in
+        sub_completed.zip(sub.spans.iter().zip(&sub.spreads))
+    {
+        merged.push((idx, arrival, done_at, spread));
+    }
+    merged.sort_unstable_by_key(|&(idx, ..)| idx);
+
+    let mut spans = Vec::with_capacity(merged.len());
+    let mut spreads = Vec::with_capacity(merged.len());
+    let mut latencies = Vec::with_capacity(merged.len());
+    let mut deadline_misses = 0u64;
+    for &(_, arrival, done_at, spread) in &merged {
+        let latency = done_at.saturating_sub(arrival);
+        if policy.deadline_cycles.is_some_and(|d| latency > d) {
+            deadline_misses += 1;
+        }
+        spans.push((arrival, done_at));
+        latencies.push(latency);
+        spreads.push(spread);
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Cycle {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    Ok(StreamingReport {
+        p50_cycles: pct(0.50),
+        p99_cycles: pct(0.99),
+        max_cycles: latencies.last().copied().unwrap_or(0),
+        options_per_second: sub.options_per_second,
+        spans,
+        spreads,
+        faults_injected: sub.faults_injected,
+        counters: sub.counters,
+        options_shed: checkpoint.shed.len() as u64,
+        shed_indices: checkpoint.shed.clone(),
+        options_lost: sub_lost.len() as u64,
+        lost_indices: sub_lost.into_iter().collect(),
+        deadline_misses,
+        scrub: sub.scrub,
     })
 }
 
@@ -623,6 +796,172 @@ mod tests {
         assert!(report.deadline_misses > 0, "saturated run must miss a 30k deadline");
         assert_eq!(report.options_lost, 0);
         assert_eq!(report.spreads.len(), 48);
+    }
+
+    #[test]
+    fn corruption_is_quarantined_and_repriced_to_clean_spreads() {
+        // Corrupt two spread tokens: one blatantly (sign flip, caught by
+        // the invariant guards) and one subtly (+0.25 bp, inside the
+        // envelope — only the fault event's option identity catches it).
+        // The scrubber must quarantine both and converge the run to the
+        // fault-free spreads.
+        use crate::tokens::SpreadTok;
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(8);
+        let arrivals: Vec<Cycle> = (0..8).map(|i| i * 40_000).collect();
+        let clean = run_streaming(market(), &config, &opts, &arrivals);
+        let plan = FaultPlan::new(0xC0)
+            .corrupt_nth::<SpreadTok>("spreads", 2, |t| SpreadTok {
+                spread_bps: -t.spread_bps,
+                ..t
+            })
+            .corrupt_nth::<SpreadTok>("spreads", 5, |t| SpreadTok {
+                spread_bps: t.spread_bps + 0.25,
+                ..t
+            });
+        let policy = StreamingPolicy {
+            fault_plan: Some(plan),
+            scrub: Some(ScrubPolicy { cross_check_every: 0 }),
+            ..Default::default()
+        };
+        let scrubbed = match run_streaming_with(market(), &config, &opts, &arrivals, &policy) {
+            Ok(r) => r,
+            Err(e) => panic!("corrupted run must terminate gracefully: {e}"),
+        };
+        let scrub = match &scrubbed.scrub {
+            Some(s) => s,
+            None => panic!("scrub policy must produce a scrub report"),
+        };
+        assert_eq!(scrub.quarantined_indices(), vec![2, 5]);
+        assert_eq!(scrubbed.spreads.len(), clean.spreads.len());
+        for (s, c) in scrubbed.spreads.iter().zip(&clean.spreads) {
+            assert!((s - c).abs() < 1e-6 * (1.0 + c.abs()), "scrubbed {s} vs clean {c}");
+        }
+        // Without the scrubber the corruption reaches the report.
+        let unscrubbed_policy = StreamingPolicy { scrub: None, ..policy };
+        let raw = match run_streaming_with(market(), &config, &opts, &arrivals, &unscrubbed_policy)
+        {
+            Ok(r) => r,
+            Err(e) => panic!("unscrubbed run must terminate gracefully: {e}"),
+        };
+        assert!(raw.spreads[2] < 0.0, "sign-flip corruption must survive without scrubbing");
+    }
+
+    #[test]
+    fn killed_run_resumes_from_checkpoint_bit_identically() {
+        let config = EngineVariant::Vectorised.config();
+        let n = 12usize;
+        let opts = options(n);
+        let arrivals: Vec<Cycle> = (0..n as u64).map(|i| i * 30_000).collect();
+        let clean = run_streaming(market(), &config, &opts, &arrivals);
+        assert_eq!(clean.spreads.len(), n);
+
+        // Kill the whole engine mid-run: roughly half the options
+        // complete, the rest are reported lost.
+        let kill_cycle = arrivals[n / 2];
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(1).kill_region("", kill_cycle)),
+            ..Default::default()
+        };
+        let cadence = 2u32;
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let killed = run_streaming_checkpointed(
+            market(),
+            &config,
+            &opts,
+            &arrivals,
+            &policy,
+            cadence,
+            |c| checkpoints.push(c.clone()),
+        );
+        let killed = match killed {
+            Ok(r) => r,
+            Err(e) => panic!("killed run must terminate gracefully: {e}"),
+        };
+        assert!(killed.options_lost > 0, "the kill must lose in-flight work");
+        assert!(killed.spreads.len() < n);
+
+        // The terminal commit record covers everything that completed,
+        // and the last cadence-aligned checkpoint trails it by less than
+        // one interval.
+        let last = match checkpoints.last() {
+            Some(c) => c.clone(),
+            None => panic!("checkpointed run must emit at least one checkpoint"),
+        };
+        assert_eq!(last.completed.len(), killed.spreads.len());
+        if checkpoints.len() >= 2 {
+            let aligned = &checkpoints[checkpoints.len() - 2];
+            assert!(last.completed.len() - aligned.completed.len() <= cadence as usize);
+        }
+
+        // Round-trip the checkpoint through its text serialization — the
+        // resume consumes exactly what a journal on disk would hold.
+        let restored = match Checkpoint::parse(&last.to_text()) {
+            Ok(c) => c,
+            Err(e) => panic!("checkpoint round trip failed: {e}"),
+        };
+        assert_eq!(restored, last);
+
+        let resumed = resume_streaming_from(
+            market(),
+            &config,
+            &opts,
+            &arrivals,
+            &StreamingPolicy::default(),
+            &restored,
+        );
+        let resumed = match resumed {
+            Ok(r) => r,
+            Err(e) => panic!("resume must succeed: {e}"),
+        };
+        assert_eq!(resumed.options_lost, 0);
+        assert_eq!(resumed.spreads.len(), n);
+        for (i, (a, b)) in resumed.spreads.iter().zip(&clean.spreads).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "option {i}: resumed {a} vs clean {b}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_and_malformed_checkpoints() {
+        let config = EngineVariant::Vectorised.config();
+        let opts = options(4);
+        let arrivals: Vec<Cycle> = (0..4).map(|i| i * 30_000).collect();
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let _ = run_streaming_checkpointed(
+            market(),
+            &config,
+            &opts,
+            &arrivals,
+            &StreamingPolicy::default(),
+            2,
+            |c| checkpoints.push(c.clone()),
+        );
+        let last = match checkpoints.last() {
+            Some(c) => c.clone(),
+            None => panic!("expected checkpoints"),
+        };
+        assert!(last.is_complete());
+        // Wrong workload size.
+        let err = resume_streaming_from(
+            market(),
+            &config,
+            &opts[..2],
+            &arrivals[..2],
+            &StreamingPolicy::default(),
+            &last,
+        );
+        assert!(matches!(err, Err(CdsError::Journal { .. })), "got {err:?}");
+        // Checkpoint cadence of zero is a configuration error.
+        let err = run_streaming_checkpointed(
+            market(),
+            &config,
+            &opts,
+            &arrivals,
+            &StreamingPolicy::default(),
+            0,
+            |_| {},
+        );
+        assert!(matches!(err, Err(CdsError::Config { .. })), "got {err:?}");
     }
 
     #[test]

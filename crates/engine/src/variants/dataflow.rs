@@ -62,7 +62,10 @@ pub fn run(
             let (g, sink) = build_graph(market, config, options, 0);
             let processes = g.process_count();
             let mut sim = EventSim::new(g);
-            let report = sim.run().expect("CDS dataflow graph must not deadlock");
+            let report = match sim.run() {
+                Ok(r) => r,
+                Err(e) => panic!("CDS dataflow graph must not deadlock: {e}"),
+            };
             let kernel = report.total_cycles
                 + config.region_cost.batch_overhead(
                     RegionMode::Continuous,
@@ -106,7 +109,10 @@ pub fn run(
                 );
                 let processes = g.process_count();
                 let mut sim = EventSim::new(g);
-                let report = sim.run().expect("CDS dataflow graph must not deadlock");
+                let report = match sim.run() {
+                    Ok(r) => r,
+                    Err(e) => panic!("CDS dataflow graph must not deadlock: {e}"),
+                };
                 kernel += report.total_cycles + config.region_cost.invocation_overhead(processes);
                 counters.merge(&Counters::from_run(&run_trace, &report));
                 spreads.extend(collect_spreads(&sink, 1));

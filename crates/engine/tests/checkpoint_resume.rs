@@ -1,0 +1,185 @@
+//! Property tests for the write-ahead run journal: checkpoint text
+//! serialisation round-trips bit-for-bit, and resuming an interrupted
+//! run from *any* checkpoint reproduces the uninterrupted run's spreads
+//! exactly — the recovery guarantee the robustness layer advertises.
+
+use cds_engine::checkpoint::{Checkpoint, CompletedOption, CHECKPOINT_SCHEMA_VERSION};
+use cds_engine::config::EngineVariant;
+use cds_engine::multi::MultiEngine;
+use cds_engine::prelude::*;
+use cds_quant::option::{CdsOption, MarketData, PortfolioGenerator};
+use dataflow_sim::fault::FaultPlan;
+use dataflow_sim::Cycle;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::rc::Rc;
+
+fn market() -> MarketData<f64> {
+    MarketData::paper_workload(42)
+}
+
+/// A mixed-maturity portfolio so per-option spreads differ and a
+/// misplaced index cannot masquerade as a bit-identical resume.
+fn portfolio(n: usize) -> Vec<CdsOption> {
+    PortfolioGenerator::new(9).portfolio(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `to_text` → `parse` is the identity, including exact f64 spread
+    /// bits (stored as hex bit patterns, immune to decimal rounding).
+    #[test]
+    fn checkpoint_text_round_trips_bit_exactly(
+        total in 1u32..64,
+        cadence in 1u32..9,
+        watermark in 0u64..1_000_000,
+        fault_seed in prop_oneof![Just(None), (0u64..u64::MAX).prop_map(Some)],
+        spreads in proptest::collection::vec((-1e9f64..1e9, 0u64..1_000_000), 0..12),
+    ) {
+        // Parse re-validates that every completed option was admitted,
+        // so only the first `total` entries can legitimately complete.
+        let completed: Vec<CompletedOption> = spreads
+            .iter()
+            .take(total as usize)
+            .enumerate()
+            .map(|(i, &(s, c))| CompletedOption {
+                index: i as u32,
+                done_cycle: c as Cycle,
+                spread_bps: s,
+            })
+            .collect();
+        let admitted: Vec<u32> = (0..total).collect();
+        let cp = Checkpoint {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            total_options: total,
+            cadence,
+            watermark_cycle: watermark as Cycle,
+            fault_seed,
+            admitted,
+            shed: Vec::new(),
+            completed,
+        };
+        let restored = match Checkpoint::parse(&cp.to_text()) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(format!("parse failed: {e}"))),
+        };
+        prop_assert_eq!(&restored, &cp);
+        for (a, b) in restored.completed.iter().zip(&cp.completed) {
+            prop_assert_eq!(a.spread_bps.to_bits(), b.spread_bps.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Kill a streaming run at a random point, journal at a random
+    /// cadence, resume from a random checkpoint (not just the last):
+    /// the merged result is bit-identical to the uninterrupted run.
+    #[test]
+    fn streaming_resume_equals_uninterrupted(
+        n in 5usize..10,
+        cadence in 1u32..4,
+        kill_at in 1usize..5,
+        which in 0usize..100,
+    ) {
+        let shared = Rc::new(market());
+        let config = EngineVariant::Vectorised.config();
+        let opts = portfolio(n);
+        let arrivals: Vec<Cycle> = (0..n as u64).map(|i| i * 30_000).collect();
+        let clean = run_streaming(shared.clone(), &config, &opts, &arrivals);
+        prop_assert_eq!(clean.spreads.len(), n);
+
+        let kill_cycle = arrivals[kill_at.min(n - 1)];
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(1).kill_region("", kill_cycle)),
+            ..Default::default()
+        };
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let killed = run_streaming_checkpointed(
+            shared.clone(),
+            &config,
+            &opts,
+            &arrivals,
+            &policy,
+            cadence,
+            |c| checkpoints.push(c.clone()),
+        );
+        match killed {
+            Ok(_) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("killed run errored: {e}"))),
+        }
+        prop_assert!(!checkpoints.is_empty(), "a run always emits a terminal record");
+
+        let cp = &checkpoints[which % checkpoints.len()];
+        let resumed = resume_streaming_from(
+            shared,
+            &config,
+            &opts,
+            &arrivals,
+            &StreamingPolicy::default(),
+            cp,
+        );
+        let resumed = match resumed {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("resume failed: {e}"))),
+        };
+        prop_assert_eq!(resumed.options_lost, 0u64);
+        prop_assert_eq!(resumed.spreads.len(), n);
+        for (i, (a, b)) in resumed.spreads.iter().zip(&clean.spreads).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "option {} diverged: {} vs {}", i, a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Multi-engine: an engine dies with no retry budget, the batch run
+    /// fails typed but its write-ahead journal survives; resuming from
+    /// the last checkpoint completes the batch bit-identically to a
+    /// fault-free run.
+    #[test]
+    fn multi_resume_equals_uninterrupted(
+        n in 10usize..22,
+        engines in 2usize..4,
+        kill_engine in 0usize..4,
+        kill_cycle in 20_000u64..80_000,
+    ) {
+        let multi = match MultiEngine::new(market(), engines) {
+            Ok(m) => m,
+            Err(e) => return Err(TestCaseError::fail(format!("engines must fit: {e}"))),
+        };
+        let opts = portfolio(n);
+        let clean = multi.price_batch_simulated(&opts);
+        let plan = FaultPlan::new(3)
+            .kill_region(format!("e{}.", kill_engine % engines), kill_cycle as Cycle);
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let run = multi.price_batch_resilient_checkpointed(
+            &opts,
+            Some(&plan),
+            0,
+            None,
+            2,
+            |c| checkpoints.push(c.clone()),
+        );
+        prop_assert!(!checkpoints.is_empty(), "journal must survive the failed run");
+        let last = &checkpoints[checkpoints.len() - 1];
+        match run {
+            // No retry budget: losing any work is a typed exhaustion.
+            Err(CdsError::Exhausted { .. }) => prop_assert!(!last.is_complete()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            // The kill may land after this engine's chunk completed.
+            Ok(_) => prop_assert!(last.is_complete()),
+        }
+        let resumed = match multi.resume_batch_resilient(&opts, last, 2) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("resume failed: {e}"))),
+        };
+        prop_assert_eq!(resumed.spreads.len(), n);
+        for (i, (a, b)) in resumed.spreads.iter().zip(&clean.spreads).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "option {} diverged: {} vs {}", i, a, b);
+        }
+    }
+}

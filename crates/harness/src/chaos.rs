@@ -2,9 +2,10 @@
 //! gate.
 //!
 //! [`run`] drives the engine's fault-injection framework through a fixed
-//! matrix of failure scenarios — stage stalls, dropped tokens, engine
-//! deaths, total FPGA loss, and overload shedding — on both the streaming
-//! and multi-engine deployments. Every scenario is **deterministic**
+//! matrix of failure scenarios — stage stalls, dropped tokens, in-flight
+//! corruption (scrubbed and repriced), engine deaths, mid-run kill plus
+//! checkpoint resume, total FPGA loss, and overload shedding — on both
+//! the streaming and multi-engine deployments. Every scenario is **deterministic**
 //! (seeded fault placement, discrete-event timing, no wall clock), so two
 //! runs produce byte-identical reports and the committed baseline
 //! (`results/chaos_baseline.json`) can be gated with **exact** equality:
@@ -14,16 +15,21 @@
 use crate::json::Json;
 use cds_engine::config::EngineVariant;
 use cds_engine::multi::MultiEngine;
+use cds_engine::scrub::ScrubPolicy;
 use cds_engine::streaming::{
-    poisson_arrivals, run_streaming, run_streaming_with, AdmissionControl, StreamingPolicy,
+    poisson_arrivals, resume_streaming_from, run_streaming, run_streaming_checkpointed,
+    run_streaming_with, AdmissionControl, StreamingPolicy,
 };
+use cds_engine::tokens::SpreadTok;
 use cds_quant::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
-use dataflow_sim::fault::FaultPlan;
+use dataflow_sim::fault::{FaultEvent, FaultPlan};
 use dataflow_sim::Cycle;
 use std::rc::Rc;
 
 /// Version of the chaos JSON schema (independent of the bench schema).
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added `options_quarantined`, per-case `fault_events` hit lists and
+/// the corrupt-scrub / kill-resume scenarios.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Outcome of one chaos scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +48,13 @@ pub struct ChaosCase {
     pub options_shed: u64,
     /// Options lost in flight (admitted, never completed).
     pub options_lost: u64,
+    /// Options the result-integrity scrubber quarantined and repriced.
+    pub options_quarantined: u64,
+    /// What each injected per-token fault actually hit: stream name,
+    /// absolute token index and — when known — the affected option
+    /// (rendered [`dataflow_sim::fault::FaultEvent`] records, in
+    /// injection order).
+    pub fault_events: Vec<String>,
     /// Deployment ran impaired (engine death or CPU fallback).
     pub degraded: bool,
     /// Completed spreads agree with the fault-free run.
@@ -62,6 +75,11 @@ impl ChaosCase {
             ("options_retried", Json::Number(self.options_retried as f64)),
             ("options_shed", Json::Number(self.options_shed as f64)),
             ("options_lost", Json::Number(self.options_lost as f64)),
+            ("options_quarantined", Json::Number(self.options_quarantined as f64)),
+            (
+                "fault_events",
+                Json::Array(self.fault_events.iter().map(|e| Json::Str(e.clone())).collect()),
+            ),
             ("degraded", Json::Bool(self.degraded)),
             ("spreads_match_clean", Json::Bool(self.spreads_match_clean)),
             ("p99_bounded", Json::Bool(self.p99_bounded)),
@@ -95,6 +113,18 @@ impl ChaosCase {
             options_retried: num("options_retried")?,
             options_shed: num("options_shed")?,
             options_lost: num("options_lost")?,
+            options_quarantined: num("options_quarantined")?,
+            fault_events: value
+                .get("fault_events")
+                .and_then(Json::as_array)
+                .ok_or("chaos case missing 'fault_events' array")?
+                .iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "non-string fault_events entry".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
             degraded: flag("degraded")?,
             spreads_match_clean: flag("spreads_match_clean")?,
             p99_bounded: flag("p99_bounded")?,
@@ -220,6 +250,12 @@ fn uniform_options(n: usize) -> Vec<CdsOption> {
     PortfolioGenerator::uniform(n, 5.5, PaymentFrequency::Quarterly, 0.40)
 }
 
+/// Render a run's per-token fault records into the report's stable
+/// hit-list form (stream, token index, affected option).
+fn event_strings(events: &[FaultEvent]) -> Vec<String> {
+    events.iter().map(FaultEvent::to_string).collect()
+}
+
 /// Execute the chaos matrix. Deterministic in `seed`.
 pub fn run(seed: u64) -> ChaosReport {
     let market = MarketData::paper_workload(seed);
@@ -247,6 +283,8 @@ pub fn run(seed: u64) -> ChaosReport {
             options_retried: 0,
             options_shed: r.options_shed,
             options_lost: r.options_lost,
+            options_quarantined: 0,
+            fault_events: event_strings(&r.counters.fault_events),
             degraded: false,
             spreads_match_clean,
             p99_bounded: true,
@@ -282,6 +320,8 @@ pub fn run(seed: u64) -> ChaosReport {
             options_retried: 0,
             options_shed: r.options_shed,
             options_lost: r.options_lost,
+            options_quarantined: 0,
+            fault_events: event_strings(&r.counters.fault_events),
             degraded: false,
             spreads_match_clean,
             p99_bounded: true,
@@ -313,6 +353,8 @@ pub fn run(seed: u64) -> ChaosReport {
             options_retried: 0,
             options_shed: r.options_shed,
             options_lost: r.options_lost,
+            options_quarantined: 0,
+            fault_events: event_strings(&r.counters.fault_events),
             degraded: false,
             spreads_match_clean: true,
             p99_bounded,
@@ -343,6 +385,8 @@ pub fn run(seed: u64) -> ChaosReport {
             options_retried: r.options_retried,
             options_shed: r.options_shed,
             options_lost: 0,
+            options_quarantined: 0,
+            fault_events: event_strings(&r.counters.fault_events),
             degraded: r.degraded,
             spreads_match_clean,
             p99_bounded: true,
@@ -378,6 +422,8 @@ pub fn run(seed: u64) -> ChaosReport {
             options_retried: r.options_retried,
             options_shed: r.options_shed,
             options_lost: 0,
+            options_quarantined: 0,
+            fault_events: event_strings(&r.counters.fault_events),
             degraded: r.degraded,
             spreads_match_clean,
             p99_bounded: true,
@@ -407,6 +453,8 @@ pub fn run(seed: u64) -> ChaosReport {
             options_retried: r.options_retried,
             options_shed: r.options_shed,
             options_lost: 0,
+            options_quarantined: 0,
+            fault_events: event_strings(&r.counters.fault_events),
             degraded: r.degraded,
             spreads_match_clean,
             p99_bounded: true,
@@ -414,6 +462,150 @@ pub fn run(seed: u64) -> ChaosReport {
                 && !r.degraded
                 && r.options_retried == 0
                 && r.faults_injected > 0,
+        });
+    }
+
+    // -- streaming/corrupt-scrub: two spread tokens are mutated in flight,
+    // one blatantly (sign flip — the invariant guards catch it) and one
+    // subtly (+0.25 bp, inside the hazard envelope — only the fault
+    // event's option identity catches it). The scrubber quarantines both,
+    // reprices them on the CPU fallback, and the run converges to the
+    // fault-free spreads.
+    {
+        let opts = uniform_options(8);
+        let arrivals: Vec<Cycle> = (0..8).map(|i| i * 40_000).collect();
+        let clean = run_streaming(shared.clone(), &config, &opts, &arrivals);
+        let plan = FaultPlan::new(seed)
+            .corrupt_nth::<SpreadTok>("spreads", 2, |t| SpreadTok {
+                spread_bps: -t.spread_bps,
+                ..t
+            })
+            .corrupt_nth::<SpreadTok>("spreads", 5, |t| SpreadTok {
+                spread_bps: t.spread_bps + 0.25,
+                ..t
+            });
+        let policy = StreamingPolicy {
+            fault_plan: Some(plan),
+            scrub: Some(ScrubPolicy { cross_check_every: 0 }),
+            ..Default::default()
+        };
+        let r = run_streaming_with(shared.clone(), &config, &opts, &arrivals, &policy)
+            .unwrap_or_else(|e| panic!("streaming/corrupt-scrub must terminate: {e}"));
+        let quarantined = r.scrub.as_ref().map_or(0, |s| s.options_quarantined);
+        let spreads_match_clean = spreads_close(&r.spreads, &clean.spreads);
+        cases.push(ChaosCase {
+            name: "streaming/corrupt-scrub".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: 0,
+            options_shed: r.options_shed,
+            options_lost: r.options_lost,
+            options_quarantined: quarantined,
+            fault_events: event_strings(&r.counters.fault_events),
+            degraded: false,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: r.faults_injected == 2
+                && quarantined == 2
+                && r.options_lost == 0
+                && spreads_match_clean,
+        });
+    }
+
+    // -- multi/corrupt-scrub: corruption inside two engines of a
+    // three-engine deployment — one NaN (guards) and one subtle bias
+    // (taint tracking). Scrubbed spreads converge to the clean batch.
+    {
+        let opts = uniform_options(24);
+        let multi = match MultiEngine::new(market.clone(), 3) {
+            Ok(m) => m,
+            Err(e) => panic!("three engines fit the U280: {e}"),
+        };
+        let clean = multi.price_batch_simulated(&opts);
+        let plan = FaultPlan::new(seed)
+            .corrupt_nth::<SpreadTok>("e1.spreads", 3, |t| SpreadTok { spread_bps: f64::NAN, ..t })
+            .corrupt_nth::<SpreadTok>("e0.spreads", 1, |t| SpreadTok {
+                spread_bps: t.spread_bps + 0.25,
+                ..t
+            });
+        let scrub = ScrubPolicy { cross_check_every: 0 };
+        let r = multi
+            .price_batch_resilient_scrubbed(&opts, Some(&plan), 2, &scrub)
+            .unwrap_or_else(|e| panic!("multi/corrupt-scrub must recover: {e}"));
+        let quarantined = r.scrub.as_ref().map_or(0, |s| s.options_quarantined);
+        let spreads_match_clean = spreads_close(&r.spreads, &clean.spreads);
+        cases.push(ChaosCase {
+            name: "multi/corrupt-scrub".to_string(),
+            faults_injected: r.faults_injected,
+            options_total: opts.len() as u64,
+            options_completed: r.spreads.len() as u64,
+            options_retried: r.options_retried,
+            options_shed: r.options_shed,
+            options_lost: 0,
+            options_quarantined: quarantined,
+            fault_events: event_strings(&r.counters.fault_events),
+            degraded: r.degraded,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: r.faults_injected == 2 && quarantined == 2 && spreads_match_clean,
+        });
+    }
+
+    // -- streaming/kill-resume: the engine dies mid-run with a write-ahead
+    // journal at cadence 3; the resumed run picks up from the last
+    // checkpoint and reproduces the fault-free spreads bit-for-bit.
+    {
+        let n = 12usize;
+        let opts = uniform_options(n);
+        let arrivals: Vec<Cycle> = (0..n as u64).map(|i| i * 30_000).collect();
+        let clean = run_streaming(shared.clone(), &config, &opts, &arrivals);
+        let policy = StreamingPolicy {
+            fault_plan: Some(FaultPlan::new(seed).kill_region("", arrivals[n / 2])),
+            ..Default::default()
+        };
+        let mut checkpoints = Vec::new();
+        let killed = run_streaming_checkpointed(
+            shared.clone(),
+            &config,
+            &opts,
+            &arrivals,
+            &policy,
+            3,
+            |c| checkpoints.push(c.clone()),
+        )
+        .unwrap_or_else(|e| panic!("streaming/kill-resume kill leg must terminate: {e}"));
+        let last = checkpoints
+            .last()
+            .cloned()
+            .unwrap_or_else(|| panic!("streaming/kill-resume must emit at least one checkpoint"));
+        let resumed = resume_streaming_from(
+            shared.clone(),
+            &config,
+            &opts,
+            &arrivals,
+            &StreamingPolicy::default(),
+            &last,
+        )
+        .unwrap_or_else(|e| panic!("streaming/kill-resume resume leg must succeed: {e}"));
+        let spreads_match_clean = resumed.spreads == clean.spreads;
+        cases.push(ChaosCase {
+            name: "streaming/kill-resume".to_string(),
+            faults_injected: killed.faults_injected,
+            options_total: n as u64,
+            options_completed: resumed.spreads.len() as u64,
+            options_retried: (n - last.completed.len()) as u64,
+            options_shed: resumed.options_shed,
+            options_lost: resumed.options_lost,
+            options_quarantined: 0,
+            fault_events: event_strings(&killed.counters.fault_events),
+            degraded: true,
+            spreads_match_clean,
+            p99_bounded: true,
+            survived: killed.options_lost > 0
+                && resumed.options_lost == 0
+                && resumed.spreads.len() == n
+                && spreads_match_clean,
         });
     }
 
@@ -455,6 +647,9 @@ mod tests {
             "multi/engine-death",
             "multi/all-dead",
             "multi/stall",
+            "streaming/corrupt-scrub",
+            "multi/corrupt-scrub",
+            "streaming/kill-resume",
         ] {
             assert!(r.find(name).is_some(), "missing case {name}");
         }
@@ -463,6 +658,42 @@ mod tests {
         assert!(death.degraded && death.options_retried > 0 && death.spreads_match_clean);
         let shed = r.find("streaming/shed").expect("shed case");
         assert!(shed.options_shed > 0 && shed.p99_bounded && shed.options_lost == 0);
+    }
+
+    #[test]
+    fn corruption_scenarios_quarantine_and_converge() {
+        let r = report();
+        for name in ["streaming/corrupt-scrub", "multi/corrupt-scrub"] {
+            let c = r.find(name).expect(name);
+            assert_eq!(c.options_quarantined, 2, "{name}: {c:?}");
+            assert!(c.spreads_match_clean, "{name} must converge to fault-free spreads");
+            assert_eq!(c.fault_events.len(), 2, "{name}: {:?}", c.fault_events);
+            for hit in &c.fault_events {
+                assert!(hit.starts_with("corrupt"), "{name} hit {hit}");
+                assert!(hit.contains("opt "), "{name} hit {hit} must name the option");
+            }
+        }
+    }
+
+    #[test]
+    fn kill_resume_recovers_every_option() {
+        let r = report();
+        let c = r.find("streaming/kill-resume").expect("kill-resume case");
+        assert!(c.options_retried > 0, "the resume must have had work left: {c:?}");
+        assert_eq!(c.options_lost, 0);
+        assert_eq!(c.options_completed, c.options_total);
+        assert!(c.spreads_match_clean, "resumed spreads must be bit-identical to clean");
+    }
+
+    #[test]
+    fn stall_hits_name_the_stream_and_option() {
+        let c = report().find("streaming/stall").cloned().expect("stall case");
+        assert_eq!(c.fault_events.len() as u64, c.faults_injected);
+        assert!(
+            c.fault_events.iter().all(|h| h.starts_with("stall hazard_out[")),
+            "{:?}",
+            c.fault_events
+        );
     }
 
     #[test]

@@ -19,10 +19,11 @@
 //!
 //! The [`bench`] module flattens the whole ladder into one
 //! machine-readable report ([`metrics::RunMetrics`] records serialised by
-//! the hand-rolled [`json`] module) for CI regression gating, and the
+//! the hand-rolled [`json`] module) for CI regression gating, the
 //! [`chaos`] module drives the engine's fault-injection framework through
 //! a deterministic failure matrix whose survival report is gated the same
-//! way.
+//! way, and the [`journal`] module records runs as replayable journals
+//! whose re-execution must be bit-identical.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,6 +34,7 @@ pub mod chaos;
 pub mod figures;
 pub mod format;
 pub mod hostcpu;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod tables;

@@ -22,14 +22,19 @@
 //!   host-cpu            measure the real CPU engine on this machine
 //!   bench               machine-readable benchmark ladder (BENCH.json)
 //!   chaos               seeded fault-injection matrix (CHAOS.json)
-//!   all                 everything above
+//!   replay              record (--json) / re-execute (--check) a run journal
+//!   all                 everything above (except replay, which needs a path)
 //! ```
 //!
 //! `bench` and `chaos` additionally take `--json PATH` (write the
 //! report) and `--check BASELINE` (exit 1 on regression against a
 //! committed baseline); `bench` also takes `--tolerance F` (relative
-//! gate width, default 0.10 — the chaos gate is exact). IO and usage
-//! errors exit 2 with a message; gate failures exit 1.
+//! gate width, default 0.10 — the chaos gate is exact). `replay --json`
+//! records a checkpointed run as a journal (`--scenario` picks the named
+//! fault scenario, default `corrupt-spread`); `replay --check` re-executes
+//! a journal and exits 1 unless the spreads and write-ahead checkpoint
+//! stream are bit-identical. IO and usage errors exit 2 with a message;
+//! gate failures exit 1.
 
 use cds_harness::ablations;
 use cds_harness::bench;
@@ -37,6 +42,7 @@ use cds_harness::chaos;
 use cds_harness::figures;
 use cds_harness::format::{rate, ratio, render_csv, render_table};
 use cds_harness::hostcpu;
+use cds_harness::journal;
 use cds_harness::tables;
 use cds_harness::validate;
 use cds_harness::workload::Workload;
@@ -50,6 +56,7 @@ struct Args {
     json_path: Option<PathBuf>,
     check_baseline: Option<PathBuf>,
     tolerance: f64,
+    scenario: String,
 }
 
 /// How a subcommand failed. `Fatal` is an environment/usage problem
@@ -78,6 +85,7 @@ fn parse_args() -> Args {
         json_path: None,
         check_baseline: None,
         tolerance: 0.10,
+        scenario: "corrupt-spread".to_string(),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -109,6 +117,10 @@ fn parse_args() -> Args {
                     args.next().unwrap_or_else(|| usage("--check needs a baseline file")),
                 ));
             }
+            "--scenario" => {
+                parsed.scenario =
+                    args.next().unwrap_or_else(|| usage("--scenario needs a scenario name"));
+            }
             "--tolerance" => {
                 parsed.tolerance = args
                     .next()
@@ -126,8 +138,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
-         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|all> \
-         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F]"
+         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|replay|all> \
+         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--scenario NAME]"
     );
     std::process::exit(2);
 }
@@ -512,8 +524,18 @@ fn cmd_chaos(args: &Args, standalone: bool) -> CliResult {
     };
     println!("== Fault-injection chaos matrix (seed {}) ==\n", args.seed);
     let report = chaos::run(args.seed);
-    let headers =
-        ["Scenario", "Faults", "Total", "Done", "Retried", "Shed", "Lost", "Degraded", "Survived"];
+    let headers = [
+        "Scenario",
+        "Faults",
+        "Total",
+        "Done",
+        "Retried",
+        "Shed",
+        "Lost",
+        "Quarantined",
+        "Degraded",
+        "Survived",
+    ];
     let rows: Vec<Vec<String>> = report
         .cases
         .iter()
@@ -526,12 +548,25 @@ fn cmd_chaos(args: &Args, standalone: bool) -> CliResult {
                 c.options_retried.to_string(),
                 c.options_shed.to_string(),
                 c.options_lost.to_string(),
+                c.options_quarantined.to_string(),
                 if c.degraded { "yes" } else { "no" }.to_string(),
                 if c.survived { "PASS" } else { "FAIL" }.to_string(),
             ]
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
+    // What each injected fault actually hit: stream, token, option.
+    println!("fault hits:");
+    for c in &report.cases {
+        if c.fault_events.is_empty() {
+            continue;
+        }
+        let shown = c.fault_events.iter().take(4).cloned().collect::<Vec<_>>().join("; ");
+        let more = c.fault_events.len().saturating_sub(4);
+        let tail = if more > 0 { format!("; +{more} more") } else { String::new() };
+        println!("  {}: {shown}{tail}", c.name);
+    }
+    println!();
     if let Some(path) = args.json_path.as_ref().filter(|_| standalone) {
         write_json_report(path, &report.pretty())?;
         println!("[chaos report written to {}]", path.display());
@@ -554,6 +589,63 @@ fn cmd_chaos(args: &Args, standalone: bool) -> CliResult {
     } else if !report.all_survived() {
         eprintln!("chaos matrix: FAIL (a scenario did not survive)");
         return Err(CliError::GateFailed);
+    }
+    Ok(())
+}
+
+/// Options per journalled replay run: small enough to re-execute in a
+/// few seconds of simulated pricing, large enough to span several
+/// checkpoint intervals.
+const REPLAY_OPTIONS: u64 = 12;
+/// Arrival cadence (cycles) of the journalled replay run.
+const REPLAY_ARRIVAL_STEP: u64 = 30_000;
+/// Checkpoint cadence (completed options) of the journalled replay run.
+const REPLAY_CADENCE: u32 = 3;
+
+fn cmd_replay(args: &Args) -> CliResult {
+    if args.json_path.is_none() && args.check_baseline.is_none() {
+        return Err(fatal("replay needs --json PATH (record) and/or --check JOURNAL (gate)"));
+    }
+    if let Some(path) = &args.json_path {
+        let n = args.options.map_or(REPLAY_OPTIONS, |n| n as u64);
+        println!(
+            "== Recording run journal (seed {}, {n} options, scenario {}) ==",
+            args.seed, args.scenario
+        );
+        let j = journal::record(args.seed, n, REPLAY_ARRIVAL_STEP, &args.scenario, REPLAY_CADENCE)
+            .map_err(fatal)?;
+        write_json_report(path, &j.pretty())?;
+        println!(
+            "[journal written to {}: {} checkpoints, {} spreads]",
+            path.display(),
+            j.checkpoints.len(),
+            j.spread_bits.len()
+        );
+    }
+    if let Some(path) = &args.check_baseline {
+        let j = read_baseline(path, journal::RunJournal::parse)?;
+        println!(
+            "== Replaying journal {} (seed {}, {} options, scenario {}) ==",
+            path.display(),
+            j.seed,
+            j.options,
+            j.scenario
+        );
+        let problems = journal::check(&j).map_err(fatal)?;
+        if problems.is_empty() {
+            println!(
+                "replay of {}: PASS ({} spreads and {} checkpoints bit-identical)",
+                path.display(),
+                j.spread_bits.len(),
+                j.checkpoints.len()
+            );
+        } else {
+            eprintln!("replay of {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  divergence: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
     }
     Ok(())
 }
@@ -596,6 +688,7 @@ fn run(args: &Args) -> CliResult {
         "host-cpu" => cmd_hostcpu(&workload, &args.csv_dir),
         "bench" => cmd_bench(args),
         "chaos" => cmd_chaos(args, true),
+        "replay" => cmd_replay(args),
         "all" => {
             if let Some(dir) = &args.csv_dir {
                 create_dir(dir)?;

@@ -25,19 +25,15 @@ pub struct Table1 {
 }
 
 impl Table1 {
-    /// Ratio of a row's measured rate to the baseline engine's.
+    /// Ratio of a row's measured rate to the baseline engine's. `NaN`
+    /// when either row is absent, so a renamed row shows up as a bad
+    /// number in the table rather than a crash.
     pub fn speedup_over_baseline(&self, description: &str) -> f64 {
-        let base = self
-            .rows
-            .iter()
-            .find(|r| r.description.contains("Xilinx"))
-            .expect("baseline row present");
-        let row = self
-            .rows
-            .iter()
-            .find(|r| r.description.contains(description))
-            .unwrap_or_else(|| panic!("row '{description}' missing"));
-        row.measured / base.measured
+        let find = |needle: &str| self.rows.iter().find(|r| r.description.contains(needle));
+        match (find("Xilinx"), find(description)) {
+            (Some(base), Some(row)) => row.measured / base.measured,
+            _ => f64::NAN,
+        }
     }
 }
 
@@ -86,18 +82,22 @@ pub struct Table2 {
 
 impl Table2 {
     /// FPGA(5 engines) / CPU(24 cores) performance ratio (paper ≈1.55×).
+    /// `NaN` on an empty table.
     pub fn fpga_vs_cpu_performance(&self) -> f64 {
-        self.rows.last().expect("5-engine row").measured_rate / self.rows[0].measured_rate
+        self.rows.last().map_or(f64::NAN, |last| last.measured_rate / self.rows[0].measured_rate)
     }
 
-    /// CPU / FPGA(5) power ratio (paper ≈4.7×).
+    /// CPU / FPGA(5) power ratio (paper ≈4.7×). `NaN` on an empty table.
     pub fn power_ratio(&self) -> f64 {
-        self.rows[0].watts / self.rows.last().expect("5-engine row").watts
+        self.rows.last().map_or(f64::NAN, |last| self.rows[0].watts / last.watts)
     }
 
-    /// FPGA(5) / CPU efficiency ratio (paper ≈7×).
+    /// FPGA(5) / CPU efficiency ratio (paper ≈7×). `NaN` on an empty
+    /// table.
     pub fn efficiency_ratio(&self) -> f64 {
-        self.rows.last().expect("5-engine row").options_per_watt / self.rows[0].options_per_watt
+        self.rows
+            .last()
+            .map_or(f64::NAN, |last| last.options_per_watt / self.rows[0].options_per_watt)
     }
 }
 

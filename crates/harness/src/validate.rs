@@ -83,8 +83,16 @@ fn schedulers_agree(workload: &Workload) -> Check {
     let options = PortfolioGenerator::uniform(2, 2.0, PaymentFrequency::Quarterly, 0.4);
     let (g1, s1) = build_graph(market.clone(), &config, &options, 0);
     let (g2, s2) = build_graph(market, &config, &options, 0);
-    let r1 = EventSim::new(g1).run().expect("event sim runs");
-    let r2 = CycleSim::new(g2).run().expect("cycle sim runs");
+    let (r1, r2) = match (EventSim::new(g1).run(), CycleSim::new(g2).run()) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            return Check {
+                name: "event-driven ≡ cycle-stepped scheduler".into(),
+                passed: false,
+                detail: format!("a scheduler failed to run: event {a:?}, cycle {b:?}"),
+            }
+        }
+    };
     let agree = r1.total_cycles == r2.total_cycles
         && r1.streams == r2.streams
         && s1.collected() == s2.collected();
@@ -150,7 +158,13 @@ fn des_vs_queueing_theory(workload: &Workload) -> Check {
     let arrivals = poisson_arrivals(&config, lambda * config.clock.hz, n, workload.seed);
     let report = run_streaming(market, &config, &options, &arrivals);
     let mean_sim = report.spans.iter().map(|&(a, d)| (d - a) as f64).sum::<f64>() / n as f64;
-    let theory = md1_mean_sojourn_cycles(lambda, service_ii, fill).expect("below saturation");
+    let Some(theory) = md1_mean_sojourn_cycles(lambda, service_ii, fill) else {
+        return Check {
+            name: "streaming DES ≡ M/D/1 queueing theory".into(),
+            passed: false,
+            detail: format!("offered load {lambda:.2e} saturates the M/D/1 model"),
+        };
+    };
     let err = (mean_sim - theory).abs() / theory;
     Check {
         name: "streaming DES ≡ M/D/1 queueing theory".into(),

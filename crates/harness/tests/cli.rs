@@ -75,6 +75,71 @@ fn fit_succeeds_with_exit_0() {
 }
 
 #[test]
+fn replay_without_flags_exits_2() {
+    // `replay` is meaningless with nothing to record and nothing to
+    // check; that is a usage error, not a gate failure.
+    let out = harness().arg("replay").output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--json") && stderr.contains("--check"), "{stderr}");
+}
+
+#[test]
+fn replay_with_nonexistent_journal_exits_2() {
+    let out = harness()
+        .args(["replay", "--check", "/nonexistent/dir/replay.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn replay_record_then_check_round_trips_with_exit_0() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("replay-roundtrip.json");
+    let rec = harness()
+        .args(["replay", "--json", path.to_str().expect("utf8 path"), "--options", "6"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(rec.status.code(), Some(0), "{}", String::from_utf8_lossy(&rec.stderr));
+    let chk = harness()
+        .args(["replay", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(chk.status.code(), Some(0), "{}", String::from_utf8_lossy(&chk.stderr));
+    assert!(String::from_utf8_lossy(&chk.stdout).contains("PASS"));
+}
+
+#[test]
+fn replay_check_of_tampered_journal_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("replay-tampered.json");
+    let rec = harness()
+        .args(["replay", "--json", path.to_str().expect("utf8 path"), "--options", "6"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(rec.status.code(), Some(0), "{}", String::from_utf8_lossy(&rec.stderr));
+    // Flip the low mantissa bit of the first journalled spread: the
+    // determinism gate must catch a single-ulp divergence.
+    let text = std::fs::read_to_string(&path).expect("read journal");
+    let list = text.find("\"spread_bits\"").expect("journal has spread bits");
+    let open = list + text[list..].find('[').expect("spread bits array");
+    let at = open + text[open..].find('"').expect("first spread entry") + 1;
+    let bits = u64::from_str_radix(&text[at..at + 16], 16).expect("hex bits");
+    let tampered = text.replacen(&text[at..at + 16], &format!("{:016x}", bits ^ 1), 1);
+    std::fs::write(&path, tampered).expect("write tampered journal");
+    let chk = harness()
+        .args(["replay", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(chk.status.code(), Some(1), "{}", String::from_utf8_lossy(&chk.stderr));
+    assert!(String::from_utf8_lossy(&chk.stderr).contains("diverged"));
+}
+
+#[test]
 fn csv_write_to_unwritable_dir_exits_2() {
     let out = harness()
         .args(["listing1", "--csv", "/proc/no-such-dir/csv"])

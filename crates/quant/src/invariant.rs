@@ -1,0 +1,226 @@
+//! Per-option result-integrity invariants — the guards behind the
+//! engine layer's spread scrubber.
+//!
+//! A fair CDS spread computed against validated market data must be
+//! finite, non-negative, and bounded above by a recovery-adjusted
+//! hazard envelope (the credit triangle `s ≈ h·(1−R)` tightened with
+//! the exact per-period discount/survival ratio bound); a full
+//! [`SpreadResult`] must additionally have internally consistent legs
+//! (the quoted spread reproduces `LGD·protection/(premium+accrual)`).
+//! Anything that fails these checks is *not* a plausible pricing
+//! output — it is corruption, and the engine quarantines and reprices
+//! it.
+
+use crate::cds::{SpreadResult, DEGENERATE_ANNUITY_EPS};
+use crate::option::{CdsOption, MarketData};
+
+/// Multiplicative headroom applied on top of the analytic envelope
+/// bound, absorbing schedule-discretisation and floating-point error.
+pub const ENVELOPE_HEADROOM: f64 = 1.01;
+
+/// Absolute slack in basis points added to every envelope, so that
+/// zero-hazard markets (envelope exactly 0) still admit the exactly-zero
+/// spreads they produce through floating-point summation.
+pub const ENVELOPE_SLACK_BPS: f64 = 1e-6;
+
+/// Relative tolerance for the leg-consistency identity
+/// `spread = LGD·protection/(premium+accrual)·10⁴`.
+pub const LEG_CONSISTENCY_REL_TOL: f64 = 1e-9;
+
+/// One violated spread invariant. Carries enough context for a
+/// quarantine report to say *why* the value was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpreadViolation {
+    /// The spread is NaN or infinite.
+    NonFinite {
+        /// The offending value.
+        spread_bps: f64,
+    },
+    /// The spread is below zero — impossible for a protection premium.
+    Negative {
+        /// The offending value.
+        spread_bps: f64,
+    },
+    /// The spread exceeds the recovery-adjusted hazard envelope.
+    EnvelopeExceeded {
+        /// The offending value.
+        spread_bps: f64,
+        /// The envelope it violated.
+        envelope_bps: f64,
+    },
+    /// The quoted spread does not reproduce its own legs.
+    LegInconsistent {
+        /// The quoted spread.
+        spread_bps: f64,
+        /// The spread implied by `LGD·protection/(premium+accrual)`.
+        implied_bps: f64,
+    },
+    /// A leg value is non-finite or outside its admissible domain.
+    LegOutOfDomain {
+        /// Which leg violated its domain.
+        leg: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The payment-leg PV is degenerate, so no finite spread exists.
+    DegenerateAnnuity {
+        /// The offending premium + accrual annuity.
+        annuity: f64,
+    },
+}
+
+impl std::fmt::Display for SpreadViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpreadViolation::NonFinite { spread_bps } => {
+                write!(f, "spread {spread_bps} bps is not finite")
+            }
+            SpreadViolation::Negative { spread_bps } => {
+                write!(f, "spread {spread_bps} bps is negative")
+            }
+            SpreadViolation::EnvelopeExceeded { spread_bps, envelope_bps } => {
+                write!(f, "spread {spread_bps} bps exceeds hazard envelope {envelope_bps} bps")
+            }
+            SpreadViolation::LegInconsistent { spread_bps, implied_bps } => {
+                write!(f, "spread {spread_bps} bps inconsistent with legs (imply {implied_bps})")
+            }
+            SpreadViolation::LegOutOfDomain { leg, value } => {
+                write!(f, "{leg} = {value} outside admissible domain")
+            }
+            SpreadViolation::DegenerateAnnuity { annuity } => {
+                write!(f, "payment-leg annuity {annuity} is degenerate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpreadViolation {}
+
+/// Upper bound, in basis points, on the fair spread of `option` under
+/// `market`.
+///
+/// Per period `i` the protection increment satisfies
+/// `S(tᵢ₋₁)−S(tᵢ) ≤ S(tᵢ₋₁)·h_max·Δᵢ`, so the spread quotient is
+/// bounded by `h_max·LGD·10⁴` times the worst per-period ratio
+/// `DF(mᵢ)S(tᵢ₋₁) / DF(tᵢ)S(tᵢ) ≤ exp((h_max + r_max/2)·Δ)` — with
+/// `Δ = 1/payments_per_year` the longest period the schedule can
+/// produce. [`ENVELOPE_HEADROOM`] and [`ENVELOPE_SLACK_BPS`] are added
+/// on top. Zero-hazard markets yield an envelope of just the slack, so
+/// their exactly-zero spreads pass.
+#[must_use]
+pub fn spread_envelope_bps(market: &MarketData<f64>, option: &CdsOption) -> f64 {
+    let h_max = market.hazard.points().iter().map(|p| p.value).fold(0.0_f64, f64::max).max(0.0);
+    let r_max = market.interest.points().iter().map(|p| p.value).fold(0.0_f64, f64::max).max(0.0);
+    let dt = 1.0 / f64::from(option.frequency.per_year());
+    let period_ratio = ((h_max + 0.5 * r_max) * dt).exp();
+    let lgd = 1.0 - option.recovery_rate;
+    h_max * lgd * 10_000.0 * period_ratio * ENVELOPE_HEADROOM + ENVELOPE_SLACK_BPS
+}
+
+/// Guard a bare spread value (all the engine's output streams carry):
+/// finite, non-negative, and within the hazard envelope.
+pub fn check_spread_bps(spread_bps: f64, envelope_bps: f64) -> Result<(), SpreadViolation> {
+    if !spread_bps.is_finite() {
+        return Err(SpreadViolation::NonFinite { spread_bps });
+    }
+    if spread_bps < 0.0 {
+        return Err(SpreadViolation::Negative { spread_bps });
+    }
+    if spread_bps > envelope_bps {
+        return Err(SpreadViolation::EnvelopeExceeded { spread_bps, envelope_bps });
+    }
+    Ok(())
+}
+
+/// Guard a full [`SpreadResult`]: every leg finite and in domain, the
+/// annuity non-degenerate, and the quoted spread reproducing
+/// `LGD·protection/(premium+accrual)·10⁴` to [`LEG_CONSISTENCY_REL_TOL`].
+pub fn check_result(result: &SpreadResult, recovery_rate: f64) -> Result<(), SpreadViolation> {
+    let legs = [
+        ("premium_annuity", result.premium_annuity, 0.0, f64::INFINITY),
+        ("protection_unit", result.protection_unit, 0.0, 1.0 + 1e-12),
+        ("accrual_annuity", result.accrual_annuity, 0.0, f64::INFINITY),
+        ("default_prob_at_maturity", result.default_prob_at_maturity, 0.0, 1.0 + 1e-12),
+    ];
+    for (leg, value, lo, hi) in legs {
+        if !value.is_finite() || value < lo || value > hi {
+            return Err(SpreadViolation::LegOutOfDomain { leg, value });
+        }
+    }
+    let annuity = result.premium_annuity + result.accrual_annuity;
+    if annuity <= DEGENERATE_ANNUITY_EPS {
+        return Err(SpreadViolation::DegenerateAnnuity { annuity });
+    }
+    if !result.spread_bps.is_finite() {
+        return Err(SpreadViolation::NonFinite { spread_bps: result.spread_bps });
+    }
+    let implied_bps = (1.0 - recovery_rate) * result.protection_unit / annuity * 10_000.0;
+    let tol = LEG_CONSISTENCY_REL_TOL * result.spread_bps.abs().max(1.0);
+    if (implied_bps - result.spread_bps).abs() > tol {
+        return Err(SpreadViolation::LegInconsistent {
+            spread_bps: result.spread_bps,
+            implied_bps,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cds::try_price_cds;
+    use crate::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
+
+    fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn reference_spreads_pass_all_guards() {
+        let market = MarketData::paper_workload(42);
+        for option in PortfolioGenerator::uniform(32, 5.5, PaymentFrequency::Quarterly, 0.40) {
+            let result = ok(try_price_cds(&market, &option));
+            let envelope = spread_envelope_bps(&market, &option);
+            ok(check_spread_bps(result.spread_bps, envelope));
+            ok(check_result(&result, option.recovery_rate));
+        }
+    }
+
+    #[test]
+    fn envelope_scales_with_recovery() {
+        let market = MarketData::flat(0.02, 0.015, 64);
+        let low = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.10);
+        let high = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.80);
+        assert!(spread_envelope_bps(&market, &low) > spread_envelope_bps(&market, &high));
+    }
+
+    #[test]
+    fn guards_reject_each_violation_kind() {
+        assert!(matches!(
+            check_spread_bps(f64::NAN, 100.0),
+            Err(SpreadViolation::NonFinite { .. })
+        ));
+        assert!(matches!(check_spread_bps(-1.0, 100.0), Err(SpreadViolation::Negative { .. })));
+        assert!(matches!(
+            check_spread_bps(101.0, 100.0),
+            Err(SpreadViolation::EnvelopeExceeded { .. })
+        ));
+        assert!(check_spread_bps(0.0, 0.0 + ENVELOPE_SLACK_BPS).is_ok());
+    }
+
+    #[test]
+    fn leg_consistency_detects_tampered_spread() {
+        let market = MarketData::flat(0.02, 0.015, 64);
+        let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+        let mut result = ok(try_price_cds(&market, &option));
+        ok(check_result(&result, option.recovery_rate));
+        result.spread_bps += 0.5;
+        assert!(matches!(
+            check_result(&result, option.recovery_rate),
+            Err(SpreadViolation::LegInconsistent { .. })
+        ));
+    }
+}

@@ -45,6 +45,7 @@ pub mod cds;
 pub mod curve;
 pub mod daycount;
 pub mod interp;
+pub mod invariant;
 pub mod montecarlo;
 pub mod option;
 pub mod precision;
@@ -61,6 +62,9 @@ pub mod prelude {
     };
     pub use crate::curve::{Curve, CurvePoint};
     pub use crate::daycount::YearFraction;
+    pub use crate::invariant::{
+        check_result, check_spread_bps, spread_envelope_bps, SpreadViolation,
+    };
     pub use crate::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
     pub use crate::precision::CdsFloat;
     pub use crate::risk::{

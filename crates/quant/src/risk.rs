@@ -10,7 +10,6 @@
 use crate::cds::{price_cds, SpreadResult};
 use crate::curve::{Curve, CurvePoint};
 use crate::option::{CdsOption, MarketData};
-use crate::QuantError;
 
 /// Mark-to-market of an existing CDS position.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,14 +57,18 @@ pub struct Sensitivities {
 }
 
 /// Parallel-bump a curve by `bump` (absolute rate units).
-fn bumped(curve: &Curve<f64>, bump: f64) -> Result<Curve<f64>, QuantError> {
-    Curve::new(
-        curve
-            .points()
-            .iter()
-            .map(|p| CurvePoint { tenor: p.tenor, value: p.value + bump })
-            .collect(),
-    )
+fn bumped(curve: &Curve<f64>, bump: f64) -> Curve<f64> {
+    let points = curve
+        .points()
+        .iter()
+        .map(|p| CurvePoint { tenor: p.tenor, value: p.value + bump })
+        .collect();
+    match Curve::new(points) {
+        Ok(c) => c,
+        // A uniform finite bump preserves the tenor grid, so a curve that
+        // was valid going in cannot come out invalid.
+        Err(e) => panic!("bumped curve invalid: {e}"),
+    }
 }
 
 /// Compute bump-and-reprice sensitivities for a seated contract.
@@ -77,16 +80,12 @@ pub fn sensitivities(
     const BP: f64 = 1e-4;
     let base = mark_to_market(market, option, contract_spread_bps).value_per_notional;
 
-    let hazard_up = MarketData {
-        interest: market.interest.clone(),
-        hazard: bumped(&market.hazard, BP).expect("bumped hazard curve valid"),
-    };
+    let hazard_up =
+        MarketData { interest: market.interest.clone(), hazard: bumped(&market.hazard, BP) };
     let cs01 = mark_to_market(&hazard_up, option, contract_spread_bps).value_per_notional - base;
 
-    let rates_up = MarketData {
-        interest: bumped(&market.interest, BP).expect("bumped interest curve valid"),
-        hazard: market.hazard.clone(),
-    };
+    let rates_up =
+        MarketData { interest: bumped(&market.interest, BP), hazard: market.hazard.clone() };
     let ir01 = mark_to_market(&rates_up, option, contract_spread_bps).value_per_notional - base;
 
     let rec_up = CdsOption { recovery_rate: (option.recovery_rate + 0.01).min(0.999), ..*option };

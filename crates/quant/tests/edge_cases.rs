@@ -7,10 +7,14 @@ use cds_quant::cds::try_price_cds;
 use cds_quant::curve::Curve;
 use cds_quant::daycount::{DayCount, YearFraction};
 use cds_quant::interp::binary_search;
+use cds_quant::invariant::{
+    check_result, check_spread_bps, spread_envelope_bps, SpreadViolation, ENVELOPE_SLACK_BPS,
+};
 use cds_quant::option::{CdsOption, MarketData, PaymentFrequency, PortfolioGenerator};
 use cds_quant::schedule::PaymentSchedule;
 use cds_quant::QuantError;
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
 
 fn freq(idx: u8) -> PaymentFrequency {
     match idx % 4 {
@@ -157,4 +161,101 @@ proptest! {
             }
         }
     }
+
+    /// The scrubber's envelope guard never rejects an honestly priced
+    /// spread: for any finite market and option that prices, the spread
+    /// sits inside the recovery-adjusted hazard envelope and the full
+    /// result passes the leg-consistency guard.
+    #[test]
+    fn envelope_admits_every_true_spread(
+        hazard in prop_oneof![Just(0.0), Just(1e-10), 1e-4f64..2.0],
+        rate in 0.0f64..0.15,
+        maturity in 0.25f64..30.0,
+        f in 0u8..4,
+        recovery in 0.0f64..0.99,
+    ) {
+        let market = MarketData {
+            interest: Curve::flat(rate, 16, 50.0),
+            hazard: Curve::flat(hazard, 16, 50.0),
+        };
+        if let Ok(option) = CdsOption::validated(maturity, freq(f), recovery) {
+            if let Ok(result) = try_price_cds(&market, &option) {
+                let envelope = spread_envelope_bps(&market, &option);
+                prop_assert!(
+                    check_spread_bps(result.spread_bps, envelope).is_ok(),
+                    "true spread {} bps rejected by envelope {} bps",
+                    result.spread_bps,
+                    envelope
+                );
+                prop_assert!(check_result(&result, option.recovery_rate).is_ok());
+            }
+        }
+    }
+
+    /// Zero-hazard markets price to exactly zero spread; the envelope
+    /// degenerates to its absolute slack, which still admits that zero
+    /// but rejects anything visibly positive.
+    #[test]
+    fn zero_hazard_envelope_admits_only_zero(
+        maturity in 0.5f64..20.0,
+        rate in 0.0f64..0.10,
+        spurious in 0.01f64..5_000.0,
+    ) {
+        let market = MarketData {
+            interest: Curve::flat(rate, 16, 50.0),
+            hazard: Curve::flat(0.0, 16, 50.0),
+        };
+        let option = CdsOption::new(maturity, PaymentFrequency::Quarterly, 0.40);
+        let result = match try_price_cds(&market, &option) {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("zero-hazard pricing failed: {e}"))),
+        };
+        prop_assert_eq!(result.spread_bps, 0.0);
+        let envelope = spread_envelope_bps(&market, &option);
+        prop_assert!(envelope >= ENVELOPE_SLACK_BPS);
+        prop_assert!(check_spread_bps(result.spread_bps, envelope).is_ok());
+        // A corrupted positive spread cannot hide under a zero envelope.
+        prop_assert!(matches!(
+            check_spread_bps(spurious, envelope),
+            Err(SpreadViolation::EnvelopeExceeded { .. })
+        ));
+    }
+}
+
+/// Degenerate options (maturities too short to seat a payment) either
+/// fail validation/pricing with a typed error, or — if they do price —
+/// still satisfy every scrubber guard. A hand-degenerated result is
+/// rejected by the leg checks rather than trusted.
+#[test]
+fn degenerate_options_never_slip_past_the_guards() {
+    let market =
+        MarketData { interest: Curve::flat(0.02, 16, 50.0), hazard: Curve::flat(0.02, 16, 50.0) };
+    for maturity in [1e-13, 1e-9, 1e-6, 1e-3] {
+        match CdsOption::validated(maturity, PaymentFrequency::Monthly, 0.40) {
+            Err(_) => {}
+            Ok(option) => match try_price_cds(&market, &option) {
+                Err(QuantError::DegenerateOption { .. }) => {}
+                Err(e) => panic!("unexpected pricing error at maturity {maturity}: {e}"),
+                Ok(result) => {
+                    let envelope = spread_envelope_bps(&market, &option);
+                    assert!(check_spread_bps(result.spread_bps, envelope).is_ok());
+                    assert!(check_result(&result, option.recovery_rate).is_ok());
+                }
+            },
+        }
+    }
+    // A result whose annuity has been wiped out is corruption, not a
+    // price: the guard must flag the degenerate annuity, never divide
+    // through it.
+    let option = CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40);
+    let mut result = match try_price_cds(&market, &option) {
+        Ok(r) => r,
+        Err(e) => panic!("5y option must price: {e}"),
+    };
+    result.premium_annuity = 0.0;
+    result.accrual_annuity = 0.0;
+    assert!(matches!(
+        check_result(&result, option.recovery_rate),
+        Err(SpreadViolation::DegenerateAnnuity { .. })
+    ));
 }
