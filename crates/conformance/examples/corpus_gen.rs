@@ -1,0 +1,139 @@
+//! Regenerate the committed conformance corpus.
+//!
+//! ```text
+//! cargo run -p cds-conformance --example corpus_gen -- results/conformance_corpus
+//! ```
+//!
+//! The corpus is curated, not a fuzz dump: each file pins one family of
+//! historically engine-breaking inputs (docs/TESTING.md describes the
+//! workflow for adding shrunk fuzz failures next to these).
+
+use cds_conformance::case::{ConformanceCase, MarketSpec};
+use cds_conformance::generator::LISTING1_BOUNDARY_MATURITIES;
+use cds_quant::option::{CdsOption, PaymentFrequency};
+
+fn corpus() -> Vec<ConformanceCase> {
+    let q = PaymentFrequency::Quarterly;
+    vec![
+        ConformanceCase {
+            name: "listing1-boundaries".to_string(),
+            note: "quarterly schedules of exactly 6/7/8 points straddling the paper's 7-lane \
+                   accumulator, including one maturity a single ULP past the 7-point boundary"
+                .to_string(),
+            market: MarketSpec::Paper { seed: 11 },
+            options: LISTING1_BOUNDARY_MATURITIES
+                .iter()
+                .map(|&m| CdsOption::new(m, q, 0.40))
+                .collect(),
+        },
+        ConformanceCase {
+            name: "subperiod-stubs".to_string(),
+            note: "maturities shorter than one payment period (single stub point) and one \
+                   sitting a hair past a period boundary"
+                .to_string(),
+            market: MarketSpec::Stressed { seed: 7 },
+            options: vec![
+                CdsOption::new(0.02, q, 0.40),
+                CdsOption::new(0.1, PaymentFrequency::Monthly, 0.25),
+                CdsOption::new(0.24, q, 0.40),
+                CdsOption::new(0.25 + 1e-9, q, 0.40),
+            ],
+        },
+        ConformanceCase {
+            name: "nearflat-cancellation".to_string(),
+            note: "near-flat curve: interpolation differences cancel to the last bits, so any \
+                   re-association between engine variants shows up"
+                .to_string(),
+            market: MarketSpec::NearFlat {
+                rate: 0.02,
+                hazard: 0.015,
+                wobble: 1e-8,
+                seed: 3,
+                knots: 64,
+            },
+            options: vec![
+                CdsOption::new(5.0, q, 0.40),
+                CdsOption::new(7.25, PaymentFrequency::SemiAnnual, 0.40),
+            ],
+        },
+        ConformanceCase {
+            name: "step-hazard".to_string(),
+            note: "sharp hazard step mid-curve, the hardest shape piecewise-linear curves admit"
+                .to_string(),
+            market: MarketSpec::StepHazard {
+                rate: 0.03,
+                low: 0.002,
+                high: 0.12,
+                step_tenor: 3.0,
+                knots: 128,
+            },
+            options: vec![
+                CdsOption::new(2.9, q, 0.40),
+                CdsOption::new(3.0, q, 0.40),
+                CdsOption::new(3.1, q, 0.40),
+            ],
+        },
+        ConformanceCase {
+            name: "zero-hazard".to_string(),
+            note: "riskless market: every route must produce an exactly representable zero \
+                   spread"
+                .to_string(),
+            market: MarketSpec::Flat { rate: 0.04, hazard: 0.0, knots: 32 },
+            options: vec![CdsOption::new(5.0, q, 0.40), CdsOption::new(0.5, q, 0.0)],
+        },
+        ConformanceCase {
+            name: "extreme-recovery".to_string(),
+            note: "recovery envelope edges: total loss and near-total recovery".to_string(),
+            market: MarketSpec::Paper { seed: 5 },
+            options: vec![
+                CdsOption::new(5.0, q, 0.0),
+                CdsOption::new(5.0, q, 1.0 - 1e-6),
+                CdsOption::new(1.0, PaymentFrequency::Annual, 0.999),
+            ],
+        },
+        ConformanceCase {
+            name: "stressed-mixed-frequencies".to_string(),
+            note: "stressed curves with every payment frequency in one batch".to_string(),
+            market: MarketSpec::Stressed { seed: 42 },
+            options: PaymentFrequency::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &f)| CdsOption::new(2.0 + i as f64 * 1.5, f, 0.35))
+                .collect(),
+        },
+    ]
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: corpus_gen <output-dir>");
+        std::process::exit(2);
+    });
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    for case in corpus() {
+        let path = dir.join(format!("{}.case", case.name));
+        let text = case.to_text();
+        // Self-check: the file must round-trip bit-exactly before it is
+        // worth committing.
+        match ConformanceCase::parse(&text) {
+            Ok(parsed) if parsed == case => {}
+            Ok(_) => {
+                eprintln!("{}: round trip changed the case", path.display());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{}: does not parse back: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,318 @@
+//! Seeded adversarial case generation and deterministic shrinking.
+//!
+//! The generator biases hard toward the shapes that historically break
+//! spread engines rather than sampling uniformly:
+//!
+//! * **near-flat curves** — interpolation differences cancel to the last
+//!   bits, so any re-association shows up;
+//! * **step hazards** — the sharpest shape piecewise-linear curves
+//!   admit, stressing the scan/interpolation stages;
+//! * **sub-period maturities** — a single stub time point, the shortest
+//!   schedule the engines must handle;
+//! * **Listing-1 partial-sum boundaries** — maturities that produce
+//!   exactly 6, 7 or 8 quarterly time points, straddling the paper's
+//!   7-lane accumulator width (lane wrap-around off by one shows up
+//!   precisely there);
+//! * **extreme recoveries** — `0.0` and `1 − 1e-6`, the envelope edges.
+//!
+//! The in-tree `proptest` stand-in deliberately has no shrinking, so the
+//! conformance fuzzer carries its own: [`shrink`] greedily simplifies a
+//! failing case (fewer options, flat market, canonical maturities and
+//! recoveries) while a caller-supplied predicate keeps failing, which is
+//! what gets committed to `results/conformance_corpus/`.
+
+use crate::case::{ConformanceCase, MarketSpec};
+use cds_quant::option::{CdsOption, PaymentFrequency};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maturities that hit the Listing-1 partial-sum boundary counts: a
+/// quarterly schedule of maturity `m` has `ceil(4m)` points, so these
+/// produce exactly 6, 7 and 8 time points (the paper's accumulator is
+/// 7 lanes wide), plus each boundary crossed by one representable step.
+pub const LISTING1_BOUNDARY_MATURITIES: [f64; 6] = [
+    1.5,                // 6 points, last period exact
+    1.563,              // 7 points, short stub just past the boundary
+    1.75,               // 7 points, exact
+    1.8130000000000002, // 8 points, short stub
+    2.0,                // 8 points, exact
+    1.7500000000000002, // 8 points: one ULP past the 7-point boundary
+];
+
+/// Generate the `index`-th case of a seeded stream.
+///
+/// The same `(seed, index)` always yields the same case, so a failure
+/// report that names them is reproducible without the corpus file.
+#[must_use]
+pub fn generate_case(seed: u64, index: u64) -> ConformanceCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let market = random_market(&mut rng);
+    let n_options = rng.gen_range(1..=5usize);
+    let options = (0..n_options).map(|_| random_option(&mut rng)).collect();
+    ConformanceCase {
+        name: format!("fuzz-{seed}-{index}"),
+        note: format!("generated case {index} of seed {seed}"),
+        market,
+        options,
+    }
+}
+
+fn random_market(rng: &mut StdRng) -> MarketSpec {
+    match rng.gen_range(0..6u32) {
+        0 => MarketSpec::Paper { seed: rng.gen_range(0..1000) },
+        1 => MarketSpec::Stressed { seed: rng.gen_range(0..1000) },
+        2 => MarketSpec::Flat {
+            rate: rng.gen_range(0.0..0.08),
+            hazard: rng.gen_range(0.0001..0.12),
+            knots: rng.gen_range(2..256),
+        },
+        3 => MarketSpec::NearFlat {
+            rate: rng.gen_range(0.001..0.05),
+            hazard: rng.gen_range(0.001..0.05),
+            wobble: 10f64.powf(rng.gen_range(-9.0..-4.0)),
+            seed: rng.gen_range(0..1000),
+            knots: rng.gen_range(8..128),
+        },
+        4 => MarketSpec::StepHazard {
+            rate: rng.gen_range(0.0..0.05),
+            low: rng.gen_range(0.0005..0.01),
+            high: rng.gen_range(0.05..0.15),
+            step_tenor: rng.gen_range(0.5..8.0),
+            knots: rng.gen_range(16..256),
+        },
+        // Zero-hazard edge: the degenerate limit as a market, not just
+        // an oracle construction.
+        _ => MarketSpec::Flat { rate: rng.gen_range(0.0..0.05), hazard: 0.0, knots: 32 },
+    }
+}
+
+fn random_option(rng: &mut StdRng) -> CdsOption {
+    let maturity = match rng.gen_range(0..5u32) {
+        // Sub-period: a single stub point.
+        0 => rng.gen_range(0.02..0.24),
+        // Listing-1 partial-sum boundary counts.
+        1 => LISTING1_BOUNDARY_MATURITIES[rng.gen_range(0..LISTING1_BOUNDARY_MATURITIES.len())],
+        // Exact whole periods (no stub).
+        2 => rng.gen_range(1..36u32) as f64 * 0.25,
+        // Just past a period boundary (tiny stub).
+        3 => rng.gen_range(1..36u32) as f64 * 0.25 + 1e-9,
+        // Generic.
+        _ => rng.gen_range(0.3..9.5),
+    };
+    let frequency = PaymentFrequency::ALL[rng.gen_range(0..PaymentFrequency::ALL.len())];
+    let recovery = match rng.gen_range(0..4u32) {
+        0 => 0.0,
+        1 => 1.0 - 1e-6,
+        2 => rng.gen_range(0.9..0.999),
+        _ => rng.gen_range(0.0..0.9),
+    };
+    CdsOption::new(maturity, frequency, recovery)
+}
+
+/// Greedily shrink `case` while `still_fails` holds.
+///
+/// Deterministic and bounded: each pass tries, in order, dropping
+/// options, replacing the market with progressively simpler shapes,
+/// rounding maturities to canonical values, and snapping recoveries.
+/// The first simplification that keeps the predicate failing is kept;
+/// passes repeat until a fixed point (at most [`MAX_SHRINK_PASSES`]).
+pub fn shrink(
+    case: &ConformanceCase,
+    still_fails: &mut dyn FnMut(&ConformanceCase) -> bool,
+) -> ConformanceCase {
+    let mut best = case.clone();
+    for _ in 0..MAX_SHRINK_PASSES {
+        let mut improved = false;
+
+        // 1. Fewer options: try each single option, then each prefix.
+        if best.options.len() > 1 {
+            let candidates: Vec<Vec<CdsOption>> = best
+                .options
+                .iter()
+                .map(|o| vec![*o])
+                .chain((1..best.options.len()).map(|k| best.options[..k].to_vec()))
+                .collect();
+            for options in candidates {
+                let candidate = ConformanceCase { options, ..best.clone() };
+                if still_fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        // 2. Simpler market.
+        for market in simpler_markets(&best.market) {
+            let candidate = ConformanceCase { market, ..best.clone() };
+            if still_fails(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+
+        // 3. Canonical option parameters.
+        for (i, option) in best.options.clone().into_iter().enumerate() {
+            for simpler in simpler_options(&option) {
+                let mut options = best.options.clone();
+                options[i] = simpler;
+                let candidate = ConformanceCase { options, ..best.clone() };
+                if still_fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+/// Upper bound on shrink passes; each pass must strictly simplify, so
+/// this is a safety net, not a tuning knob.
+pub const MAX_SHRINK_PASSES: usize = 32;
+
+fn simpler_markets(market: &MarketSpec) -> Vec<MarketSpec> {
+    let mut out = Vec::new();
+    match *market {
+        MarketSpec::Flat { rate, hazard, knots } => {
+            if knots > 2 {
+                out.push(MarketSpec::Flat { rate, hazard, knots: 2.max(knots / 4) });
+            }
+            if rate != 0.02 || hazard != 0.02 {
+                out.push(MarketSpec::Flat { rate: 0.02, hazard: 0.02, knots });
+            }
+        }
+        _ => {
+            out.push(MarketSpec::Flat { rate: 0.02, hazard: 0.02, knots: 16 });
+            out.push(MarketSpec::Flat { rate: 0.02, hazard: 0.02, knots: 64 });
+        }
+    }
+    out
+}
+
+fn simpler_options(option: &CdsOption) -> Vec<CdsOption> {
+    let mut out = Vec::new();
+    // Strictly simplifying: canonical values are proposed only when the
+    // parameter is not yet canonical, so repeated passes reach a fixed
+    // point instead of oscillating between canonical values.
+    let canonical_maturities = [5.0, 2.0, 1.0, 0.25];
+    if !canonical_maturities.contains(&option.maturity) {
+        for m in canonical_maturities {
+            out.push(CdsOption::new(m, option.frequency, option.recovery_rate));
+        }
+        // Round a messy maturity to two decimals (keeps a stub if one
+        // matters, drops the noise digits).
+        let rounded = (option.maturity * 100.0).round() / 100.0;
+        if rounded > 0.0 && rounded != option.maturity {
+            out.push(CdsOption::new(rounded, option.frequency, option.recovery_rate));
+        }
+    }
+    if option.frequency != PaymentFrequency::Quarterly {
+        out.push(CdsOption::new(
+            option.maturity,
+            PaymentFrequency::Quarterly,
+            option.recovery_rate,
+        ));
+    }
+    if option.recovery_rate != 0.4 && option.recovery_rate != 0.0 {
+        for r in [0.4, 0.0] {
+            out.push(CdsOption::new(option.maturity, option.frequency, r));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_quant::schedule::PaymentSchedule;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for index in 0..8 {
+            assert_eq!(generate_case(42, index), generate_case(42, index));
+        }
+        assert_ne!(generate_case(42, 0).options, generate_case(42, 1).options);
+    }
+
+    #[test]
+    fn generated_cases_are_valid_and_build() {
+        for index in 0..64 {
+            let case = generate_case(7, index);
+            let market = match case.build_market() {
+                Ok(m) => m,
+                Err(e) => panic!("case {index}: {e}"),
+            };
+            assert!(!case.options.is_empty());
+            for o in &case.options {
+                assert!(
+                    CdsOption::validated(o.maturity, o.frequency, o.recovery_rate).is_ok(),
+                    "case {index}: invalid option {o:?}"
+                );
+            }
+            assert!(market.hazard.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn boundary_maturities_hit_6_7_8_time_points() {
+        let counts: Vec<usize> = LISTING1_BOUNDARY_MATURITIES
+            .iter()
+            .map(|&m| match PaymentSchedule::<f64>::generate(m, 4) {
+                Ok(s) => s.len(),
+                Err(e) => panic!("{e}"),
+            })
+            .collect();
+        assert_eq!(counts, vec![6, 7, 7, 8, 8, 8]);
+    }
+
+    #[test]
+    fn generated_round_trips_through_corpus_format() {
+        for index in 0..16 {
+            let case = generate_case(3, index);
+            let parsed = match ConformanceCase::parse(&case.to_text()) {
+                Ok(c) => c,
+                Err(e) => panic!("case {index}: {e}"),
+            };
+            assert_eq!(parsed, case);
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_canonical_minimum_for_an_always_failing_predicate() {
+        let case = generate_case(99, 5);
+        let shrunk = shrink(&case, &mut |_| true);
+        assert_eq!(shrunk.options.len(), 1);
+        assert_eq!(shrunk.market, MarketSpec::Flat { rate: 0.02, hazard: 0.02, knots: 2 });
+        assert_eq!(shrunk.options[0].maturity, 5.0);
+        assert_eq!(shrunk.options[0].frequency, PaymentFrequency::Quarterly);
+        // Both 0.4 and 0.0 are canonical recoveries; which one survives
+        // depends on the starting option.
+        assert!(
+            shrunk.options[0].recovery_rate == 0.4 || shrunk.options[0].recovery_rate == 0.0,
+            "non-canonical recovery {}",
+            shrunk.options[0].recovery_rate
+        );
+        // A second shrink of an already-minimal case is a no-op: the
+        // simplification passes have reached a fixed point.
+        assert_eq!(shrink(&shrunk, &mut |_| true), shrunk);
+    }
+
+    #[test]
+    fn shrink_preserves_a_selective_failure() {
+        // Predicate fails only when some option has a sub-period
+        // maturity; shrinking must keep one.
+        let mut case = generate_case(1, 0);
+        case.options.push(CdsOption::new(0.11, PaymentFrequency::Quarterly, 0.7));
+        let mut pred = |c: &ConformanceCase| c.options.iter().any(|o| o.maturity * 4.0 < 1.0);
+        let shrunk = shrink(&case, &mut pred);
+        assert!(pred(&shrunk), "shrink lost the failure");
+        assert_eq!(shrunk.options.len(), 1);
+    }
+}

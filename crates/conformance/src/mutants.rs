@@ -1,0 +1,131 @@
+//! Deliberately-broken spread models, one per metamorphic relation.
+//!
+//! These exist to prove the oracle has teeth: each mutant perturbs the
+//! reference pricer in a way that survives naive smoke checks (finite,
+//! positive, right order of magnitude) but is caught by exactly the
+//! relation it is named for. `tests/mutation.rs` asserts the catch for
+//! every relation in [`crate::oracle::Relation::ALL`]; if a new relation
+//! is added without a mutant, that sweep fails.
+
+use crate::oracle::{ReferenceModel, SpreadModel};
+use cds_quant::curve::Curve;
+use cds_quant::option::{CdsOption, MarketData};
+use cds_quant::schedule::PaymentSchedule;
+
+/// Adds a constant 5 bps to every quote. Finite, positive, monotone —
+/// but no longer the par spread, so repricing at the quote has non-zero
+/// value. Caught by `par-fixed-point`.
+pub struct OffsetSpread;
+
+impl SpreadModel for OffsetSpread {
+    fn name(&self) -> &str {
+        "mutant/offset-spread"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        ReferenceModel.spread_bps(market, option).map(|s| s + 5.0)
+    }
+}
+
+/// Ignores the supplied hazard curve and prices against a frozen flat
+/// 2 % one. Every individual quote is a plausible spread, but scaling
+/// the hazard moves nothing. Caught by `monotone-hazard`.
+pub struct HazardBlind;
+
+impl SpreadModel for HazardBlind {
+    fn name(&self) -> &str {
+        "mutant/hazard-blind"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let frozen = MarketData {
+            interest: market.interest.clone(),
+            hazard: Curve::flat(0.02, market.hazard.len().max(2), 30.0),
+        };
+        ReferenceModel.spread_bps(&frozen, option)
+    }
+}
+
+/// Treats the recovery rate as the loss severity (`LGD = R` instead of
+/// `LGD = 1 − R`), so raising recovery *widens* the spread. Caught by
+/// `monotone-recovery`.
+pub struct RecoveryReversed;
+
+impl SpreadModel for RecoveryReversed {
+    fn name(&self) -> &str {
+        "mutant/recovery-reversed"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let flipped = CdsOption { recovery_rate: 1.0 - option.recovery_rate, ..*option };
+        ReferenceModel.spread_bps(market, &flipped)
+    }
+}
+
+/// Squares the loss-given-default (`LGD_eff = LGD²`), e.g. a model that
+/// double-counts severity. Still monotone in both hazard and recovery,
+/// but scaling LGD by λ scales the spread by λ². Caught by
+/// `lgd-homogeneity`.
+pub struct SquaredLgd;
+
+impl SpreadModel for SquaredLgd {
+    fn name(&self) -> &str {
+        "mutant/squared-lgd"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let lgd = 1.0 - option.recovery_rate;
+        let squared = CdsOption { recovery_rate: 1.0 - lgd * lgd, ..*option };
+        ReferenceModel.spread_bps(market, &squared)
+    }
+}
+
+/// Adds an error growing quadratically with the number of schedule
+/// points, the signature of a discretisation bug that worsens under
+/// refinement instead of converging. Caught by `schedule-refinement`.
+pub struct RefinementDiverging;
+
+impl SpreadModel for RefinementDiverging {
+    fn name(&self) -> &str {
+        "mutant/refinement-diverging"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let schedule =
+            PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
+                .map_err(|e| e.to_string())?;
+        let n = schedule.len() as f64;
+        ReferenceModel.spread_bps(market, option).map(|s| s + 1e-3 * n * n)
+    }
+}
+
+/// Quotes are floored at 0.1 bps — a "no free protection" hack that
+/// leaks through the riskless limit. Caught by `zero-hazard-limit`.
+pub struct FlooredQuote;
+
+impl SpreadModel for FlooredQuote {
+    fn name(&self) -> &str {
+        "mutant/floored-quote"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        ReferenceModel.spread_bps(market, option).map(|s| s.max(0.1))
+    }
+}
+
+/// Clamps the loss-given-default at 1 % from below, so the spread fails
+/// to collapse as recovery approaches one. Caught by
+/// `full-recovery-limit`.
+pub struct LgdFloor;
+
+impl SpreadModel for LgdFloor {
+    fn name(&self) -> &str {
+        "mutant/lgd-floor"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let lgd = (1.0 - option.recovery_rate).max(0.01);
+        let clamped = CdsOption { recovery_rate: 1.0 - lgd, ..*option };
+        ReferenceModel.spread_bps(market, &clamped)
+    }
+}

@@ -1,0 +1,380 @@
+//! The metamorphic oracle: pricing-theory relations that hold for *any*
+//! correct CDS spread model, so conformance needs no golden values.
+//!
+//! Each relation perturbs the inputs of a [`SpreadModel`] and states how
+//! the output must move:
+//!
+//! | relation | statement |
+//! |---|---|
+//! | par-spread fixed point | repricing a contract *at* its fair spread has zero mark-to-market value |
+//! | hazard monotonicity | scaling the hazard curve up widens the spread |
+//! | recovery monotonicity | raising the recovery rate tightens the spread (opposite sign) |
+//! | LGD homogeneity | both contingent legs scale jointly in the loss-given-default, so `spread(1 − λ·LGD₀…)` `= λ·spread` exactly |
+//! | schedule refinement | halving the payment period moves the spread by geometrically shrinking steps (first-order convergence in Δ) |
+//! | degenerate: zero hazard | no default risk ⇒ zero spread |
+//! | degenerate: full recovery | `recovery → 1` ⇒ the spread collapses proportionally to the residual LGD |
+//!
+//! A mutation suite (`crate::mutants`, exercised in `tests/mutation.rs`)
+//! proves every relation can actually fail: for each relation there is a
+//! deliberately-broken model that passes naive smoke checks but is
+//! caught by that relation.
+
+use cds_quant::invariant::spread_envelope_bps;
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency};
+use cds_quant::risk::mark_to_market;
+use cds_quant::ulp::UlpComparator;
+
+/// A spread model under conformance test: anything that can turn
+/// `(market, option)` into a fair spread in basis points.
+pub trait SpreadModel {
+    /// Model name for violation reports.
+    fn name(&self) -> &str;
+    /// Fair spread of `option` under `market`, basis points.
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String>;
+}
+
+/// The golden reference pricer as a [`SpreadModel`].
+pub struct ReferenceModel;
+
+impl SpreadModel for ReferenceModel {
+    fn name(&self) -> &str {
+        "reference"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        cds_quant::cds::try_price_cds(market, option)
+            .map(|r| r.spread_bps)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Any [`cds_engine::route::PriceRoute`] as a [`SpreadModel`] (prices a
+/// single-option batch per query).
+pub struct RouteModel {
+    route: cds_engine::route::PriceRoute,
+}
+
+impl RouteModel {
+    /// Wrap a route.
+    #[must_use]
+    pub fn new(route: cds_engine::route::PriceRoute) -> Self {
+        RouteModel { route }
+    }
+}
+
+impl SpreadModel for RouteModel {
+    fn name(&self) -> &str {
+        self.route.label()
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let spreads =
+            self.route.price(market, std::slice::from_ref(option)).map_err(|e| e.to_string())?;
+        spreads.first().copied().ok_or_else(|| "route returned no spread".to_string())
+    }
+}
+
+/// The metamorphic relations, enumerable for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Repricing at the fair spread has zero PV.
+    ParFixedPoint,
+    /// Spread widens when the hazard curve scales up.
+    MonotoneInHazard,
+    /// Spread tightens when recovery rises (opposite sign to hazard).
+    MonotoneInRecovery,
+    /// Spread is exactly linear in loss-given-default.
+    LgdHomogeneity,
+    /// Refining the payment schedule converges first-order in Δ.
+    ScheduleRefinement,
+    /// Zero hazard ⇒ zero spread.
+    ZeroHazardLimit,
+    /// Recovery → 1 ⇒ spread → 0 proportionally to residual LGD.
+    FullRecoveryLimit,
+}
+
+impl Relation {
+    /// Every relation, in report order.
+    pub const ALL: [Relation; 7] = [
+        Relation::ParFixedPoint,
+        Relation::MonotoneInHazard,
+        Relation::MonotoneInRecovery,
+        Relation::LgdHomogeneity,
+        Relation::ScheduleRefinement,
+        Relation::ZeroHazardLimit,
+        Relation::FullRecoveryLimit,
+    ];
+
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Relation::ParFixedPoint => "par-fixed-point",
+            Relation::MonotoneInHazard => "monotone-hazard",
+            Relation::MonotoneInRecovery => "monotone-recovery",
+            Relation::LgdHomogeneity => "lgd-homogeneity",
+            Relation::ScheduleRefinement => "schedule-refinement",
+            Relation::ZeroHazardLimit => "zero-hazard-limit",
+            Relation::FullRecoveryLimit => "full-recovery-limit",
+        }
+    }
+
+    /// Check this relation for `model` on one `(market, option)` input.
+    pub fn check(
+        &self,
+        model: &dyn SpreadModel,
+        market: &MarketData<f64>,
+        option: &CdsOption,
+    ) -> Result<(), RelationViolation> {
+        let fail = |detail: String| RelationViolation {
+            relation: *self,
+            model: model.name().to_string(),
+            detail,
+        };
+        let spread = |m: &MarketData<f64>, o: &CdsOption| {
+            model.spread_bps(m, o).map_err(|e| fail(format!("model failed to price: {e}")))
+        };
+        match self {
+            Relation::ParFixedPoint => {
+                let s = spread(market, option)?;
+                // Mark the contract to market at its own fair spread; the
+                // position must be worthless. The annuity comes from the
+                // reference legs, so for any model within the engine ULP
+                // budget of the truth the PV collapses to rounding.
+                let mtm = mark_to_market(market, option, s);
+                let tol_bps = 1e-6 * (1.0 + s.abs());
+                let off_bps = if mtm.risky_annuity > 0.0 {
+                    (mtm.value_per_notional / mtm.risky_annuity).abs() * 10_000.0
+                } else {
+                    f64::INFINITY
+                };
+                if off_bps > tol_bps {
+                    return Err(fail(format!(
+                        "PV at own fair spread {s} bps is {} per notional ({off_bps:.3e} bps \
+                         off par, tolerance {tol_bps:.3e})",
+                        mtm.value_per_notional
+                    )));
+                }
+                Ok(())
+            }
+            Relation::MonotoneInHazard => {
+                let s_base = spread(market, option)?;
+                let scaled = scale_hazard(market, 1.25).map_err(&fail)?;
+                let s_up = spread(&scaled, option)?;
+                if s_up + 1e-9 < s_base {
+                    return Err(fail(format!(
+                        "hazard ×1.25 moved the spread down: {s_base} -> {s_up} bps"
+                    )));
+                }
+                if s_base > 1e-3 && s_up <= s_base {
+                    return Err(fail(format!(
+                        "hazard ×1.25 failed to widen the spread: {s_base} -> {s_up} bps"
+                    )));
+                }
+                Ok(())
+            }
+            Relation::MonotoneInRecovery => {
+                let s_base = spread(market, option)?;
+                let bumped = CdsOption {
+                    recovery_rate: option.recovery_rate + 0.5 * (1.0 - option.recovery_rate),
+                    ..*option
+                };
+                let s_up = spread(market, &bumped)?;
+                if s_up > s_base + 1e-9 {
+                    return Err(fail(format!(
+                        "recovery {} -> {} moved the spread up: {s_base} -> {s_up} bps",
+                        option.recovery_rate, bumped.recovery_rate
+                    )));
+                }
+                if s_base > 1e-3 && s_up >= s_base {
+                    return Err(fail(format!(
+                        "recovery {} -> {} failed to tighten the spread: {s_base} -> {s_up} bps",
+                        option.recovery_rate, bumped.recovery_rate
+                    )));
+                }
+                Ok(())
+            }
+            Relation::LgdHomogeneity => {
+                // Both contingent legs (protection and accrual-on-default
+                // numerator) scale jointly in LGD while the premium
+                // annuity is LGD-free, so the quoted spread is exactly
+                // degree-1 homogeneous: halving LGD halves the spread.
+                let s = spread(market, option)?;
+                let lambda = 0.5;
+                let scaled = CdsOption {
+                    recovery_rate: 1.0 - lambda * (1.0 - option.recovery_rate),
+                    ..*option
+                };
+                let s_scaled = spread(market, &scaled)?;
+                let cmp = UlpComparator::new(1 << 12, 1e-9);
+                if let Err(m) = cmp.check(s_scaled, lambda * s) {
+                    return Err(fail(format!(
+                        "LGD ×{lambda} must scale the spread by {lambda}: {m}"
+                    )));
+                }
+                Ok(())
+            }
+            Relation::ScheduleRefinement => {
+                // s(Δ) = s* + cΔ + O(Δ²): the steps |s(f₂) − s(f₁)| along
+                // the refinement ladder shrink like the period does. The
+                // expansion needs a smooth integrand and stub-free
+                // schedules: rough random-knot curves make finer rungs
+                // pick up curve detail the coarse ones missed, and a
+                // short final period shifts the first-order coefficient
+                // non-smoothly. So the relation probes the model at a
+                // metamorphically-related input — the nearest whole-year
+                // maturity on a flat market at the input's average
+                // levels — which isolates exactly the property under
+                // test: the model's own schedule discretisation must
+                // converge.
+                let ladder_maturity = option.maturity.round().max(1.0);
+                let mean = |points: &[cds_quant::curve::CurvePoint<f64>]| {
+                    points.iter().map(|p| p.value).sum::<f64>() / points.len() as f64
+                };
+                let market = &MarketData::flat(
+                    mean(market.interest.points()),
+                    mean(market.hazard.points()),
+                    64,
+                );
+                let ladder = [
+                    PaymentFrequency::Annual,
+                    PaymentFrequency::SemiAnnual,
+                    PaymentFrequency::Quarterly,
+                    PaymentFrequency::Monthly,
+                ];
+                let mut spreads = Vec::with_capacity(ladder.len());
+                for f in ladder {
+                    let o = CdsOption { maturity: ladder_maturity, frequency: f, ..*option };
+                    spreads.push(spread(market, &o)?);
+                }
+                let floor = 1e-6 * (1.0 + spreads[2].abs());
+                let d1 = (spreads[1] - spreads[0]).abs(); // Δ: 1 -> 1/2
+                let d2 = (spreads[2] - spreads[1]).abs(); // Δ: 1/2 -> 1/4
+                let d3 = (spreads[3] - spreads[2]).abs(); // Δ: 1/4 -> 1/12
+                                                          // First-order steps are c/2, c/4, c/6: allow generous
+                                                          // slack for curvature, demand the trend.
+                if d2 > 0.9 * d1 + floor || d3 > 0.9 * d2 + floor {
+                    return Err(fail(format!(
+                        "refinement steps fail to shrink at {ladder_maturity}y: \
+                         |semi−annual|={d1:.3e}, |quarterly−semi|={d2:.3e}, \
+                         |monthly−quarterly|={d3:.3e} bps"
+                    )));
+                }
+                Ok(())
+            }
+            Relation::ZeroHazardLimit => {
+                let riskless = zero_hazard(market).map_err(&fail)?;
+                let s = spread(&riskless, option)?;
+                if s.abs() > 1e-6 {
+                    return Err(fail(format!("zero hazard must price to zero, got {s} bps")));
+                }
+                Ok(())
+            }
+            Relation::FullRecoveryLimit => {
+                const RESIDUAL_LGD: f64 = 1e-6;
+                let near_one = CdsOption { recovery_rate: 1.0 - RESIDUAL_LGD, ..*option };
+                let s = spread(market, &near_one)?;
+                // The residual spread must respect the (recovery-adjusted)
+                // hazard envelope, which is itself proportional to LGD.
+                let bound = spread_envelope_bps(market, &near_one);
+                if s > bound || s < -1e-9 {
+                    return Err(fail(format!(
+                        "recovery {} must collapse the spread below {bound:.3e} bps, got {s} bps",
+                        near_one.recovery_rate
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One violated relation, with the model and evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationViolation {
+    /// Which relation failed.
+    pub relation: Relation,
+    /// The model that violated it.
+    pub model: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RelationViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {} violates {}: {}",
+            self.model,
+            self.relation,
+            self.relation.label(),
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for RelationViolation {}
+
+/// Scale every hazard knot by `factor`.
+fn scale_hazard(market: &MarketData<f64>, factor: f64) -> Result<MarketData<f64>, String> {
+    use cds_quant::curve::{Curve, CurvePoint};
+    let points = market
+        .hazard
+        .points()
+        .iter()
+        .map(|p| CurvePoint { tenor: p.tenor, value: p.value * factor })
+        .collect();
+    Ok(MarketData {
+        interest: market.interest.clone(),
+        hazard: Curve::new(points).map_err(|e| e.to_string())?,
+    })
+}
+
+/// Replace the hazard curve with an identically-shaped zero curve.
+fn zero_hazard(market: &MarketData<f64>) -> Result<MarketData<f64>, String> {
+    scale_hazard(market, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_satisfies_every_relation_on_representative_inputs() {
+        let markets = [
+            MarketData::paper_workload(5),
+            MarketData::stressed_workload(5),
+            MarketData::flat(0.02, 0.015, 64),
+            MarketData::flat(0.0, 0.1, 16),
+        ];
+        let options = [
+            CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40),
+            CdsOption::new(0.1, PaymentFrequency::Quarterly, 0.40),
+            CdsOption::new(1.75, PaymentFrequency::Quarterly, 0.0),
+            CdsOption::new(7.3, PaymentFrequency::Monthly, 0.95),
+        ];
+        for market in &markets {
+            for option in &options {
+                for relation in Relation::ALL {
+                    if let Err(v) = relation.check(&ReferenceModel, market, option) {
+                        panic!("{v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relation_labels_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in Relation::ALL {
+            assert!(seen.insert(r.label()), "duplicate {}", r.label());
+        }
+    }
+}

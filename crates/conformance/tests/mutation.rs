@@ -1,0 +1,84 @@
+//! Mutation tests: every metamorphic relation is proven able to fail.
+//!
+//! For each relation there is a deliberately-broken model
+//! (`cds_conformance::mutants`) that still produces finite, plausible
+//! spreads — it would sail through a smoke test — yet is caught by that
+//! relation. The `mutant_for` match is exhaustive over [`Relation`], so
+//! adding a relation without a mutant is a compile error here.
+
+use cds_conformance::mutants;
+use cds_conformance::oracle::{ReferenceModel, Relation, SpreadModel};
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency};
+
+fn mutant_for(relation: Relation) -> Box<dyn SpreadModel> {
+    match relation {
+        Relation::ParFixedPoint => Box::new(mutants::OffsetSpread),
+        Relation::MonotoneInHazard => Box::new(mutants::HazardBlind),
+        Relation::MonotoneInRecovery => Box::new(mutants::RecoveryReversed),
+        Relation::LgdHomogeneity => Box::new(mutants::SquaredLgd),
+        Relation::ScheduleRefinement => Box::new(mutants::RefinementDiverging),
+        Relation::ZeroHazardLimit => Box::new(mutants::FlooredQuote),
+        Relation::FullRecoveryLimit => Box::new(mutants::LgdFloor),
+    }
+}
+
+fn probe() -> (MarketData<f64>, CdsOption) {
+    (MarketData::paper_workload(3), CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.40))
+}
+
+#[test]
+fn every_relation_catches_its_mutant() {
+    let (market, option) = probe();
+    for relation in Relation::ALL {
+        let mutant = mutant_for(relation);
+        let verdict = relation.check(mutant.as_ref(), &market, &option);
+        assert!(verdict.is_err(), "{} failed to catch {}", relation.label(), mutant.name());
+    }
+}
+
+#[test]
+fn every_mutant_survives_a_naive_smoke_check() {
+    // The point of the oracle: these mutants are NOT obviously broken.
+    // Each one quotes a finite, positive, right-order-of-magnitude
+    // spread on the canonical probe.
+    let (market, option) = probe();
+    let reference = match ReferenceModel.spread_bps(&market, &option) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    };
+    for relation in Relation::ALL {
+        let mutant = mutant_for(relation);
+        let s = match mutant.spread_bps(&market, &option) {
+            Ok(s) => s,
+            Err(e) => panic!("{}: {e}", mutant.name()),
+        };
+        assert!(s.is_finite() && s > 0.0, "{} quotes {s}", mutant.name());
+        assert!(
+            s > 0.1 * reference && s < 10.0 * reference,
+            "{} quotes {s} bps vs reference {reference} bps — too obviously broken",
+            mutant.name()
+        );
+    }
+}
+
+#[test]
+fn the_reference_is_not_caught_by_any_relation_on_the_mutation_probe() {
+    // Control arm: the same probe that kills every mutant clears the
+    // unmutated model.
+    let (market, option) = probe();
+    for relation in Relation::ALL {
+        if let Err(v) = relation.check(&ReferenceModel, &market, &option) {
+            panic!("control arm failed: {v}");
+        }
+    }
+}
+
+#[test]
+fn mutant_names_are_disjoint_and_prefixed() {
+    let mut seen = std::collections::BTreeSet::new();
+    for relation in Relation::ALL {
+        let mutant = mutant_for(relation);
+        assert!(mutant.name().starts_with("mutant/"), "{}", mutant.name());
+        assert!(seen.insert(mutant.name().to_string()), "duplicate {}", mutant.name());
+    }
+}

@@ -119,8 +119,10 @@ impl CpuCdsEngine {
     /// Price one option.
     pub fn price(&self, option: &CdsOption) -> SpreadResult {
         let schedule =
-            PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
-                .expect("validated option");
+            match PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year()) {
+                Ok(s) => s,
+                Err(e) => panic!("option failed schedule generation: {e}"),
+            };
         let mut premium = 0.0f64;
         let mut protection = 0.0f64;
         let mut accrual = 0.0f64;

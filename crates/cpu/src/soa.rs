@@ -45,12 +45,13 @@ pub fn price_batch_soa_stats(
         {
             j += 1;
         }
-        let points = cds_quant::schedule::PaymentSchedule::<f64>::generate(
+        let points = match cds_quant::schedule::PaymentSchedule::<f64>::generate(
             options[i].maturity,
             options[i].frequency.per_year(),
-        )
-        .expect("validated option")
-        .len() as u64;
+        ) {
+            Ok(s) => s.len() as u64,
+            Err(e) => panic!("option failed schedule generation: {e}"),
+        };
         stats.time_points += points * (j - i) as u64;
         if j - i == LANES {
             price_fused::<LANES>(engine, &options[i..j], &mut out[i..j]);
@@ -69,11 +70,13 @@ pub fn price_batch_soa_stats(
 /// Fused kernel over `N` schedule-identical options.
 fn price_fused<const N: usize>(engine: &CpuCdsEngine, options: &[CdsOption], out: &mut [f64]) {
     debug_assert_eq!(options.len(), N);
-    let schedule = cds_quant::schedule::PaymentSchedule::<f64>::generate(
+    let schedule = match cds_quant::schedule::PaymentSchedule::<f64>::generate(
         options[0].maturity,
         options[0].frequency.per_year(),
-    )
-    .expect("validated option");
+    ) {
+        Ok(s) => s,
+        Err(e) => panic!("option failed schedule generation: {e}"),
+    };
 
     // The per-time-point quantities are identical across the lane group
     // (same schedule, same curves); only the recovery differs. Compute

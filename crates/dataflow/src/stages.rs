@@ -491,8 +491,7 @@ where
             }
         }
         if self.slots.iter().all(|s| s.is_some()) {
-            let inputs: Vec<I> =
-                self.slots.iter_mut().map(|s| s.take().expect("all slots full")).collect();
+            let inputs: Vec<I> = self.slots.iter_mut().filter_map(Option::take).collect();
             let (out, cost) = (self.f)(&inputs);
             self.busy_until = now + cost.ii;
             let visible_at = now + cost.latency;

@@ -43,10 +43,10 @@ pub fn estimate_options_per_second(
 }
 
 fn schedule_points(option: &CdsOption) -> Vec<f64> {
-    PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
-        .expect("validated option")
-        .points()
-        .to_vec()
+    match PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year()) {
+        Ok(s) => s.points().to_vec(),
+        Err(e) => panic!("option failed schedule generation: {e}"),
+    }
 }
 
 /// The baseline runs its loops sequentially per option: the II=7 prefix

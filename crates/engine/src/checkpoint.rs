@@ -13,7 +13,11 @@
 //!
 //! The serialization is a deliberately simple line-based text format
 //! (`cds-checkpoint v1`, one `key=value` per line) parsed with typed
-//! [`CdsError::Journal`] errors — checkpoint IO never panics.
+//! [`CdsError::Journal`] errors — checkpoint IO never panics. The final
+//! line is a commit marker (`commit=<completion count>`): a journal cut
+//! short mid-write — dropping whole lines or a tail of the completion
+//! list — fails parsing instead of silently passing for a checkpoint
+//! with fewer completions.
 
 use crate::error::CdsError;
 use crate::streaming::StreamingReport;
@@ -86,13 +90,15 @@ impl Checkpoint {
         let fault_seed = self.fault_seed.map_or_else(|| "none".to_string(), |s| s.to_string());
         format!(
             "{CHECKPOINT_MAGIC}\nschema_version={}\ntotal_options={}\ncadence={}\n\
-             watermark_cycle={}\nfault_seed={fault_seed}\nadmitted={}\nshed={}\ncompleted={completed}\n",
+             watermark_cycle={}\nfault_seed={fault_seed}\nadmitted={}\nshed={}\ncompleted={completed}\n\
+             commit={}\n",
             self.schema_version,
             self.total_options,
             self.cadence,
             self.watermark_cycle,
             ids(&self.admitted),
             ids(&self.shed),
+            self.completed.len(),
         )
     }
 
@@ -174,6 +180,18 @@ impl Checkpoint {
                     spread_bps: f64::from_bits(bits),
                 });
             }
+        }
+        // The commit marker makes truncation detectable: a journal cut
+        // short loses the marker line (missing field) or keeps it while
+        // losing completion entries (count mismatch) — either way a
+        // typed error, never a silently smaller checkpoint.
+        let commit = int("commit")? as usize;
+        if commit != completed.len() {
+            return Err(journal(format!(
+                "commit marker records {commit} completions but the journal holds {} \
+                 (truncated journal?)",
+                completed.len()
+            )));
         }
 
         let checkpoint = Checkpoint {
@@ -369,6 +387,21 @@ mod tests {
                 "cds-checkpoint v1\nschema_version=1\ntotal_options=1\ncadence=1\n\
                  watermark_cycle=0\nfault_seed=xyz\nadmitted=0\nshed=\ncompleted=\n",
                 "fault_seed",
+            ),
+            // A journal missing its terminal commit marker (truncated
+            // after the completed line) must not pass.
+            (
+                "cds-checkpoint v1\nschema_version=1\ntotal_options=1\ncadence=1\n\
+                 watermark_cycle=0\nfault_seed=none\nadmitted=0\nshed=\ncompleted=\n",
+                "missing field `commit`",
+            ),
+            // A commit marker disagreeing with the completion count is a
+            // truncation mid-list.
+            (
+                "cds-checkpoint v1\nschema_version=1\ntotal_options=2\ncadence=1\n\
+                 watermark_cycle=9\nfault_seed=none\nadmitted=0,1\nshed=\n\
+                 completed=0:9:4056000000000000\ncommit=2\n",
+                "truncated journal",
             ),
         ];
         for (text, needle) in cases {

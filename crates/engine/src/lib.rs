@@ -39,6 +39,7 @@ pub mod error;
 pub mod host;
 pub mod multi;
 pub mod report;
+pub mod route;
 pub mod scrub;
 pub mod stages;
 pub mod streaming;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use crate::error::CdsError;
     pub use crate::multi::MultiEngine;
     pub use crate::report::EngineRunReport;
+    pub use crate::route::PriceRoute;
     pub use crate::scrub::{scrub_spreads, QuarantineRecord, ScrubPolicy, ScrubReport};
     pub use crate::streaming::{
         poisson_arrivals, resume_streaming_from, run_streaming, run_streaming_checkpointed,

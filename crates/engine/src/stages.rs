@@ -68,8 +68,10 @@ impl TimePointGen {
 
     /// Expand an option into its time-point tokens.
     pub fn expand(option: &OptionTok) -> Vec<TimePointTok> {
-        let schedule = PaymentSchedule::generate(option.maturity, option.payments_per_year)
-            .expect("validated option yields a schedule");
+        let schedule = match PaymentSchedule::generate(option.maturity, option.payments_per_year) {
+            Ok(s) => s,
+            Err(e) => panic!("option token failed schedule generation: {e}"),
+        };
         let n = schedule.len();
         schedule
             .periods()
@@ -112,12 +114,16 @@ impl Process for TimePointGen {
                 return ProcessStatus::Blocked;
             }
             let tp = self.current[self.pos];
-            self.tx_haz.try_push(now, tp, TIMEGEN_LATENCY).expect("checked not full");
-            self.tx_t.try_push(now, tp, TIMEGEN_LATENCY).expect("checked not full");
-            self.tx_mid.try_push(now, tp, TIMEGEN_LATENCY).expect("checked not full");
-            self.tx_half_delta
-                .try_push(now, Tok::new(tp.opt_idx, 0.5 * tp.delta, tp.last), TIMEGEN_LATENCY)
-                .expect("checked not full");
+            if self.tx_haz.try_push(now, tp, TIMEGEN_LATENCY).is_err()
+                || self.tx_t.try_push(now, tp, TIMEGEN_LATENCY).is_err()
+                || self.tx_mid.try_push(now, tp, TIMEGEN_LATENCY).is_err()
+                || self
+                    .tx_half_delta
+                    .try_push(now, Tok::new(tp.opt_idx, 0.5 * tp.delta, tp.last), TIMEGEN_LATENCY)
+                    .is_err()
+            {
+                unreachable!("all four streams were checked not full");
+            }
             self.pos += 1;
             self.busy_until = now + 1;
             return ProcessStatus::Continue(self.busy_until);

@@ -178,10 +178,9 @@ pub fn build_graph_into(
     let n_opts = options.len() as u64;
     let total_points: u64 = options
         .iter()
-        .map(|o| {
-            PaymentSchedule::<f64>::generate(o.maturity, o.frequency.per_year())
-                .expect("validated option")
-                .len() as u64
+        .map(|o| match PaymentSchedule::<f64>::generate(o.maturity, o.frequency.per_year()) {
+            Ok(s) => s.len() as u64,
+            Err(e) => panic!("option failed schedule generation: {e}"),
         })
         .sum();
     let depth = config.stream_depth;

@@ -250,8 +250,11 @@ pub fn futurework(workload: &Workload) -> Vec<FutureWorkRow> {
         let mut config = EngineVariant::Vectorised.config();
         config.precision = precision;
         let engines = MultiEngine::max_engines(&workload.market, &config, &device);
-        let multi = MultiEngine::with_config(workload.market.clone(), config, device, engines)
-            .expect("max_engines fits by construction");
+        let multi = match MultiEngine::with_config(workload.market.clone(), config, device, engines)
+        {
+            Ok(m) => m,
+            Err(e) => panic!("max_engines count must fit by construction: {e}"),
+        };
         let report = multi.price_batch(&workload.options);
         let watts = power.watts(engines as u32);
         let max_error = report

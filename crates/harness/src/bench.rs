@@ -160,13 +160,15 @@ pub fn run(seed: u64, batch: usize) -> BenchReport {
     // Table II: 1–5 vectorised engines in a single simulation, plus the
     // 24-core CPU row.
     for n in 1..=5usize {
-        let multi = MultiEngine::with_config(
+        let multi = match MultiEngine::with_config(
             w.market.clone(),
             traced_config(EngineVariant::Vectorised),
             Device::alveo_u280(),
             n,
-        )
-        .expect("1..=5 engines fit the U280");
+        ) {
+            Ok(m) => m,
+            Err(e) => panic!("1..=5 engines must fit the U280: {e}"),
+        };
         let report = multi.price_batch_simulated(&w.options);
         metrics.push(RunMetrics::from_multi_report(
             &format!("table2/engines-{n}"),

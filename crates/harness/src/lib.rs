@@ -31,6 +31,7 @@
 pub mod ablations;
 pub mod bench;
 pub mod chaos;
+pub mod conformance;
 pub mod figures;
 pub mod format;
 pub mod hostcpu;

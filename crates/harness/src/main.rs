@@ -23,6 +23,7 @@
 //!   bench               machine-readable benchmark ladder (BENCH.json)
 //!   chaos               seeded fault-injection matrix (CHAOS.json)
 //!   replay              record (--json) / re-execute (--check) a run journal
+//!   conformance         metamorphic oracle + cross-variant differential fuzz
 //!   all                 everything above (except replay, which needs a path)
 //! ```
 //!
@@ -33,7 +34,11 @@
 //! records a checkpointed run as a journal (`--scenario` picks the named
 //! fault scenario, default `corrupt-spread`); `replay --check` re-executes
 //! a journal and exits 1 unless the spreads and write-ahead checkpoint
-//! stream are bit-identical. IO and usage errors exit 2 with a message;
+//! stream are bit-identical. `conformance` checks every metamorphic
+//! relation against the reference and all sixteen price routes, fuzzes
+//! `--options N` adversarial cases differentially, and with
+//! `--check CORPUS_DIR` replays the committed corpus; any divergence or
+//! violated relation exits 1. IO and usage errors exit 2 with a message;
 //! gate failures exit 1.
 
 use cds_harness::ablations;
@@ -138,7 +143,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
-         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|replay|all> \
+         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|replay|conformance|all> \
          [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--scenario NAME]"
     );
     std::process::exit(2);
@@ -650,6 +655,88 @@ fn cmd_replay(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_conformance(args: &Args) -> CliResult {
+    use cds_harness::conformance;
+    let cases = args.options.map_or(conformance::DEFAULT_FUZZ_CASES, |n| n as u64);
+    println!("== Differential conformance suite (seed {}, {cases} fuzz cases) ==\n", args.seed);
+    let report =
+        conformance::run(args.seed, cases, args.check_baseline.as_deref()).map_err(fatal)?;
+
+    // Relation sweep: one row per model, a column per relation.
+    let relations: Vec<&str> =
+        cds_conformance::oracle::Relation::ALL.iter().map(|r| r.label()).collect();
+    let mut headers = vec!["Model"];
+    headers.extend(&relations);
+    let mut models: Vec<&str> = Vec::new();
+    for o in &report.relations {
+        if !models.contains(&o.model.as_str()) {
+            models.push(&o.model);
+        }
+    }
+    let rows: Vec<Vec<String>> = models
+        .iter()
+        .map(|model| {
+            let mut row = vec![(*model).to_string()];
+            for rel in &relations {
+                let ok = report
+                    .relations
+                    .iter()
+                    .find(|o| o.model == *model && o.relation == *rel)
+                    .is_some_and(|o| o.violation.is_none());
+                row.push(if ok { "ok" } else { "VIOLATED" }.to_string());
+            }
+            row
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!(
+        "fuzz: {} cases, {} options priced through {} routes, {} divergence(s)",
+        report.fuzz.cases,
+        report.fuzz.options_priced,
+        report.fuzz.routes,
+        report.fuzz.failures.len()
+    );
+    for f in &report.fuzz.failures {
+        eprintln!("  divergent case (seed {}, index {}), shrunk:", f.seed, f.index);
+        for line in f.shrunk.to_text().lines() {
+            eprintln!("    {line}");
+        }
+        for rf in &f.failures {
+            eprintln!("    {rf}");
+        }
+    }
+    for o in report.relations.iter().filter(|o| o.violation.is_some()) {
+        if let Some(v) = &o.violation {
+            eprintln!("  relation violation: {v}");
+        }
+    }
+    if !report.corpus.is_empty() {
+        let clean = report
+            .corpus
+            .iter()
+            .filter(|c| c.route_failures.is_empty() && c.relation_violations.is_empty())
+            .count();
+        println!("corpus: {}/{} committed cases clean", clean, report.corpus.len());
+        for c in &report.corpus {
+            for f in c.route_failures.iter().chain(&c.relation_violations) {
+                eprintln!("  corpus case {}: {f}", c.name);
+            }
+        }
+    }
+    if let Some(path) = &args.json_path {
+        write_json_report(path, &report.to_json().pretty())?;
+        println!("[conformance report written to {}]", path.display());
+    }
+    if report.clean() {
+        println!("conformance: PASS");
+        Ok(())
+    } else {
+        eprintln!("conformance: FAIL");
+        Err(CliError::GateFailed)
+    }
+}
+
 fn run(args: &Args) -> CliResult {
     let workload =
         Workload::try_paper(args.seed, args.options.unwrap_or(cds_harness::DEFAULT_BATCH))
@@ -689,6 +776,7 @@ fn run(args: &Args) -> CliResult {
         "bench" => cmd_bench(args),
         "chaos" => cmd_chaos(args, true),
         "replay" => cmd_replay(args),
+        "conformance" => cmd_conformance(args),
         "all" => {
             if let Some(dir) = &args.csv_dir {
                 create_dir(dir)?;

@@ -123,8 +123,10 @@ pub fn table2(workload: &Workload) -> Table2 {
         (5, 114115.92, 37.38, 3052.86),
     ];
     for (n, p_rate, p_watts, p_eff) in paper_fpga {
-        let multi = MultiEngine::new(workload.market.clone(), n)
-            .expect("paper-validated engine counts fit the U280");
+        let multi = match MultiEngine::new(workload.market.clone(), n) {
+            Ok(m) => m,
+            Err(e) => panic!("paper-validated engine count {n} must fit the U280: {e}"),
+        };
         // All N engines instantiated concurrently in one discrete-event
         // simulation; the makespan emerges from the simulator.
         let report = multi.price_batch_simulated(&workload.options);

@@ -44,21 +44,31 @@ pub fn validate_all(workload: &Workload) -> Vec<Check> {
 }
 
 fn engines_vs_reference(workload: &Workload) -> Check {
+    // Shared cross-engine agreement budget (see `cds_quant::ulp`): the
+    // same 128-ULP + 1e-9-floor comparator the conformance suite gates
+    // on, replacing this check's former ad-hoc 1e-7 relative bound.
+    let cmp = UlpComparator::ENGINE_F64;
     let pricer = CdsPricer::new(workload.market.clone());
     let options = &workload.options[..workload.options.len().min(16)];
-    let mut worst = 0.0f64;
+    let mut worst_ulps = 0u64;
+    let mut failure = None;
     for variant in EngineVariant::ALL {
         let engine = FpgaCdsEngine::new(workload.market.clone(), variant.config());
         let report = engine.price_batch(options);
         for (o, s) in options.iter().zip(&report.spreads) {
             let golden = pricer.price(o).spread_bps;
-            worst = worst.max((s - golden).abs() / (1.0 + golden.abs()));
+            worst_ulps = worst_ulps.max(ulp_diff(*s, golden));
+            if let Err(m) = cmp.check(*s, golden) {
+                failure.get_or_insert_with(|| format!("{} {m}", variant.paper_label()));
+            }
         }
     }
     Check {
         name: "4 engine variants ≡ golden pricer".into(),
-        passed: worst < 1e-7,
-        detail: format!("worst relative error {worst:.2e} (bound 1e-7)"),
+        passed: failure.is_none(),
+        detail: failure.unwrap_or_else(|| {
+            format!("worst divergence {worst_ulps} ULPs (budget {} ULPs)", cmp.max_ulps)
+        }),
     }
 }
 

@@ -51,6 +51,7 @@ pub mod option;
 pub mod precision;
 pub mod risk;
 pub mod schedule;
+pub mod ulp;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -71,6 +72,7 @@ pub mod prelude {
         mark_to_market, sensitivities, spread_ladder, MarkToMarket, Sensitivities,
     };
     pub use crate::schedule::PaymentSchedule;
+    pub use crate::ulp::{ulp_diff, UlpComparator, UlpMismatch};
     pub use crate::QuantError;
 }
 

@@ -73,8 +73,11 @@ pub fn mc_price_cds(
     paths: u64,
     seed: u64,
 ) -> McSpread {
-    let schedule = PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year())
-        .expect("validated option");
+    let schedule =
+        match PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year()) {
+            Ok(s) => s,
+            Err(e) => panic!("option failed schedule generation: {e}"),
+        };
     let points = schedule.points();
     let mut rng = StdRng::seed_from_u64(seed);
     let lgd = 1.0 - option.recovery_rate;

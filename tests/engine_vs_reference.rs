@@ -10,12 +10,16 @@ use cds_repro::engine::prelude::*;
 use cds_repro::quant::prelude::*;
 use proptest::prelude::*;
 
-const TOL: f64 = 1e-7;
+/// Shared cross-engine agreement budget (see `cds_quant::ulp`): 128 ULPs
+/// plus a 1e-9 absolute floor, ~16x the worst divergence ever measured
+/// across the routes. Far tighter than the 1e-7 relative tolerance this
+/// suite used before the comparator existed.
+const CMP: UlpComparator = UlpComparator::ENGINE_F64;
 
 fn assert_close(label: &str, got: &[f64], want: &[f64]) {
     assert_eq!(got.len(), want.len(), "{label}: length mismatch");
-    for (i, (g, w)) in got.iter().zip(want).enumerate() {
-        assert!((g - w).abs() < TOL * (1.0 + w.abs()), "{label}[{i}]: {g} vs {w}");
+    if let Err((i, m)) = CMP.check_all(got, want) {
+        panic!("{label}[{i}]: {m}");
     }
 }
 
@@ -54,11 +58,9 @@ fn engines_handle_every_payment_frequency() {
         for variant in EngineVariant::ALL {
             let engine = FpgaCdsEngine::new(market.clone(), variant.config());
             let report = engine.price_batch(std::slice::from_ref(&option));
-            assert!(
-                (report.spreads[0] - golden).abs() < TOL * (1.0 + golden),
-                "{variant:?} {freq:?}: {} vs {golden}",
-                report.spreads[0]
-            );
+            if let Err(m) = CMP.check(report.spreads[0], golden) {
+                panic!("{variant:?} {freq:?}: {m}");
+            }
         }
     }
 }
@@ -72,11 +74,9 @@ fn short_stub_only_option() {
     for variant in EngineVariant::ALL {
         let engine = FpgaCdsEngine::new(market.clone(), variant.config());
         let report = engine.price_batch(std::slice::from_ref(&option));
-        assert!(
-            (report.spreads[0] - golden).abs() < TOL * (1.0 + golden),
-            "{variant:?}: {} vs {golden}",
-            report.spreads[0]
-        );
+        if let Err(m) = CMP.check(report.spreads[0], golden) {
+            panic!("{variant:?}: {m}");
+        }
     }
 }
 
@@ -136,7 +136,7 @@ proptest! {
         let engine = FpgaCdsEngine::new(market, EngineVariant::Vectorised.config());
         let report = engine.price_batch(&options);
         for (g, w) in report.spreads.iter().zip(&golden) {
-            prop_assert!((g - w).abs() < TOL * (1.0 + w.abs()), "{} vs {}", g, w);
+            prop_assert!(CMP.matches(*g, *w), "{:?}", CMP.check(*g, *w));
         }
     }
 
@@ -152,8 +152,8 @@ proptest! {
         let engine = FpgaCdsEngine::new(market, EngineVariant::XilinxBaseline.config());
         let report = engine.price_batch(std::slice::from_ref(&option));
         prop_assert!(
-            (report.spreads[0] - golden).abs() < TOL * (1.0 + golden.abs()),
-            "{} vs {}", report.spreads[0], golden
+            CMP.matches(report.spreads[0], golden),
+            "{:?}", CMP.check(report.spreads[0], golden)
         );
     }
 }

@@ -40,7 +40,21 @@ fn check_agreement(config: &EngineConfig, options: &[CdsOption]) {
             .collect::<Vec<_>>()
     };
     assert_eq!(strip(&r_event.streams), strip(&r_cycle.streams), "stream stats diverge");
-    assert_eq!(sink_event.collected(), sink_cycle.collected(), "spread tokens diverge");
+
+    // Spread tokens: identity and timing must match exactly, and the
+    // spreads are gated through the shared ULP comparator at its
+    // zero-tolerance preset — the two schedulers execute the identical
+    // arithmetic, so even a one-ULP drift means a scheduling bug, and
+    // the comparator reports the drift in ULPs instead of a bare
+    // tuple-inequality dump.
+    let (ev, cy) = (sink_event.collected(), sink_cycle.collected());
+    assert_eq!(ev.len(), cy.len(), "spread token counts diverge");
+    for ((te, ce), (tc, cc)) in ev.iter().zip(&cy) {
+        assert_eq!((te.opt_idx, ce), (tc.opt_idx, cc), "token identity/cycle diverges");
+        if let Err(m) = UlpComparator::EXACT.check(te.spread_bps, tc.spread_bps) {
+            panic!("option {} spread diverges between schedulers: {m}", te.opt_idx);
+        }
+    }
 }
 
 #[test]
