@@ -1,0 +1,48 @@
+//! Scalar reference vs lane kernel at the ISSUE's three batch sizes —
+//! the criterion artefact that makes the lane kernel's ≥4x
+//! single-thread speedup visible in CI's uploaded bench output.
+//!
+//! Two flavours per size: a one-shot kernel (grids rebuilt per call,
+//! what `price_batch` does) and a reused kernel (steady-state
+//! zero-allocation path, what a long-running pricing service sees).
+
+use cds_cpu::engine::CpuCdsEngine;
+use cds_quant::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The ISSUE's batch ladder: {64, 4k, 256k}.
+const BATCHES: [usize; 3] = [64, 4_096, 262_144];
+
+fn bench_scalar_vs_lanes(c: &mut Criterion) {
+    let market = MarketData::paper_workload(42);
+    let engine = CpuCdsEngine::new(&market);
+    // Mixed 1–10y book: every lane-kernel grid in play, no fused-run
+    // advantage from schedule-identical contracts.
+    let book = PortfolioGenerator::new(7).portfolio(*BATCHES.last().unwrap());
+
+    let mut group = c.benchmark_group("cpu_lanes_vs_scalar");
+    group.sample_size(10);
+    for batch in BATCHES {
+        let options = &book[..batch];
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", batch), &options, |b, opts| {
+            b.iter(|| black_box(engine.price_batch_scalar(black_box(opts))));
+        });
+        group.bench_with_input(BenchmarkId::new("lanes", batch), &options, |b, opts| {
+            b.iter(|| black_box(engine.price_batch(black_box(opts))));
+        });
+        group.bench_with_input(BenchmarkId::new("lanes_reused", batch), &options, |b, opts| {
+            let mut kernel = engine.lane_kernel();
+            let mut out = Vec::new();
+            b.iter(|| {
+                kernel.price_into(black_box(opts), &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_vs_lanes);
+criterion_main!(benches);

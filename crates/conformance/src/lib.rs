@@ -10,7 +10,7 @@
 //!   and the deliberately-broken [`mutants`] that prove each relation
 //!   can fail.
 //! * [`differential`] — a seeded adversarial fuzzer ([`generator`])
-//!   driving the same cases through all sixteen
+//!   driving the same cases through all seventeen
 //!   [`cds_engine::route::PriceRoute`]s (FPGA variants, multi-engine,
 //!   resilient, checkpoint-resume, scrubbed, streaming, CPU) and
 //!   comparing spreads to the reference under a ULP-bounded comparator,

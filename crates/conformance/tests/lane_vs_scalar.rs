@@ -1,0 +1,91 @@
+//! Differential test pinning the lane kernel to the scalar reference —
+//! the ISSUE's lane-remainder satellite.
+//!
+//! The lane kernel claims *bit identity* with `CpuCdsEngine::price`,
+//! which is stronger than the `ENGINE_F64` ULP budget the conformance
+//! fuzzer enforces across routes; this test asserts both (the ULP check
+//! guards the contract the rest of the suite relies on, the bitwise
+//! check pins the stronger implementation property) across every
+//! lane-remainder batch length 0..=17 and across the generator's
+//! adversarial market/option shapes.
+
+use cds_conformance::generator::{generate_case, LISTING1_BOUNDARY_MATURITIES};
+use cds_cpu::CpuCdsEngine;
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency};
+use cds_quant::ulp::UlpComparator;
+
+/// Assert lanes == scalar, bitwise and within the engine ULP budget.
+fn assert_lanes_match_scalar(market: &MarketData<f64>, options: &[CdsOption], what: &str) {
+    let engine = CpuCdsEngine::new(market);
+    let scalar = engine.price_batch_scalar(options);
+    let lanes = engine.price_batch(options);
+    assert_eq!(lanes.len(), scalar.len(), "{what}: length mismatch");
+    if let Err((i, m)) = UlpComparator::ENGINE_F64.check_all(&lanes, &scalar) {
+        panic!("{what}[{i}]: lane kernel outside engine ULP budget: {m}");
+    }
+    for (i, (l, s)) in lanes.iter().zip(&scalar).enumerate() {
+        assert_eq!(
+            l.to_bits(),
+            s.to_bits(),
+            "{what}[{i}]: lane kernel not bit-identical ({l} vs {s}, maturity {}, freq {:?})",
+            options[i].maturity,
+            options[i].frequency
+        );
+    }
+}
+
+#[test]
+fn remainder_batch_lengths_0_to_17_on_adversarial_cases() {
+    // Pool options from several generated adversarial cases so every
+    // batch length mixes frequencies, stub shapes and recoveries.
+    for case_index in 0..6u64 {
+        let case = generate_case(0xC0FFEE, case_index);
+        let market = match case.build_market() {
+            Ok(m) => m,
+            Err(e) => panic!("generator produced unbuildable market: {e}"),
+        };
+        let mut pool: Vec<CdsOption> = Vec::new();
+        let mut extend_index = case_index;
+        while pool.len() < 17 {
+            extend_index += 101;
+            pool.extend(generate_case(0xC0FFEE, extend_index).options);
+        }
+        pool.truncate(17);
+        for n in 0..=pool.len() {
+            assert_lanes_match_scalar(
+                &market,
+                &pool[..n],
+                &format!("case {case_index}, batch len {n}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_cases_price_identically_end_to_end() {
+    // Each case priced whole, on its own market — the exact shape the
+    // differential fuzzer replays through the route enumeration.
+    for index in 0..64u64 {
+        let case = generate_case(0xBEEF, index);
+        let market = match case.build_market() {
+            Ok(m) => m,
+            Err(e) => panic!("generator produced unbuildable market: {e}"),
+        };
+        assert_lanes_match_scalar(&market, &case.options, &case.name);
+    }
+}
+
+#[test]
+fn listing1_boundary_maturities_across_frequencies() {
+    // The paper's partial-sum boundary set, at every frequency, on a
+    // paper-shaped market: exact-period, short-stub and one-ULP-past
+    // maturities all take the grid + stub path.
+    let market = MarketData::paper_workload(3);
+    let mut options = Vec::new();
+    for f in PaymentFrequency::ALL {
+        for m in LISTING1_BOUNDARY_MATURITIES {
+            options.push(CdsOption::new(m, f, 0.4));
+        }
+    }
+    assert_lanes_match_scalar(&market, &options, "listing1 boundaries");
+}

@@ -1,16 +1,26 @@
 //! Single-threaded CPU CDS engine.
 //!
 //! Mirrors the structure a tuned C++ implementation would use: the curve
-//! data is kept in flat structure-of-arrays form, interpolation uses
-//! binary search, and survival probabilities are built incrementally from
-//! a precomputed cumulative-hazard table (one pass at construction) so a
-//! per-option pricing touches `O(T log n)` data instead of rescanning the
-//! curves.
+//! data is kept in flat structure-of-arrays form, interpolation goes
+//! through a precomputed O(1) segment index
+//! ([`cds_quant::interp::SegmentIndex`]) instead of a per-query binary
+//! search, and survival probabilities are built incrementally from a
+//! precomputed cumulative-hazard table (one pass at construction) so a
+//! per-option pricing touches `O(T)` data without rescanning the curves.
+//!
+//! [`CpuCdsEngine::price`] is the **scalar reference path**: a streaming
+//! per-schedule-point loop that allocates nothing per call (schedule
+//! points are enumerated on the fly rather than collected into a `Vec`).
+//! The batch entry points ([`CpuCdsEngine::price_batch`] /
+//! [`CpuCdsEngine::price_batch_stats`]) dispatch to the lane kernel in
+//! [`crate::lanes`], which is bit-for-bit identical to the scalar path;
+//! [`CpuCdsEngine::price_batch_scalar`] keeps the per-option loop
+//! reachable for differential tests and benchmarks.
 
 use cds_quant::cds::SpreadResult;
-use cds_quant::interp::binary_search;
+use cds_quant::interp::SegmentIndex;
 use cds_quant::option::{CdsOption, MarketData};
-use cds_quant::schedule::PaymentSchedule;
+use cds_quant::QuantError;
 
 /// Work accounting of one CPU batch — the host-side analogue of the
 /// simulator's run counters, consumed by the harness's unified metrics.
@@ -20,9 +30,13 @@ pub struct CpuBatchStats {
     pub options: u64,
     /// Total schedule time points evaluated across the batch.
     pub time_points: u64,
-    /// Lane groups priced by the fused SoA kernel (0 for scalar paths).
+    /// Lane groups launched by the batch kernel, including a final
+    /// partial group (0 for scalar paths).
     pub fused_groups: u64,
-    /// Options that fell back to the scalar pricer within an SoA batch.
+    /// Options that fell back to the scalar pricer within a batch.
+    /// Always 0 since the lane kernel subsumed the fused-run SoA path —
+    /// every option takes the lane path regardless of its neighbours;
+    /// the field is kept for schema stability.
     pub scalar_fallbacks: u64,
     /// OS threads used (1 for the sequential paths).
     pub threads: u64,
@@ -49,6 +63,10 @@ pub struct CpuCdsEngine {
     /// Cumulative hazard ∫₀^tenor h(u) du at each knot.
     hazard_cumulative: Vec<f64>,
     hazard_values: Vec<f64>,
+    /// O(1) segment lookup over `interest_tenors`.
+    interest_index: SegmentIndex,
+    /// O(1) segment lookup over `hazard_tenors`.
+    hazard_index: SegmentIndex,
 }
 
 impl CpuCdsEngine {
@@ -68,12 +86,16 @@ impl CpuCdsEngine {
                 * (hazard_tenors[i] - hazard_tenors[i - 1]);
             hazard_cumulative.push(acc);
         }
+        let interest_index = SegmentIndex::new(&interest_tenors);
+        let hazard_index = SegmentIndex::new(&hazard_tenors);
         CpuCdsEngine {
             interest_tenors,
             interest_values,
             hazard_tenors,
             hazard_cumulative,
             hazard_values,
+            interest_index,
+            hazard_index,
         }
     }
 
@@ -90,16 +112,11 @@ impl CpuCdsEngine {
         if t >= ts[last] {
             return self.hazard_cumulative[last] + self.hazard_values[last] * (t - ts[last]);
         }
-        // Find the segment containing t: ts[lo] < t <= ts[lo+1].
-        let (mut lo, mut hi) = (0usize, last);
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            if ts[mid] < t {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
+        // Segment containing t (ts[lo] < t <= ts[lo+1]) via the O(1)
+        // bucket index — the same segment a binary search would choose,
+        // so the arithmetic below is bit-identical to the old path.
+        let lo = self.hazard_index.locate(ts, t);
+        let hi = lo + 1;
         let w = (t - ts[lo]) / (ts[hi] - ts[lo]);
         let v_t = self.hazard_values[lo] + w * (self.hazard_values[hi] - self.hazard_values[lo]);
         self.hazard_cumulative[lo] + 0.5 * (self.hazard_values[lo] + v_t) * (t - ts[lo])
@@ -112,36 +129,66 @@ impl CpuCdsEngine {
 
     /// Discount factor at `t`.
     pub fn discount_factor(&self, t: f64) -> f64 {
-        let r = binary_search(&self.interest_tenors, &self.interest_values, t);
+        let r = self.interest_index.interpolate(&self.interest_tenors, &self.interest_values, t);
         (-r * t).exp()
     }
 
-    /// Price one option.
+    /// Price one option through the scalar reference path.
+    ///
+    /// Allocation-free: schedule points `Δ, 2Δ, …` and the final stub at
+    /// the maturity — exactly the points
+    /// [`cds_quant::schedule::PaymentSchedule::generate`] would
+    /// materialise — are enumerated on the fly instead of being
+    /// collected into a per-call `Vec`, so repeated calls do no heap
+    /// work beyond the engine's cached curve tables.
+    ///
+    /// # Panics
+    /// Panics on an invalid schedule (non-positive or non-finite
+    /// maturity, pathologically long schedule), with the same message
+    /// schedule generation would have produced.
     pub fn price(&self, option: &CdsOption) -> SpreadResult {
-        let schedule =
-            match PaymentSchedule::<f64>::generate(option.maturity, option.frequency.per_year()) {
-                Ok(s) => s,
-                Err(e) => panic!("option failed schedule generation: {e}"),
-            };
+        // Mirror PaymentSchedule::generate's validation (and its exact
+        // error wording) without materialising the points.
+        if option.maturity <= 0.0 || !option.maturity.is_finite() {
+            let e = QuantError::InvalidOption { reason: "maturity must be positive and finite" };
+            panic!("option failed schedule generation: {e}");
+        }
+        let maturity = option.maturity;
+        let delta = 1.0 / option.frequency.per_year() as f64;
         let mut premium = 0.0f64;
         let mut protection = 0.0f64;
         let mut accrual = 0.0f64;
         let mut prev_t = 0.0f64;
         let mut prev_survival = 1.0f64;
-        let mut last_default_prob = 0.0f64;
-        for &t in schedule.points() {
+        let mut last_default_prob;
+        let mut points = 0usize;
+        let mut i = 1usize;
+        loop {
+            let step = delta * i as f64;
+            let last = step >= maturity;
+            let t = if last { maturity } else { step };
             let survival = self.survival(t);
-            let delta = t - prev_t;
+            let period = t - prev_t;
             let mid = 0.5 * (prev_t + t);
             let df = self.discount_factor(t);
             let df_mid = self.discount_factor(mid);
             let d_pd = prev_survival - survival;
-            premium += delta * df * survival;
+            premium += period * df * survival;
             protection += df_mid * d_pd;
-            accrual += 0.5 * delta * df_mid * d_pd;
+            accrual += 0.5 * period * df_mid * d_pd;
             prev_t = t;
             prev_survival = survival;
             last_default_prob = 1.0 - survival;
+            points += 1;
+            if last {
+                break;
+            }
+            i += 1;
+            // Same guard (and trip point) as PaymentSchedule::generate.
+            if i > 4_000_000 {
+                let e = QuantError::InvalidOption { reason: "schedule too long" };
+                panic!("option failed schedule generation: {e}");
+            }
         }
         let lgd = 1.0 - option.recovery_rate;
         let denom = premium + accrual;
@@ -151,29 +198,28 @@ impl CpuCdsEngine {
             protection_unit: protection,
             accrual_annuity: accrual,
             default_prob_at_maturity: last_default_prob,
-            time_points: schedule.len(),
+            time_points: points,
         }
     }
 
-    /// Price a batch sequentially.
+    /// Price a batch on one thread through the lane kernel
+    /// ([`crate::lanes`]) — bit-for-bit identical to pricing each option
+    /// with [`CpuCdsEngine::price`], just much faster.
     pub fn price_batch(&self, options: &[CdsOption]) -> Vec<f64> {
-        options.iter().map(|o| self.price(o).spread_bps).collect()
+        crate::lanes::price_batch_lanes(self, options)
     }
 
-    /// Price a batch sequentially, returning work accounting alongside
-    /// the spreads.
+    /// Price a batch on one thread through the lane kernel, returning
+    /// work accounting alongside the spreads.
     pub fn price_batch_stats(&self, options: &[CdsOption]) -> (Vec<f64>, CpuBatchStats) {
-        let mut stats = CpuBatchStats { threads: 1, ..CpuBatchStats::default() };
-        let spreads = options
-            .iter()
-            .map(|o| {
-                let r = self.price(o);
-                stats.options += 1;
-                stats.time_points += r.time_points as u64;
-                r.spread_bps
-            })
-            .collect();
-        (spreads, stats)
+        crate::lanes::price_batch_lanes_stats(self, options)
+    }
+
+    /// Price a batch through the per-option scalar reference path — the
+    /// baseline the lane kernel is measured against (and differentially
+    /// tested against), and the engine behind the `cpu/scalar` route.
+    pub fn price_batch_scalar(&self, options: &[CdsOption]) -> Vec<f64> {
+        options.iter().map(|o| self.price(o).spread_bps).collect()
     }
 }
 
@@ -238,9 +284,70 @@ mod tests {
         let market = MarketData::paper_workload(5);
         let engine = CpuCdsEngine::new(&market);
         let opts = PortfolioGenerator::new(9).portfolio(10);
+        // price_batch dispatches to the lane kernel; this pins it
+        // bit-for-bit to the scalar path.
         let batch = engine.price_batch(&opts);
         for (o, s) in opts.iter().zip(&batch) {
             assert_eq!(engine.price(o).spread_bps, *s);
         }
+        assert_eq!(batch, engine.price_batch_scalar(&opts));
+    }
+
+    #[test]
+    fn repeated_price_calls_are_identical() {
+        // The engine caches every bootstrapped table (cumulative hazard,
+        // segment indices) at construction and price() allocates nothing,
+        // so repeated calls must be bit-for-bit reproducible.
+        let market = MarketData::paper_workload(21);
+        let engine = CpuCdsEngine::new(&market);
+        for o in PortfolioGenerator::new(2).portfolio(16) {
+            let first = engine.price(&o);
+            for _ in 0..3 {
+                let again = engine.price(&o);
+                assert_eq!(first.spread_bps.to_bits(), again.spread_bps.to_bits());
+                assert_eq!(first.premium_annuity.to_bits(), again.premium_annuity.to_bits());
+                assert_eq!(first.protection_unit.to_bits(), again.protection_unit.to_bits());
+                assert_eq!(first.accrual_annuity.to_bits(), again.accrual_annuity.to_bits());
+                assert_eq!(first.time_points, again.time_points);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_schedule_matches_generated_schedule() {
+        use cds_quant::schedule::PaymentSchedule;
+        // The streaming loop must visit exactly the generated points —
+        // including boundary maturities where Δ·i lands on the maturity.
+        let market = MarketData::paper_workload(1);
+        let engine = CpuCdsEngine::new(&market);
+        for (maturity, per_year) in
+            [(5.5, 4u32), (5.0, 4), (1.0, 12), (0.02, 1), (7.3, 2), (0.25, 4), (10.0, 1)]
+        {
+            let s = match PaymentSchedule::<f64>::generate(maturity, per_year) {
+                Ok(s) => s,
+                Err(e) => panic!("{e}"),
+            };
+            let freq = match per_year {
+                1 => cds_quant::option::PaymentFrequency::Annual,
+                2 => cds_quant::option::PaymentFrequency::SemiAnnual,
+                4 => cds_quant::option::PaymentFrequency::Quarterly,
+                _ => cds_quant::option::PaymentFrequency::Monthly,
+            };
+            let o = CdsOption { maturity, frequency: freq, recovery_rate: 0.4 };
+            assert_eq!(engine.price(&o).time_points, s.len(), "maturity {maturity} f {per_year}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "maturity must be positive and finite")]
+    fn invalid_maturity_panics_like_schedule_generation() {
+        let market = MarketData::paper_workload(1);
+        let engine = CpuCdsEngine::new(&market);
+        let o = CdsOption {
+            maturity: -1.0,
+            frequency: cds_quant::option::PaymentFrequency::Quarterly,
+            recovery_rate: 0.4,
+        };
+        let _ = engine.price(&o);
     }
 }

@@ -1,0 +1,448 @@
+//! Lane-parallel, zero-allocation batch kernel — the CPU counterpart of
+//! the paper's Listing-1 transformation.
+//!
+//! The paper reaches II=1 on the FPGA by breaking the payment-leg loop
+//! dependency into independent partial sums. On the CPU the analogous
+//! restructuring has two layers:
+//!
+//! 1. **Shared schedule grids.** Every option of a given payment
+//!    frequency visits the same regular schedule points `Δ, 2Δ, …`; only
+//!    the final stub at the maturity differs. The kernel therefore
+//!    builds, once per frequency, a `FreqGrid`: the point times, the
+//!    survival probabilities at those points, and — crucially — the
+//!    *running prefix sums* of the three leg accumulators (premium
+//!    annuity, protection leg, accrual), computed with exactly the
+//!    scalar reference's expressions in exactly its left-to-right order.
+//!    Pricing an option then costs `O(1)`: read the prefix state after
+//!    its last full point and add the stub term. This collapses the
+//!    per-batch transcendental count from `O(options × points)` to
+//!    `O(options + grid points)` while remaining **bit-for-bit
+//!    identical** to [`CpuCdsEngine::price`], because floating-point
+//!    addition of the same terms in the same order is deterministic.
+//! 2. **Explicit lanes for the stub.** The per-option stub work is
+//!    processed in groups of [`LANES`] options over fixed `[f64; LANES]`
+//!    arrays, split into a gather pass, a transcendental pass, and a
+//!    branch-free arithmetic pass. Each lane carries independent
+//!    accumulators — the same II-breaking trick as Listing 1, applied
+//!    across options instead of across schedule points — so the
+//!    arithmetic pass auto-vectorizes and the `exp` calls pipeline
+//!    without a loop-carried dependency.
+//!
+//! The kernel owns reusable scratch ([`LaneKernel`]): grids extend
+//! lazily as longer maturities appear and are retained across batches,
+//! so a steady-state [`LaneKernel::price_into`] call performs no heap
+//! allocation at all.
+
+use crate::engine::{CpuBatchStats, CpuCdsEngine};
+use cds_quant::option::{CdsOption, PaymentFrequency};
+use cds_quant::QuantError;
+
+/// Lane width of the stub kernel: eight 64-bit lanes, matching one
+/// AVX-512 register (two AVX2 registers), the width the paper's
+/// partial-sum unroll targets.
+pub const LANES: usize = 8;
+
+/// Same trip point as `PaymentSchedule::generate`'s runaway guard.
+const MAX_SCHEDULE_POINTS: usize = 4_000_000;
+
+#[cold]
+fn schedule_panic(reason: &'static str) -> ! {
+    let e = QuantError::InvalidOption { reason };
+    panic!("option failed schedule generation: {e}");
+}
+
+/// Number of *full* schedule points before the maturity stub, i.e. the
+/// largest `k` with `Δ·k < maturity` (0 when the maturity falls inside
+/// the first period). The scalar loop visits points `1..=k` and then the
+/// stub, so `time_points = k + 1`.
+///
+/// Validation (and its panic wording) mirrors
+/// `PaymentSchedule::generate`, and the guard trips in exactly the same
+/// cases as the streaming scalar loop: a schedule is rejected iff
+/// `k + 1 > 4_000_000`.
+fn full_points(option: &CdsOption) -> usize {
+    if option.maturity <= 0.0 || !option.maturity.is_finite() {
+        schedule_panic("maturity must be positive and finite");
+    }
+    let maturity = option.maturity;
+    let per_year = option.frequency.per_year();
+    let delta = 1.0 / per_year as f64;
+    // Coarse early reject: far beyond the guard, the float-faithful
+    // adjustment below would crawl and the `as usize` cast could
+    // saturate. 4.1M leaves a margin of ~100k points — astronomically
+    // more than one ULP of drift — so every schedule rejected here is
+    // one the exact rule below would reject too.
+    if maturity * per_year as f64 > 4_100_000.0 {
+        schedule_panic("schedule too long");
+    }
+    // Float-faithful k: start from the truncated estimate, then nudge
+    // with the *same comparison* the scalar loop performs (`Δ·i`
+    // computed in f64), so boundary maturities resolve identically.
+    let mut k = (maturity * per_year as f64) as usize;
+    while k > 0 && delta * k as f64 >= maturity {
+        k -= 1;
+    }
+    while delta * ((k + 1) as f64) < maturity {
+        k += 1;
+    }
+    if k + 1 > MAX_SCHEDULE_POINTS {
+        schedule_panic("schedule too long");
+    }
+    k
+}
+
+/// Map a payment frequency to its grid slot.
+fn freq_slot(frequency: PaymentFrequency) -> usize {
+    match frequency.per_year() {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        _ => 3,
+    }
+}
+
+/// Shared schedule grid for one payment frequency: point times, survival
+/// probabilities, and prefix sums of the scalar reference's three leg
+/// accumulators after each full point. Index `j` holds the state after
+/// `j` full points (`j = 0` is the pre-loop state: `t = 0`, survival 1,
+/// all sums 0).
+#[derive(Debug, Clone)]
+struct FreqGrid {
+    delta: f64,
+    t: Vec<f64>,
+    surv: Vec<f64>,
+    premium: Vec<f64>,
+    protection: Vec<f64>,
+    accrual: Vec<f64>,
+}
+
+impl FreqGrid {
+    fn new(per_year: u32) -> Self {
+        FreqGrid {
+            delta: 1.0 / per_year as f64,
+            t: vec![0.0],
+            surv: vec![1.0],
+            premium: vec![0.0],
+            protection: vec![0.0],
+            accrual: vec![0.0],
+        }
+    }
+
+    /// Extend the grid so state after `k` full points is available.
+    ///
+    /// Each extension step replays the scalar loop body for one regular
+    /// point; because the running sums resume from the stored prefix
+    /// values, a lazily grown grid is bit-identical to one built in a
+    /// single pass.
+    fn ensure(&mut self, engine: &CpuCdsEngine, k: usize) {
+        while self.t.len() <= k {
+            let j = self.t.len();
+            let t = self.delta * j as f64;
+            let prev_t = self.t[j - 1];
+            let prev_survival = self.surv[j - 1];
+            let survival = engine.survival(t);
+            let period = t - prev_t;
+            let mid = 0.5 * (prev_t + t);
+            let df = engine.discount_factor(t);
+            let df_mid = engine.discount_factor(mid);
+            let d_pd = prev_survival - survival;
+            self.t.push(t);
+            self.surv.push(survival);
+            self.premium.push(self.premium[j - 1] + period * df * survival);
+            self.protection.push(self.protection[j - 1] + df_mid * d_pd);
+            self.accrual.push(self.accrual[j - 1] + 0.5 * period * df_mid * d_pd);
+        }
+    }
+}
+
+/// Reusable lane-kernel scratch bound to one engine.
+///
+/// The lifetime tie to the engine is deliberate: grids cache
+/// curve-dependent values, so reusing scratch across engines would
+/// silently misprice. Build one with [`CpuCdsEngine::lane_kernel`] (or
+/// [`LaneKernel::new`]) and feed it batches; grids and per-option
+/// scratch are retained and grown monotonically, so steady-state
+/// pricing allocates nothing.
+#[derive(Debug, Clone)]
+pub struct LaneKernel<'e> {
+    engine: &'e CpuCdsEngine,
+    /// One grid per payment frequency (annual, semi-annual, quarterly,
+    /// monthly), built lazily to the longest maturity seen.
+    grids: [FreqGrid; 4],
+    /// Per-option full-point counts for the current batch.
+    ks: Vec<u32>,
+}
+
+impl<'e> LaneKernel<'e> {
+    /// Create a kernel with empty grids bound to `engine`.
+    pub fn new(engine: &'e CpuCdsEngine) -> Self {
+        LaneKernel {
+            engine,
+            grids: [FreqGrid::new(1), FreqGrid::new(2), FreqGrid::new(4), FreqGrid::new(12)],
+            ks: Vec::new(),
+        }
+    }
+
+    /// Price `options` into `out` (cleared and resized), returning the
+    /// batch's work accounting. Bit-for-bit identical to pricing each
+    /// option with [`CpuCdsEngine::price`].
+    ///
+    /// Steady state (grids already long enough, `out` and scratch at
+    /// capacity) performs no heap allocation.
+    ///
+    /// # Panics
+    /// Panics on an invalid schedule, with the same message schedule
+    /// generation (and the scalar path) would have produced.
+    pub fn price_into(&mut self, options: &[CdsOption], out: &mut Vec<f64>) -> CpuBatchStats {
+        out.clear();
+        out.resize(options.len(), 0.0);
+        self.ks.clear();
+        self.ks.reserve(options.len());
+        let mut time_points = 0u64;
+
+        // Pass 1: validate, locate each option's last full point, and
+        // grow the shared grids to cover the batch.
+        for option in options {
+            let k = full_points(option);
+            self.grids[freq_slot(option.frequency)].ensure(self.engine, k);
+            self.ks.push(k as u32);
+            time_points += k as u64 + 1;
+        }
+
+        // Pass 2: stub evaluation in lane groups. Tail lanes of the
+        // final partial group keep neutral values and are never stored.
+        let mut base = 0usize;
+        while base < options.len() {
+            let active = (options.len() - base).min(LANES);
+
+            // Gather: per-lane inputs and prefix state.
+            let mut maturity = [0.0f64; LANES];
+            let mut recovery = [0.0f64; LANES];
+            let mut prev_t = [0.0f64; LANES];
+            let mut prev_survival = [1.0f64; LANES];
+            let mut premium = [0.0f64; LANES];
+            let mut protection = [0.0f64; LANES];
+            let mut accrual = [0.0f64; LANES];
+            for lane in 0..active {
+                let option = &options[base + lane];
+                let k = self.ks[base + lane] as usize;
+                let grid = &self.grids[freq_slot(option.frequency)];
+                maturity[lane] = option.maturity;
+                recovery[lane] = option.recovery_rate;
+                prev_t[lane] = grid.t[k];
+                prev_survival[lane] = grid.surv[k];
+                premium[lane] = grid.premium[k];
+                protection[lane] = grid.protection[k];
+                accrual[lane] = grid.accrual[k];
+            }
+
+            // Transcendental pass: the three exp-bound curve reads per
+            // lane, free of any cross-lane dependency.
+            let mut survival = [0.0f64; LANES];
+            let mut df = [0.0f64; LANES];
+            let mut df_mid = [0.0f64; LANES];
+            for lane in 0..active {
+                let t = maturity[lane];
+                let mid = 0.5 * (prev_t[lane] + t);
+                survival[lane] = self.engine.survival(t);
+                df[lane] = self.engine.discount_factor(t);
+                df_mid[lane] = self.engine.discount_factor(mid);
+            }
+
+            // Arithmetic pass: branch-free per-lane accumulator updates
+            // (the Listing-1 partial sums, one independent set per
+            // lane), then the spread formula.
+            for lane in 0..active {
+                let t = maturity[lane];
+                let period = t - prev_t[lane];
+                let d_pd = prev_survival[lane] - survival[lane];
+                let premium = premium[lane] + period * df[lane] * survival[lane];
+                let protection = protection[lane] + df_mid[lane] * d_pd;
+                let accrual = accrual[lane] + 0.5 * period * df_mid[lane] * d_pd;
+                let lgd = 1.0 - recovery[lane];
+                let denom = premium + accrual;
+                out[base + lane] =
+                    if denom > 0.0 { lgd * protection / denom * 10_000.0 } else { 0.0 };
+            }
+
+            base += active;
+        }
+
+        CpuBatchStats {
+            options: options.len() as u64,
+            time_points,
+            fused_groups: (options.len() as u64).div_ceil(LANES as u64),
+            scalar_fallbacks: 0,
+            threads: 1,
+        }
+    }
+
+    /// Price a batch, allocating a fresh output vector.
+    pub fn price_batch(&mut self, options: &[CdsOption]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.price_into(options, &mut out);
+        out
+    }
+}
+
+impl CpuCdsEngine {
+    /// Create a reusable [`LaneKernel`] bound to this engine.
+    pub fn lane_kernel(&self) -> LaneKernel<'_> {
+        LaneKernel::new(self)
+    }
+}
+
+/// One-shot lane pricing: build a kernel, price, return the spreads.
+/// [`CpuCdsEngine::price_batch`] dispatches here.
+pub fn price_batch_lanes(engine: &CpuCdsEngine, options: &[CdsOption]) -> Vec<f64> {
+    LaneKernel::new(engine).price_batch(options)
+}
+
+/// One-shot lane pricing with work accounting.
+/// [`CpuCdsEngine::price_batch_stats`] dispatches here.
+pub fn price_batch_lanes_stats(
+    engine: &CpuCdsEngine,
+    options: &[CdsOption],
+) -> (Vec<f64>, CpuBatchStats) {
+    let mut out = Vec::new();
+    let stats = LaneKernel::new(engine).price_into(options, &mut out);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_quant::option::{MarketData, PortfolioGenerator};
+
+    fn scalar_bits(engine: &CpuCdsEngine, options: &[CdsOption]) -> Vec<u64> {
+        options.iter().map(|o| engine.price(o).spread_bps.to_bits()).collect()
+    }
+
+    #[test]
+    fn bitwise_identical_to_scalar_across_remainders() {
+        let market = MarketData::paper_workload(7);
+        let engine = CpuCdsEngine::new(&market);
+        let pool = PortfolioGenerator::new(11).portfolio(17);
+        let mut kernel = engine.lane_kernel();
+        let mut out = Vec::new();
+        for n in 0..=pool.len() {
+            let batch = &pool[..n];
+            kernel.price_into(batch, &mut out);
+            let lanes: Vec<u64> = out.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(lanes, scalar_bits(&engine, batch), "batch len {n}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let market = MarketData::paper_workload(1);
+        let engine = CpuCdsEngine::new(&market);
+        let (out, stats) = price_batch_lanes_stats(&engine, &[]);
+        assert!(out.is_empty());
+        assert_eq!(stats, CpuBatchStats { threads: 1, ..CpuBatchStats::default() });
+    }
+
+    #[test]
+    fn kernel_reuse_extends_grids_identically() {
+        // Price short maturities first, then longer ones: the lazily
+        // extended grid must match a one-pass build bit-for-bit.
+        let market = MarketData::paper_workload(9);
+        let engine = CpuCdsEngine::new(&market);
+        let mut reused = engine.lane_kernel();
+        let short: Vec<CdsOption> = PortfolioGenerator::new(3)
+            .portfolio(8)
+            .into_iter()
+            .map(|mut o| {
+                o.maturity = o.maturity.min(2.0);
+                o
+            })
+            .collect();
+        let long = PortfolioGenerator::new(3).portfolio(8);
+        let mut out = Vec::new();
+        reused.price_into(&short, &mut out);
+        reused.price_into(&long, &mut out);
+        let fresh = price_batch_lanes(&engine, &long);
+        assert_eq!(out, fresh);
+        assert_eq!(
+            out.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            scalar_bits(&engine, &long)
+        );
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let market = MarketData::paper_workload(5);
+        let engine = CpuCdsEngine::new(&market);
+        let opts = PortfolioGenerator::new(17).portfolio(19);
+        let (_, stats) = price_batch_lanes_stats(&engine, &opts);
+        let expected_points: u64 = opts.iter().map(|o| engine.price(o).time_points as u64).sum();
+        assert_eq!(stats.options, 19);
+        assert_eq!(stats.time_points, expected_points);
+        assert_eq!(stats.fused_groups, 3); // ceil(19 / 8)
+        assert_eq!(stats.scalar_fallbacks, 0);
+        assert_eq!(stats.threads, 1);
+    }
+
+    #[test]
+    fn boundary_and_stub_maturities() {
+        // Maturities that land exactly on a grid point, inside the first
+        // period, and the paper's Listing-1 boundary set.
+        let market = MarketData::paper_workload(2);
+        let engine = CpuCdsEngine::new(&market);
+        let freqs = [
+            PaymentFrequency::Annual,
+            PaymentFrequency::SemiAnnual,
+            PaymentFrequency::Quarterly,
+            PaymentFrequency::Monthly,
+        ];
+        let mut opts = Vec::new();
+        for f in freqs {
+            for maturity in [0.02, 0.25, 0.5, 1.0, 5.0, 5.5, 7.3, 10.0] {
+                opts.push(CdsOption { maturity, frequency: f, recovery_rate: 0.4 });
+            }
+        }
+        let lanes = price_batch_lanes(&engine, &opts);
+        assert_eq!(
+            lanes.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            scalar_bits(&engine, &opts)
+        );
+    }
+
+    #[test]
+    fn full_points_matches_scalar_time_points() {
+        let market = MarketData::paper_workload(4);
+        let engine = CpuCdsEngine::new(&market);
+        for o in PortfolioGenerator::new(23).portfolio(64) {
+            assert_eq!(
+                full_points(&o) + 1,
+                engine.price(&o).time_points,
+                "maturity {} freq {:?}",
+                o.maturity,
+                o.frequency
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "maturity must be positive and finite")]
+    fn invalid_maturity_panics_like_scalar() {
+        let market = MarketData::paper_workload(1);
+        let engine = CpuCdsEngine::new(&market);
+        let o = CdsOption {
+            maturity: f64::NAN,
+            frequency: PaymentFrequency::Quarterly,
+            recovery_rate: 0.4,
+        };
+        let _ = price_batch_lanes(&engine, &[o]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule too long")]
+    fn runaway_schedule_panics_like_scalar() {
+        let market = MarketData::paper_workload(1);
+        let engine = CpuCdsEngine::new(&market);
+        let o =
+            CdsOption { maturity: 5.0e6, frequency: PaymentFrequency::Monthly, recovery_rate: 0.4 };
+        let _ = price_batch_lanes(&engine, &[o]);
+    }
+}

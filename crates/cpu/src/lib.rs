@@ -6,12 +6,17 @@
 //!
 //! * [`engine::CpuCdsEngine`] — a cache-friendly single-threaded pricer
 //!   (the C++ engine's analogue), numerically identical to the reference;
+//! * [`lanes::LaneKernel`] — the zero-allocation lane-parallel batch
+//!   kernel behind [`engine::CpuCdsEngine::price_batch`]: shared
+//!   per-frequency schedule grids with prefix-summed leg accumulators
+//!   plus 8-wide stub lanes, bit-for-bit identical to the scalar
+//!   reference (the Listing-1 partial-sum trick applied across options);
 //! * [`parallel`] — chunked multi-threading over `std::thread::scope`
 //!   (the OpenMP analogue), for numerical verification and host-machine
 //!   benchmarking;
-//! * [`soa::price_batch_soa`] — a structure-of-arrays batch kernel that
-//!   fuses schedule-identical options into SIMD-friendly lane groups (the
-//!   host-side counterpart of Listing 1's independent lanes);
+//! * [`soa::price_batch_soa`] — the earlier structure-of-arrays batch
+//!   kernel that fuses schedule-identical options into SIMD-friendly
+//!   lane groups, kept as an independent cross-check route;
 //! * [`model::CpuPerfModel`] — a calibrated Cascade Lake performance
 //!   model reproducing the paper's measured CPU rows (8738.92 options/s
 //!   single-core; 8.68× scaling at 24 cores), since the paper's exact
@@ -21,11 +26,13 @@
 #![deny(unsafe_code)]
 
 pub mod engine;
+pub mod lanes;
 pub mod model;
 pub mod parallel;
 pub mod soa;
 
 pub use engine::{CpuBatchStats, CpuCdsEngine};
-pub use model::CpuPerfModel;
+pub use lanes::LaneKernel;
+pub use model::{CpuPerfModel, LANE_KERNEL_SPEEDUP};
 pub use parallel::price_parallel;
 pub use soa::price_batch_soa;

@@ -4,7 +4,10 @@
 //! priced by `std::thread::scope` threads, exactly mirroring the paper's
 //! decomposition for both the OpenMP CPU code and the multi-engine FPGA
 //! deployment ("there are no dependencies between calculations involving
-//! different options").
+//! different options"). Each chunk goes through
+//! [`CpuCdsEngine::price_batch`], i.e. the lane kernel of
+//! [`crate::lanes`], so the thread-level and lane-level parallelism
+//! compose.
 
 use crate::engine::{CpuBatchStats, CpuCdsEngine};
 use cds_quant::option::CdsOption;

@@ -408,7 +408,7 @@ impl MultiEngine {
     /// model. Pricing is deterministic, so recovered spreads are identical
     /// to a fault-free run's.
     ///
-    /// Returns [`CdsError::Exhausted`] if options remain unpriced after
+    /// Returns [`crate::error::CdsError::Exhausted`] if options remain unpriced after
     /// the final attempt (only reachable with `max_attempts == 0`, since
     /// retry rounds are fault-free).
     pub fn price_batch_resilient(
@@ -439,7 +439,7 @@ impl MultiEngine {
     /// journal: a cumulative [`Checkpoint`] is handed to `sink` after
     /// every `cadence` completed options (in completion order), plus a
     /// terminal commit record. Checkpoints are emitted even when the run
-    /// ends in [`CdsError::Exhausted`], so
+    /// ends in [`crate::error::CdsError::Exhausted`], so
     /// [`MultiEngine::resume_batch_resilient`] can finish the work.
     pub fn price_batch_resilient_checkpointed(
         &self,

@@ -3,7 +3,7 @@
 //!
 //! The repository has grown five ways to price a batch (the four Table-I
 //! engine variants, the multi-engine deployment in three simulation
-//! fidelities, the streaming ingress, and the three CPU engines), plus
+//! fidelities, the streaming ingress, and the four CPU engines), plus
 //! the robustness layers wrapped around them (resilient re-sharding,
 //! result scrubbing, write-ahead checkpoint/resume). Every one of them
 //! must produce the same spreads, which means every one of them must be
@@ -73,11 +73,16 @@ pub enum PriceRoute {
     Streaming,
     /// Streaming ingress with the scrubber enabled on completion.
     StreamingScrubbed,
-    /// Streaming run journalled at [`RESUME_CADENCE`], cut at a mid-run
+    /// Streaming run journalled at `RESUME_CADENCE` (every 3 chunks),
+    /// cut at a mid-run
     /// checkpoint and resumed.
     StreamingResume,
-    /// The single-threaded CPU reference engine.
+    /// The single-threaded CPU reference engine (per-option scalar loop).
     CpuScalar,
+    /// The zero-allocation lane-parallel CPU batch kernel (shared
+    /// schedule grids + 8-wide stub lanes), bit-identical to the scalar
+    /// reference.
+    CpuLanes,
     /// The chunked multi-threaded CPU engine (three threads).
     CpuParallel,
     /// The structure-of-arrays fused-lane CPU engine.
@@ -88,7 +93,7 @@ impl PriceRoute {
     /// Every route, in a stable order: the four engine variants first,
     /// then the multi-engine deployments, the robustness layers, the
     /// streaming paths, and the CPU engines.
-    pub const ALL: [PriceRoute; 16] = [
+    pub const ALL: [PriceRoute; 17] = [
         PriceRoute::Variant(EngineVariant::XilinxBaseline),
         PriceRoute::Variant(EngineVariant::OptimisedDataflow),
         PriceRoute::Variant(EngineVariant::InterOption),
@@ -103,6 +108,7 @@ impl PriceRoute {
         PriceRoute::StreamingScrubbed,
         PriceRoute::StreamingResume,
         PriceRoute::CpuScalar,
+        PriceRoute::CpuLanes,
         PriceRoute::CpuParallel,
         PriceRoute::CpuSoa,
     ];
@@ -125,6 +131,7 @@ impl PriceRoute {
             PriceRoute::StreamingScrubbed => "streaming/scrubbed",
             PriceRoute::StreamingResume => "streaming/checkpoint-resume",
             PriceRoute::CpuScalar => "cpu/scalar",
+            PriceRoute::CpuLanes => "cpu/lanes",
             PriceRoute::CpuParallel => "cpu/parallel",
             PriceRoute::CpuSoa => "cpu/soa",
         }
@@ -245,7 +252,8 @@ impl PriceRoute {
                 )?;
                 Self::complete_spreads(report.spreads, options.len())
             }
-            PriceRoute::CpuScalar => Ok(CpuCdsEngine::new(market).price_batch(options)),
+            PriceRoute::CpuScalar => Ok(CpuCdsEngine::new(market).price_batch_scalar(options)),
+            PriceRoute::CpuLanes => Ok(CpuCdsEngine::new(market).price_batch(options)),
             PriceRoute::CpuParallel => Ok(price_parallel(&CpuCdsEngine::new(market), options, 3)),
             PriceRoute::CpuSoa => Ok(price_batch_soa(&CpuCdsEngine::new(market), options)),
         }
@@ -335,6 +343,7 @@ mod tests {
         let market = MarketData::flat(0.02, 0.015, 64);
         for route in [
             PriceRoute::CpuScalar,
+            PriceRoute::CpuLanes,
             PriceRoute::CpuSoa,
             PriceRoute::Variant(EngineVariant::XilinxBaseline),
             PriceRoute::MultiModelled,

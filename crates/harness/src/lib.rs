@@ -17,13 +17,16 @@
 //! | [`ablations::precision`] | reduced-precision exploration (§V further work) |
 //! | [`hostcpu::host_report`] | real host-CPU engine measurement |
 //!
-//! The [`bench`] module flattens the whole ladder into one
+//! The [`mod@bench`] module flattens the whole ladder into one
 //! machine-readable report ([`metrics::RunMetrics`] records serialised by
 //! the hand-rolled [`json`] module) for CI regression gating, the
 //! [`chaos`] module drives the engine's fault-injection framework through
 //! a deterministic failure matrix whose survival report is gated the same
-//! way, and the [`journal`] module records runs as replayable journals
-//! whose re-execution must be bit-identical.
+//! way, the [`journal`] module records runs as replayable journals
+//! whose re-execution must be bit-identical, and the [`throughput`]
+//! module measures real wall-clock options/second on the host CPU
+//! engines and gates them against a committed floor (the only gate that
+//! would notice a hot-path regression).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -39,6 +42,7 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod tables;
+pub mod throughput;
 pub mod validate;
 pub mod workload;
 

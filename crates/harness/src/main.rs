@@ -21,6 +21,7 @@
 //!   trace               stage occupancy Gantt of the vectorised engine
 //!   host-cpu            measure the real CPU engine on this machine
 //!   bench               machine-readable benchmark ladder (BENCH.json)
+//!   bench --throughput  wall-clock options/s of the CPU engines (gated)
 //!   chaos               seeded fault-injection matrix (CHAOS.json)
 //!   replay              record (--json) / re-execute (--check) a run journal
 //!   conformance         metamorphic oracle + cross-variant differential fuzz
@@ -30,12 +31,18 @@
 //! `bench` and `chaos` additionally take `--json PATH` (write the
 //! report) and `--check BASELINE` (exit 1 on regression against a
 //! committed baseline); `bench` also takes `--tolerance F` (relative
-//! gate width, default 0.10 — the chaos gate is exact). `replay --json`
+//! gate width, default 0.10 — the chaos gate is exact). With
+//! `--throughput`, `bench` instead *times* the CPU engines on this
+//! machine (warm-up pass, then repeated timed passes) and reports
+//! wall-clock options/s; `--threads N` pins the multi-threaded row
+//! (default 2), the gate tolerance defaults to 0.40 for runner noise,
+//! and `--check results/throughput_baseline.json` additionally enforces
+//! the ≥4x lane-kernel speedup floor. `replay --json`
 //! records a checkpointed run as a journal (`--scenario` picks the named
 //! fault scenario, default `corrupt-spread`); `replay --check` re-executes
 //! a journal and exits 1 unless the spreads and write-ahead checkpoint
 //! stream are bit-identical. `conformance` checks every metamorphic
-//! relation against the reference and all sixteen price routes, fuzzes
+//! relation against the reference and all seventeen price routes, fuzzes
 //! `--options N` adversarial cases differentially, and with
 //! `--check CORPUS_DIR` replays the committed corpus; any divergence or
 //! violated relation exits 1. IO and usage errors exit 2 with a message;
@@ -49,6 +56,7 @@ use cds_harness::format::{rate, ratio, render_csv, render_table};
 use cds_harness::hostcpu;
 use cds_harness::journal;
 use cds_harness::tables;
+use cds_harness::throughput;
 use cds_harness::validate;
 use cds_harness::workload::Workload;
 use std::path::{Path, PathBuf};
@@ -60,7 +68,11 @@ struct Args {
     csv_dir: Option<PathBuf>,
     json_path: Option<PathBuf>,
     check_baseline: Option<PathBuf>,
-    tolerance: f64,
+    /// `--tolerance`, when given; each gate applies its own default
+    /// (bench 0.10, throughput 0.40).
+    tolerance: Option<f64>,
+    throughput: bool,
+    threads: Option<usize>,
     scenario: String,
 }
 
@@ -89,7 +101,9 @@ fn parse_args() -> Args {
         csv_dir: None,
         json_path: None,
         check_baseline: None,
-        tolerance: 0.10,
+        tolerance: None,
+        throughput: false,
+        threads: None,
         scenario: "corrupt-spread".to_string(),
     };
     while let Some(flag) = args.next() {
@@ -127,11 +141,21 @@ fn parse_args() -> Args {
                     args.next().unwrap_or_else(|| usage("--scenario needs a scenario name"));
             }
             "--tolerance" => {
-                parsed.tolerance = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|t: &f64| (0.0..1.0).contains(t))
-                    .unwrap_or_else(|| usage("--tolerance needs a fraction in [0, 1)"));
+                parsed.tolerance = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|t: &f64| (0.0..1.0).contains(t))
+                        .unwrap_or_else(|| usage("--tolerance needs a fraction in [0, 1)")),
+                );
+            }
+            "--throughput" => parsed.throughput = true,
+            "--threads" => {
+                parsed.threads = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&t: &usize| t >= 1)
+                        .unwrap_or_else(|| usage("--threads needs a positive integer")),
+                );
             }
             other => usage(&format!("unknown flag {other}")),
         }
@@ -144,7 +168,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
          ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|replay|conformance|all> \
-         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--scenario NAME]"
+         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--throughput] [--threads N] [--scenario NAME]"
     );
     std::process::exit(2);
 }
@@ -464,7 +488,58 @@ fn cmd_hostcpu(w: &Workload, csv: &Option<PathBuf>) -> CliResult {
     write_csv(csv, "host_cpu.csv", &headers, &rows)
 }
 
+fn cmd_bench_throughput(args: &Args) -> CliResult {
+    let batch = args.options.unwrap_or(throughput::DEFAULT_THROUGHPUT_BATCH);
+    let threads = args.threads.unwrap_or(throughput::DEFAULT_THROUGHPUT_THREADS);
+    let tolerance = args.tolerance.unwrap_or(throughput::DEFAULT_THROUGHPUT_TOLERANCE);
+    // Fail fast on an unreadable/malformed baseline before measuring.
+    let baseline = match &args.check_baseline {
+        Some(path) => Some((path, read_baseline(path, throughput::ThroughputReport::parse)?)),
+        None => None,
+    };
+    println!(
+        "== Wall-clock throughput (seed {}, batch {batch}, {threads} pinned threads) ==\n",
+        args.seed
+    );
+    let report = throughput::run(args.seed, batch, threads);
+    let headers = ["Row", "Options/s"];
+    let rows: Vec<Vec<String>> =
+        report.rows.iter().map(|r| vec![r.name.clone(), rate(r.options_per_second)]).collect();
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "lane kernel speedup over scalar (1 thread): {} (required ≥ {})\n",
+        ratio(report.lane_speedup_1t),
+        ratio(report.min_lane_speedup)
+    );
+    if let Some(path) = &args.json_path {
+        write_json_report(path, &report.pretty())?;
+        println!("[throughput report written to {}]", path.display());
+    }
+    if let Some((path, baseline)) = baseline {
+        let problems = throughput::compare(&baseline, &report, tolerance);
+        if problems.is_empty() {
+            println!(
+                "check against {}: PASS ({} rows within {:.0}%, speedup floor {:.2}x cleared)",
+                path.display(),
+                baseline.rows.len(),
+                tolerance * 100.0,
+                baseline.min_lane_speedup
+            );
+        } else {
+            eprintln!("check against {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  regression: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &Args) -> CliResult {
+    if args.throughput {
+        return cmd_bench_throughput(args);
+    }
     let batch = args.options.unwrap_or(bench::DEFAULT_BENCH_BATCH);
     // Fail fast on an unreadable/malformed baseline before the ladder runs.
     let baseline = match &args.check_baseline {
@@ -502,13 +577,14 @@ fn cmd_bench(args: &Args) -> CliResult {
         println!("[bench report written to {}]", path.display());
     }
     if let Some((path, baseline)) = baseline {
-        let problems = bench::compare(&baseline, &report, args.tolerance);
+        let tolerance = args.tolerance.unwrap_or(0.10);
+        let problems = bench::compare(&baseline, &report, tolerance);
         if problems.is_empty() {
             println!(
                 "check against {}: PASS ({} metrics within {:.0}%)",
                 path.display(),
                 baseline.metrics.len(),
-                args.tolerance * 100.0
+                tolerance * 100.0
             );
         } else {
             eprintln!("check against {}: FAIL", path.display());

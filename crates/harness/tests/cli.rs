@@ -68,6 +68,90 @@ fn bench_with_malformed_baseline_exits_2() {
 }
 
 #[test]
+fn throughput_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["bench", "--throughput", "--check", "/nonexistent/dir/throughput_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn throughput_zero_threads_exits_2() {
+    let out = harness()
+        .args(["bench", "--throughput", "--threads", "0"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads"));
+}
+
+/// A permissive baseline (floors near zero, no speedup requirement) that
+/// any machine passes, and a sabotaged one (absurd floors) that none
+/// can: exercises gate exit codes without depending on machine speed.
+fn throughput_baseline(ops_floor: f64, min_speedup: f64) -> String {
+    format!(
+        concat!(
+            "{{\"schema_version\": 1, \"seed\": 42, \"batch\": 64, ",
+            "\"pinned_threads\": 2, \"lane_speedup_1t\": 5.0, ",
+            "\"min_lane_speedup\": {}, \"rows\": [",
+            "{{\"name\": \"cpu/scalar-1t\", \"options_per_second\": {}}}, ",
+            "{{\"name\": \"cpu/lanes-1t\", \"options_per_second\": {}}}, ",
+            "{{\"name\": \"cpu/lanes-mt\", \"options_per_second\": {}}}]}}"
+        ),
+        min_speedup, ops_floor, ops_floor, ops_floor
+    )
+}
+
+#[test]
+fn throughput_check_against_permissive_baseline_exits_0() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("throughput-permissive.json");
+    std::fs::write(&path, throughput_baseline(1.0, 0.0)).expect("write baseline");
+    let out = harness()
+        .args([
+            "bench",
+            "--throughput",
+            "--options",
+            "64",
+            "--threads",
+            "2",
+            "--check",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
+fn throughput_check_against_impossible_baseline_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("throughput-impossible.json");
+    // No machine reaches 1e15 options/s; the gate must fail with exit 1.
+    std::fs::write(&path, throughput_baseline(1.0e15, 0.0)).expect("write baseline");
+    let out = harness()
+        .args([
+            "bench",
+            "--throughput",
+            "--options",
+            "64",
+            "--threads",
+            "2",
+            "--check",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("throughput regressed"));
+}
+
+#[test]
 fn fit_succeeds_with_exit_0() {
     let out = harness().args(["fit", "--options", "4"]).output().expect("spawn harness");
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: an exact `usize` or a range.
+/// A length specification for [`fn@vec`]: an exact `usize` or a range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -35,7 +35,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
