@@ -53,6 +53,12 @@ pub struct Checkpoint {
     pub watermark_cycle: Cycle,
     /// Seed of the active fault plan, if any.
     pub fault_seed: Option<u64>,
+    /// Name of the scenario the run was recorded under (e.g. a harness
+    /// fault scenario, or a serving-layer journal label). `None` for
+    /// unlabelled runs; when set, [`crate::streaming::resume_streaming_from`]
+    /// refuses to resume under a *different* requested scenario instead
+    /// of silently replaying the wrong journal.
+    pub scenario: Option<String>,
     /// Original indices admitted past the ingress, ascending.
     pub admitted: Vec<u32>,
     /// Original indices shed by admission control, ascending.
@@ -88,9 +94,14 @@ impl Checkpoint {
             .collect::<Vec<_>>()
             .join(",");
         let fault_seed = self.fault_seed.map_or_else(|| "none".to_string(), |s| s.to_string());
+        // The scenario line is omitted entirely (not written as a
+        // sentinel) for unlabelled runs: "none" is a legitimate harness
+        // scenario name, so a sentinel would collide with it.
+        let scenario =
+            self.scenario.as_ref().map_or_else(String::new, |s| format!("scenario={s}\n"));
         format!(
             "{CHECKPOINT_MAGIC}\nschema_version={}\ntotal_options={}\ncadence={}\n\
-             watermark_cycle={}\nfault_seed={fault_seed}\nadmitted={}\nshed={}\ncompleted={completed}\n\
+             watermark_cycle={}\nfault_seed={fault_seed}\n{scenario}admitted={}\nshed={}\ncompleted={completed}\n\
              commit={}\n",
             self.schema_version,
             self.total_options,
@@ -200,6 +211,9 @@ impl Checkpoint {
             cadence: int("cadence")? as u32,
             watermark_cycle: int("watermark_cycle")?,
             fault_seed,
+            // Optional for backward compatibility: journals written
+            // before scenario labels existed parse as unlabelled.
+            scenario: fields.get("scenario").cloned(),
             admitted: id_list("admitted")?,
             shed: id_list("shed")?,
             completed,
@@ -212,6 +226,13 @@ impl Checkpoint {
     /// the resume entry points.
     pub fn validate(&self) -> Result<(), CdsError> {
         let journal = |reason: String| CdsError::Journal { reason };
+        if let Some(s) = &self.scenario {
+            if s.is_empty() || s.chars().any(char::is_whitespace) {
+                return Err(journal(format!(
+                    "scenario label `{s}` must be a non-empty single token"
+                )));
+            }
+        }
         let total = self.total_options;
         for (name, ids) in [("admitted", &self.admitted), ("shed", &self.shed)] {
             if let Some(&bad) = ids.iter().find(|&&i| i >= total) {
@@ -253,6 +274,7 @@ pub fn streaming_checkpoints(
     total_options: u32,
     report: &StreamingReport,
     fault_seed: Option<u64>,
+    scenario: Option<&str>,
     cadence: u32,
 ) -> Result<Vec<Checkpoint>, CdsError> {
     if cadence == 0 {
@@ -278,6 +300,7 @@ pub fn streaming_checkpoints(
         total_options,
         cadence,
         fault_seed,
+        scenario,
         &admitted,
         &report.shed_indices,
         &completions,
@@ -291,10 +314,12 @@ pub fn streaming_checkpoints(
 /// emitted checkpoint is a prefix of it, so a consumer holding the
 /// `k`-th checkpoint has lost at most one cadence interval relative to
 /// the `k+1`-th.
+#[allow(clippy::too_many_arguments)]
 pub fn checkpoint_stream(
     total_options: u32,
     cadence: u32,
     fault_seed: Option<u64>,
+    scenario: Option<&str>,
     admitted: &[u32],
     shed: &[u32],
     completions: &[CompletedOption],
@@ -316,6 +341,7 @@ pub fn checkpoint_stream(
                 cadence,
                 watermark_cycle: completions[..end].last().map_or(0, |c| c.done_cycle),
                 fault_seed,
+                scenario: scenario.map(str::to_string),
                 admitted: admitted.to_vec(),
                 shed: shed.to_vec(),
                 completed: completions[..end].to_vec(),
@@ -340,6 +366,7 @@ mod tests {
             cadence: 2,
             watermark_cycle: 123_456,
             fault_seed: Some(0xD2),
+            scenario: Some("corrupt-spread".to_string()),
             admitted: vec![0, 1, 2, 4, 5],
             shed: vec![3],
             completed: vec![
@@ -411,6 +438,34 @@ mod tests {
                 }
                 other => panic!("expected Journal error mentioning `{needle}`, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn scenario_label_is_optional_and_validated() {
+        // Unlabelled checkpoints omit the line and parse back to None —
+        // also the backward-compatibility path for journals written
+        // before scenario labels existed.
+        let mut ckpt = sample();
+        ckpt.scenario = None;
+        assert!(!ckpt.to_text().contains("scenario"));
+        let parsed = match Checkpoint::parse(&ckpt.to_text()) {
+            Ok(c) => c,
+            Err(e) => panic!("unlabelled round trip failed: {e}"),
+        };
+        assert_eq!(parsed.scenario, None);
+        // The harness scenario literally named "none" survives the trip
+        // (no sentinel collision with the omitted-line encoding).
+        ckpt.scenario = Some("none".to_string());
+        let parsed = match Checkpoint::parse(&ckpt.to_text()) {
+            Ok(c) => c,
+            Err(e) => panic!("labelled round trip failed: {e}"),
+        };
+        assert_eq!(parsed.scenario.as_deref(), Some("none"));
+        // Labels that would corrupt the line format are rejected.
+        for bad in ["", "has space", "line\nbreak"] {
+            ckpt.scenario = Some(bad.to_string());
+            assert!(ckpt.validate().is_err(), "label `{bad:?}` must be rejected");
         }
     }
 

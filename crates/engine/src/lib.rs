@@ -39,6 +39,7 @@ pub mod error;
 pub mod host;
 pub mod multi;
 pub mod report;
+pub mod retry;
 pub mod route;
 pub mod scrub;
 pub mod stages;
@@ -95,6 +96,7 @@ pub mod prelude {
     pub use crate::error::CdsError;
     pub use crate::multi::MultiEngine;
     pub use crate::report::EngineRunReport;
+    pub use crate::retry::{RetryPolicy, RetryPolicyError};
     pub use crate::route::PriceRoute;
     pub use crate::scrub::{scrub_spreads, QuarantineRecord, ScrubPolicy, ScrubReport};
     pub use crate::streaming::{

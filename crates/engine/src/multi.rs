@@ -11,6 +11,7 @@
 use crate::checkpoint::{checkpoint_stream, Checkpoint, CompletedOption};
 use crate::config::{EngineConfig, EnginePrecision, EngineVariant};
 use crate::report::EngineRunReport;
+use crate::retry::RetryPolicy;
 use crate::scrub::{scrub_spreads, ScrubPolicy, ScrubReport};
 use crate::FpgaCdsEngine;
 use cds_quant::option::{CdsOption, MarketData};
@@ -420,6 +421,36 @@ impl MultiEngine {
         self.price_batch_resilient_core(options, plan, max_attempts, None, None)
     }
 
+    /// [`MultiEngine::price_batch_resilient`] under a validated
+    /// [`RetryPolicy`] — the same policy type the `cds-server` serving
+    /// layer consumes, so batch failover and quote serving share one
+    /// source of retry budgets instead of per-call-site magic numbers.
+    /// The policy's `max_attempts` bounds the fault-free re-shard
+    /// rounds; an invalid policy is rejected up front with the typed
+    /// [`crate::retry::RetryPolicyError`] (as [`crate::error::CdsError::Config`]).
+    pub fn price_batch_resilient_with(
+        &self,
+        options: &[CdsOption],
+        plan: Option<&FaultPlan>,
+        policy: &RetryPolicy,
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        policy.validate()?;
+        self.price_batch_resilient_core(options, plan, policy.max_attempts, None, None)
+    }
+
+    /// [`MultiEngine::price_batch_resilient_scrubbed`] under a validated
+    /// [`RetryPolicy`] (see [`MultiEngine::price_batch_resilient_with`]).
+    pub fn price_batch_resilient_scrubbed_with(
+        &self,
+        options: &[CdsOption],
+        plan: Option<&FaultPlan>,
+        policy: &RetryPolicy,
+        scrub: &ScrubPolicy,
+    ) -> Result<MultiEngineReport, crate::error::CdsError> {
+        policy.validate()?;
+        self.price_batch_resilient_core(options, plan, policy.max_attempts, Some(scrub), None)
+    }
+
     /// [`MultiEngine::price_batch_resilient`] with the result-integrity
     /// scrubber enabled: every spread is guarded against its option's
     /// invariants, options named by corruption fault events are
@@ -742,6 +773,7 @@ impl MultiEngine {
                 options.len() as u32,
                 *cadence,
                 fault_seed,
+                None, // batch deployments run no named scenario
                 &admitted,
                 &[],
                 &completions,

@@ -16,6 +16,7 @@ use crate::checkpoint::Checkpoint;
 use crate::config::EngineVariant;
 use crate::error::CdsError;
 use crate::multi::MultiEngine;
+use crate::retry::RetryPolicy;
 use crate::scrub::ScrubPolicy;
 use crate::streaming::{run_streaming_checkpointed, run_streaming_with, StreamingPolicy};
 use crate::FpgaCdsEngine;
@@ -177,14 +178,18 @@ impl PriceRoute {
             }
             PriceRoute::ResilientEngineLoss => {
                 let plan = FaultPlan::new(1).kill_region("e1.", KILL_CYCLE);
-                let report = self.multi(market)?.price_batch_resilient(options, Some(&plan), 2)?;
+                let report = self.multi(market)?.price_batch_resilient_with(
+                    options,
+                    Some(&plan),
+                    &RetryPolicy::batch_failover(),
+                )?;
                 Self::complete_spreads(report.spreads, options.len())
             }
             PriceRoute::ResilientScrubbed => {
-                let report = self.multi(market)?.price_batch_resilient_scrubbed(
+                let report = self.multi(market)?.price_batch_resilient_scrubbed_with(
                     options,
                     None,
-                    2,
+                    &RetryPolicy::batch_failover(),
                     &ScrubPolicy::default(),
                 )?;
                 Self::complete_spreads(report.spreads, options.len())
@@ -195,7 +200,7 @@ impl PriceRoute {
                 multi.price_batch_resilient_checkpointed(
                     options,
                     None,
-                    2,
+                    RetryPolicy::batch_failover().max_attempts,
                     None,
                     RESUME_CADENCE,
                     |c| checkpoints.push(c.clone()),
@@ -206,7 +211,11 @@ impl PriceRoute {
                     .get(checkpoints.len().saturating_sub(2) / 2)
                     .or_else(|| checkpoints.first())
                     .ok_or(CdsError::Config { reason: "checkpointed run emitted no journal" })?;
-                let report = multi.resume_batch_resilient(options, cut, 2)?;
+                let report = multi.resume_batch_resilient(
+                    options,
+                    cut,
+                    RetryPolicy::batch_failover().max_attempts,
+                )?;
                 Self::complete_spreads(report.spreads, options.len())
             }
             PriceRoute::Streaming | PriceRoute::StreamingScrubbed => {

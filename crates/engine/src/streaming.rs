@@ -147,6 +147,13 @@ pub struct StreamingPolicy {
     /// Result-integrity scrubbing of the completed spreads; `None`
     /// reports engine outputs verbatim.
     pub scrub: Option<ScrubPolicy>,
+    /// Scenario label stamped into emitted [`Checkpoint`]s and asserted
+    /// on resume: [`resume_streaming_from`] refuses a checkpoint whose
+    /// recorded label differs from a requested one (both `Some`), so a
+    /// journal from the wrong scenario surfaces as a typed error instead
+    /// of a silently wrong (often empty) resumed run. `None` requests no
+    /// assertion and labels nothing.
+    pub scenario: Option<String>,
 }
 
 /// Draw Poisson arrival cycles for `n` options at `rate` options/second
@@ -400,7 +407,13 @@ pub fn run_streaming_checkpointed(
 ) -> Result<StreamingReport, CdsError> {
     let report = run_streaming_with(market, config, options, arrivals, policy)?;
     let fault_seed = policy.fault_plan.as_ref().map(FaultPlan::seed);
-    for checkpoint in streaming_checkpoints(options.len() as u32, &report, fault_seed, cadence)? {
+    for checkpoint in streaming_checkpoints(
+        options.len() as u32,
+        &report,
+        fault_seed,
+        policy.scenario.as_deref(),
+        cadence,
+    )? {
         sink(&checkpoint);
     }
     Ok(report)
@@ -427,6 +440,21 @@ pub fn resume_streaming_from(
     checkpoint: &Checkpoint,
 ) -> Result<StreamingReport, CdsError> {
     checkpoint.validate()?;
+    // Scenario guard: a checkpoint recorded under scenario X resumed
+    // while requesting scenario Y would replay the wrong journal —
+    // historically a silent empty-or-wrong run, now a typed error. A
+    // `None` on the policy side requests no assertion (the legitimate
+    // "finish fault-free, whatever the journal was" path).
+    if let (Some(recorded), Some(requested)) = (&checkpoint.scenario, &policy.scenario) {
+        if recorded != requested {
+            return Err(CdsError::Journal {
+                reason: format!(
+                    "checkpoint was recorded under scenario `{recorded}` but the resume \
+                     requested scenario `{requested}`"
+                ),
+            });
+        }
+    }
     if checkpoint.total_options as usize != options.len() {
         return Err(CdsError::Journal {
             reason: format!(
@@ -450,6 +478,7 @@ pub fn resume_streaming_from(
         admission: None, // admission decisions in the checkpoint are final
         fault_plan: policy.fault_plan.clone(),
         scrub: policy.scrub,
+        scenario: policy.scenario.clone(),
     };
     let sub = run_streaming_with(market, config, &rem_opts, &rem_arrivals, &sub_policy)?;
 

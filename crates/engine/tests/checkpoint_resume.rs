@@ -35,6 +35,12 @@ proptest! {
         cadence in 1u32..9,
         watermark in 0u64..1_000_000,
         fault_seed in prop_oneof![Just(None), (0u64..u64::MAX).prop_map(Some)],
+        scenario in prop_oneof![
+            Just(None),
+            Just(Some("none".to_string())),
+            Just(Some("corrupt-spread".to_string())),
+            Just(Some("server".to_string())),
+        ],
         spreads in proptest::collection::vec((-1e9f64..1e9, 0u64..1_000_000), 0..12),
     ) {
         // Parse re-validates that every completed option was admitted,
@@ -56,6 +62,7 @@ proptest! {
             cadence,
             watermark_cycle: watermark as Cycle,
             fault_seed,
+            scenario,
             admitted,
             shed: Vec::new(),
             completed,
@@ -129,6 +136,67 @@ proptest! {
         prop_assert_eq!(resumed.spreads.len(), n);
         for (i, (a, b)) in resumed.spreads.iter().zip(&clean.spreads).enumerate() {
             prop_assert_eq!(a.to_bits(), b.to_bits(), "option {} diverged: {} vs {}", i, a, b);
+        }
+    }
+}
+
+/// A journal recorded under one scenario must refuse to resume under a
+/// *different* requested scenario with a typed [`CdsError::Journal`] —
+/// historically this silently replayed the wrong journal (often as an
+/// empty run when the checkpoint was complete). Resuming with no
+/// requested scenario (`None`) stays legal: that is the "finish the work
+/// fault-free" path.
+#[test]
+fn resume_rejects_scenario_mismatch_with_typed_error() {
+    let shared = Rc::new(market());
+    let config = EngineVariant::Vectorised.config();
+    let n = 6usize;
+    let opts = portfolio(n);
+    let arrivals: Vec<Cycle> = (0..n as u64).map(|i| i * 30_000).collect();
+    let recorded_policy =
+        StreamingPolicy { scenario: Some("corrupt-spread".to_string()), ..Default::default() };
+    let mut checkpoints: Vec<Checkpoint> = Vec::new();
+    let run = run_streaming_checkpointed(
+        shared.clone(),
+        &config,
+        &opts,
+        &arrivals,
+        &recorded_policy,
+        2,
+        |c| checkpoints.push(c.clone()),
+    );
+    if let Err(e) = run {
+        panic!("recorded run failed: {e}");
+    }
+    let last = match checkpoints.last() {
+        Some(c) => c.clone(),
+        None => panic!("expected checkpoints"),
+    };
+    assert_eq!(last.scenario.as_deref(), Some("corrupt-spread"));
+    // The label survives the text round trip the server journal relies on.
+    let restored = match Checkpoint::parse(&last.to_text()) {
+        Ok(c) => c,
+        Err(e) => panic!("round trip failed: {e}"),
+    };
+    assert_eq!(restored.scenario.as_deref(), Some("corrupt-spread"));
+
+    // Mismatched request: typed Journal error naming both scenarios.
+    let wrong = StreamingPolicy { scenario: Some("none".to_string()), ..Default::default() };
+    match resume_streaming_from(shared.clone(), &config, &opts, &arrivals, &wrong, &restored) {
+        Err(CdsError::Journal { reason }) => {
+            assert!(
+                reason.contains("corrupt-spread") && reason.contains("none"),
+                "reason must name both scenarios: {reason}"
+            );
+        }
+        other => panic!("mismatched scenario must be a Journal error, got {other:?}"),
+    }
+
+    // Matching request and no request both resume fine.
+    for policy in [recorded_policy, StreamingPolicy::default()] {
+        match resume_streaming_from(shared.clone(), &config, &opts, &arrivals, &policy, &restored) {
+            Ok(r) => assert_eq!(r.spreads.len(), n),
+            Err(e) => panic!("resume under {:?} must succeed: {e}", policy.scenario),
         }
     }
 }

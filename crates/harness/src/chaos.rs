@@ -15,6 +15,7 @@
 use crate::json::Json;
 use cds_engine::config::EngineVariant;
 use cds_engine::multi::MultiEngine;
+use cds_engine::retry::RetryPolicy;
 use cds_engine::scrub::ScrubPolicy;
 use cds_engine::streaming::{
     poisson_arrivals, resume_streaming_from, run_streaming, run_streaming_checkpointed,
@@ -374,7 +375,7 @@ pub fn run(seed: u64) -> ChaosReport {
         let clean = multi.price_batch_simulated(&opts);
         let plan = FaultPlan::new(seed).kill_region("e2.", 60_000);
         let r = multi
-            .price_batch_resilient(&opts, Some(&plan), 3)
+            .price_batch_resilient_with(&opts, Some(&plan), &RetryPolicy::cascade_failover())
             .unwrap_or_else(|e| panic!("multi/engine-death must recover: {e}"));
         let spreads_match_clean = r.spreads == clean.spreads;
         cases.push(ChaosCase {
@@ -411,7 +412,7 @@ pub fn run(seed: u64) -> ChaosReport {
             plan = plan.kill_region(format!("e{k}."), 10_000);
         }
         let r = multi
-            .price_batch_resilient(&opts, Some(&plan), 2)
+            .price_batch_resilient_with(&opts, Some(&plan), &RetryPolicy::batch_failover())
             .unwrap_or_else(|e| panic!("multi/all-dead must fall back to CPU: {e}"));
         let spreads_match_clean = spreads_close(&r.spreads, &clean.spreads);
         cases.push(ChaosCase {
@@ -442,7 +443,7 @@ pub fn run(seed: u64) -> ChaosReport {
         let clean = multi.price_batch_simulated(&opts);
         let plan = FaultPlan::new(seed).stall_stage("e1.hazard_out", 2_000, 22);
         let r = multi
-            .price_batch_resilient(&opts, Some(&plan), 2)
+            .price_batch_resilient_with(&opts, Some(&plan), &RetryPolicy::batch_failover())
             .unwrap_or_else(|e| panic!("multi/stall must complete: {e}"));
         let spreads_match_clean = r.spreads == clean.spreads;
         cases.push(ChaosCase {
@@ -531,7 +532,12 @@ pub fn run(seed: u64) -> ChaosReport {
             });
         let scrub = ScrubPolicy { cross_check_every: 0 };
         let r = multi
-            .price_batch_resilient_scrubbed(&opts, Some(&plan), 2, &scrub)
+            .price_batch_resilient_scrubbed_with(
+                &opts,
+                Some(&plan),
+                &RetryPolicy::batch_failover(),
+                &scrub,
+            )
             .unwrap_or_else(|e| panic!("multi/corrupt-scrub must recover: {e}"));
         let quarantined = r.scrub.as_ref().map_or(0, |s| s.options_quarantined);
         let spreads_match_clean = spreads_close(&r.spreads, &clean.spreads);

@@ -194,6 +194,7 @@ fn execute(
     let policy = StreamingPolicy {
         fault_plan: scenario_plan(scenario, seed)?,
         scrub: Some(ScrubPolicy { cross_check_every: 0 }),
+        scenario: Some(scenario.to_string()),
         ..Default::default()
     };
     let mut checkpoints = Vec::new();
@@ -287,6 +288,10 @@ pub fn check(journal: &RunJournal) -> Result<Vec<String>, String> {
         let (options, arrivals) = workload(journal.options, journal.arrival_step);
         let policy = StreamingPolicy {
             scrub: Some(ScrubPolicy { cross_check_every: 0 }),
+            // Assert the journal really belongs to the scenario being
+            // replayed — a mismatch is a typed error, not a silent
+            // wrong-journal resume.
+            scenario: Some(journal.scenario.clone()),
             ..Default::default()
         };
         let resumed = resume_streaming_from(market, &config, &options, &arrivals, &policy, mid)

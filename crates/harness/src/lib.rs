@@ -26,7 +26,12 @@
 //! whose re-execution must be bit-identical, and the [`throughput`]
 //! module measures real wall-clock options/second on the host CPU
 //! engines and gates them against a committed floor (the only gate that
-//! would notice a hot-path regression).
+//! would notice a hot-path regression). The [`loadgen`] module drives
+//! the `cds-server` serving front-end with open-loop zipf traffic and
+//! gates its latency quantiles against committed SLO ceilings, and the
+//! [`server_chaos`] module replays serving failure modes (shard death
+//! mid-burst, drain-deadline checkpoints, slow consumers, sustained
+//! overload) against a boolean survival baseline.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,7 +45,9 @@ pub mod format;
 pub mod hostcpu;
 pub mod journal;
 pub mod json;
+pub mod loadgen;
 pub mod metrics;
+pub mod server_chaos;
 pub mod tables;
 pub mod throughput;
 pub mod validate;

@@ -23,6 +23,8 @@
 //!   bench               machine-readable benchmark ladder (BENCH.json)
 //!   bench --throughput  wall-clock options/s of the CPU engines (gated)
 //!   chaos               seeded fault-injection matrix (CHAOS.json)
+//!   loadgen             open-loop load against cds-server, SLO-gated
+//!   server-chaos        serving failure modes vs a survival baseline
 //!   replay              record (--json) / re-execute (--check) a run journal
 //!   conformance         metamorphic oracle + cross-variant differential fuzz
 //!   all                 everything above (except replay, which needs a path)
@@ -55,6 +57,8 @@ use cds_harness::figures;
 use cds_harness::format::{rate, ratio, render_csv, render_table};
 use cds_harness::hostcpu;
 use cds_harness::journal;
+use cds_harness::loadgen;
+use cds_harness::server_chaos;
 use cds_harness::tables;
 use cds_harness::throughput;
 use cds_harness::validate;
@@ -74,6 +78,10 @@ struct Args {
     throughput: bool,
     threads: Option<usize>,
     scenario: String,
+    /// `--rate`, open-loop arrival rate for `loadgen` (requests/s).
+    rate: Option<f64>,
+    /// `--no-faults`, disable the loadgen kill/revive toggles.
+    no_faults: bool,
 }
 
 /// How a subcommand failed. `Fatal` is an environment/usage problem
@@ -105,6 +113,8 @@ fn parse_args() -> Args {
         throughput: false,
         threads: None,
         scenario: "corrupt-spread".to_string(),
+        rate: None,
+        no_faults: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -149,6 +159,15 @@ fn parse_args() -> Args {
                 );
             }
             "--throughput" => parsed.throughput = true,
+            "--rate" => {
+                parsed.rate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&r: &f64| r.is_finite() && r > 0.0)
+                        .unwrap_or_else(|| usage("--rate needs a positive requests/second")),
+                );
+            }
+            "--no-faults" => parsed.no_faults = true,
             "--threads" => {
                 parsed.threads = Some(
                     args.next()
@@ -167,8 +186,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
-         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|replay|conformance|all> \
-         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--throughput] [--threads N] [--scenario NAME]"
+         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|loadgen|server-chaos|replay|conformance|all> \
+         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--throughput] [--threads N] [--scenario NAME] [--rate R] [--no-faults]"
     );
     std::process::exit(2);
 }
@@ -813,6 +832,115 @@ fn cmd_conformance(args: &Args) -> CliResult {
     }
 }
 
+fn cmd_loadgen(args: &Args) -> CliResult {
+    // Fail fast on an unreadable/malformed baseline before the run.
+    let baseline = match args.check_baseline.as_ref() {
+        Some(path) => Some((path, read_baseline(path, loadgen::SloBaseline::parse)?)),
+        None => None,
+    };
+    let config = loadgen::LoadgenConfig {
+        seed: args.seed,
+        requests: args.options.unwrap_or(loadgen::DEFAULT_REQUESTS),
+        rate_per_s: args.rate.unwrap_or(loadgen::DEFAULT_RATE),
+        faults: !args.no_faults,
+        ..Default::default()
+    };
+    println!(
+        "== Open-loop load generation (seed {}, {} requests at {}/s, faults {}) ==\n",
+        config.seed,
+        config.requests,
+        config.rate_per_s,
+        if config.faults { "on" } else { "off" }
+    );
+    let report = loadgen::run(&config).map_err(|e| fatal(format!("loadgen server failed: {e}")))?;
+    let rows = vec![
+        vec!["sent".to_string(), report.sent.to_string()],
+        vec!["priced".to_string(), report.priced.to_string()],
+        vec!["shed".to_string(), report.shed.to_string()],
+        vec!["rejected".to_string(), report.rejected.to_string()],
+        vec!["errored".to_string(), report.errored.to_string()],
+        vec!["curve ticks".to_string(), report.ticks.to_string()],
+        vec!["fault toggles".to_string(), report.faults.to_string()],
+        vec!["p50 (us)".to_string(), report.quantiles.p50_micros.to_string()],
+        vec!["p99 (us)".to_string(), report.quantiles.p99_micros.to_string()],
+        vec!["p999 (us)".to_string(), report.quantiles.p999_micros.to_string()],
+        vec!["achieved rate (/s)".to_string(), format!("{:.0}", report.achieved_rate_per_s)],
+        vec!["worst rung".to_string(), report.worst_rung.to_string()],
+    ];
+    println!("{}", render_table(&["Metric", "Value"], &rows));
+    if let Some(path) = &args.json_path {
+        write_json_report(path, &report.pretty())?;
+        println!("[loadgen report written to {}]", path.display());
+    }
+    if let Some((path, baseline)) = baseline {
+        let problems = loadgen::check_slo(&baseline, &report);
+        if problems.is_empty() {
+            println!("SLO check against {}: PASS", path.display());
+        } else {
+            eprintln!("SLO check against {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  violated: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
+    } else if report.answered() < report.sent {
+        eprintln!("loadgen: FAIL ({} request(s) never answered)", report.sent - report.answered());
+        return Err(CliError::GateFailed);
+    }
+    Ok(())
+}
+
+fn cmd_server_chaos(args: &Args) -> CliResult {
+    let baseline = match args.check_baseline.as_ref() {
+        Some(path) => Some((path, read_baseline(path, server_chaos::ServerChaosReport::parse)?)),
+        None => None,
+    };
+    println!("== Serving chaos matrix (seed {}) ==\n", args.seed);
+    let report = server_chaos::run(args.seed)
+        .map_err(|e| fatal(format!("server-chaos scenario failed: {e}")))?;
+    let headers = ["Scenario", "Sent", "Priced", "Shed", "Degraded", "Match", "Survived"];
+    let rows: Vec<Vec<String>> = report
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.sent.to_string(),
+                c.priced.to_string(),
+                c.shed.to_string(),
+                if c.degraded { "yes" } else { "no" }.to_string(),
+                if c.spreads_match_clean { "yes" } else { "NO" }.to_string(),
+                if c.survived { "PASS" } else { "FAIL" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    if let Some(path) = &args.json_path {
+        write_json_report(path, &report.pretty())?;
+        println!("[server-chaos report written to {}]", path.display());
+    }
+    if let Some((path, baseline)) = baseline {
+        let problems = server_chaos::compare(&baseline, &report);
+        if problems.is_empty() {
+            println!(
+                "check against {}: PASS ({} scenarios' verdicts identical)",
+                path.display(),
+                baseline.cases.len()
+            );
+        } else {
+            eprintln!("check against {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  regression: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
+    } else if !report.all_survived() {
+        eprintln!("server-chaos matrix: FAIL (a scenario did not survive)");
+        return Err(CliError::GateFailed);
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> CliResult {
     let workload =
         Workload::try_paper(args.seed, args.options.unwrap_or(cds_harness::DEFAULT_BATCH))
@@ -851,6 +979,8 @@ fn run(args: &Args) -> CliResult {
         "host-cpu" => cmd_hostcpu(&workload, &args.csv_dir),
         "bench" => cmd_bench(args),
         "chaos" => cmd_chaos(args, true),
+        "loadgen" => cmd_loadgen(args),
+        "server-chaos" => cmd_server_chaos(args),
         "replay" => cmd_replay(args),
         "conformance" => cmd_conformance(args),
         "all" => {

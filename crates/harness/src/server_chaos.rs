@@ -1,0 +1,526 @@
+//! Chaos scenarios for the serving front-end, with a baseline gate.
+//!
+//! Where [`crate::chaos`] attacks the simulated dataflow engines with
+//! cycle-accurate fault plans, this module attacks the **real serving
+//! stack** — `cds-server` over TCP, threads and wall clock included —
+//! with the failure modes a quote-serving deployment actually meets:
+//!
+//! - `server/engine-death-midburst` — a shard dies while a burst is in
+//!   flight; retries, hedging and the CPU fallback must price every
+//!   accepted quote bit-identically to the healthy run,
+//! - `server/kill-during-drain-resume` — a drain deadline expires with
+//!   quotes still stuck on a stalled shard; the write-ahead journal
+//!   must checkpoint them and [`resume_journal`] must finish the run
+//!   bit-identically to an uninterrupted one,
+//! - `server/slow-consumer-backpressure` — a client that stops reading
+//!   replies while pipelining requests; the in-flight bound must hold
+//!   and every request must still be answered,
+//! - `server/overload-shed` — sustained ~2x overload of a deliberately
+//!   tiny deployment; the ladder must shed rather than queue without
+//!   bound, and what *is* priced must stay bit-exact.
+//!
+//! Wall-clock runs are not cycle-reproducible, so unlike the engine
+//! chaos gate the committed baseline
+//! (`results/server_chaos_baseline.json`) pins only the **stable
+//! booleans** of each scenario — survived, degraded, shed-occurred,
+//! spreads-match — never counts or latencies.
+
+use crate::json::Json;
+use cds_cpu::engine::CpuCdsEngine;
+use cds_quant::option::{CdsOption, MarketData, PaymentFrequency};
+use cds_server::ladder::LadderConfig;
+use cds_server::proto::{f64_to_wire, parse_response, Response};
+use cds_server::server::{resume_journal, serve, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Version of the server-chaos JSON schema.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Outcome of one serving chaos scenario. Only the boolean verdicts are
+/// baseline-gated; the counts are informational (wall clock varies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerChaosCase {
+    /// Stable scenario slug, e.g. `server/engine-death-midburst`.
+    pub name: String,
+    /// The deployment ran impaired (dead shard, expired drain, …).
+    pub degraded: bool,
+    /// Admission control or the ladder shed load.
+    pub shed_occurred: bool,
+    /// Every priced/resumed spread is bit-identical to the reference.
+    pub spreads_match_clean: bool,
+    /// The scenario's overall pass verdict.
+    pub survived: bool,
+    /// Informational: requests sent (not gated).
+    pub sent: u64,
+    /// Informational: requests priced (not gated).
+    pub priced: u64,
+    /// Informational: requests shed or rejected (not gated).
+    pub shed: u64,
+}
+
+impl ServerChaosCase {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("degraded", Json::Bool(self.degraded)),
+            ("shed_occurred", Json::Bool(self.shed_occurred)),
+            ("spreads_match_clean", Json::Bool(self.spreads_match_clean)),
+            ("survived", Json::Bool(self.survived)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<Self, String> {
+        let flag = |key: &str| -> Result<bool, String> {
+            match value.get(key) {
+                Some(Json::Bool(b)) => Ok(*b),
+                _ => Err(format!("server-chaos case missing boolean field '{key}'")),
+            }
+        };
+        Ok(ServerChaosCase {
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("server-chaos case missing 'name'")?
+                .to_string(),
+            degraded: flag("degraded")?,
+            shed_occurred: flag("shed_occurred")?,
+            spreads_match_clean: flag("spreads_match_clean")?,
+            survived: flag("survived")?,
+            sent: 0,
+            priced: 0,
+            shed: 0,
+        })
+    }
+
+    /// The gated projection: everything except the volatile counts.
+    fn verdicts(&self) -> (bool, bool, bool, bool) {
+        (self.degraded, self.shed_occurred, self.spreads_match_clean, self.survived)
+    }
+}
+
+/// A full serving chaos run.
+#[derive(Debug, Clone)]
+pub struct ServerChaosReport {
+    /// Schema version of the serialised form ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Seed the workloads derive from.
+    pub seed: u64,
+    /// All scenarios, in matrix order.
+    pub cases: Vec<ServerChaosCase>,
+}
+
+impl ServerChaosReport {
+    /// Look a scenario up by its stable name.
+    pub fn find(&self, name: &str) -> Option<&ServerChaosCase> {
+        self.cases.iter().find(|c| c.name == name)
+    }
+
+    /// True when every scenario survived.
+    pub fn all_survived(&self) -> bool {
+        self.cases.iter().all(|c| c.survived)
+    }
+
+    /// Serialise to the versioned JSON schema (booleans only).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema_version", Json::Number(self.schema_version as f64)),
+            ("seed", Json::Number(self.seed as f64)),
+            ("cases", Json::Array(self.cases.iter().map(ServerChaosCase::to_json).collect())),
+        ])
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn pretty(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parse a serialised report, validating the schema version.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let value = crate::json::parse(text)?;
+        let num = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("server-chaos report missing numeric field '{key}'"))
+        };
+        let schema_version = num("schema_version")? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "server-chaos schema version {schema_version} != supported {SCHEMA_VERSION} — regenerate the baseline"
+            ));
+        }
+        let cases = value
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "server-chaos report missing 'cases' array".to_string())?
+            .iter()
+            .map(ServerChaosCase::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServerChaosReport { schema_version, seed: num("seed")? as u64, cases })
+    }
+}
+
+/// Gate `current` against `baseline`: every baseline scenario must be
+/// present with identical boolean verdicts, and no scenario may appear
+/// or vanish silently. Counts are *not* compared (wall clock varies).
+pub fn compare(baseline: &ServerChaosReport, current: &ServerChaosReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        problems.push(format!(
+            "schema version mismatch: baseline {} vs current {}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    for base in &baseline.cases {
+        match current.find(&base.name) {
+            None => problems.push(format!("scenario '{}' missing from current run", base.name)),
+            Some(cur) if cur.verdicts() != base.verdicts() => {
+                problems.push(format!(
+                    "scenario '{}' changed: baseline (degraded={}, shed={}, match={}, survived={}) vs current (degraded={}, shed={}, match={}, survived={})",
+                    base.name,
+                    base.degraded,
+                    base.shed_occurred,
+                    base.spreads_match_clean,
+                    base.survived,
+                    cur.degraded,
+                    cur.shed_occurred,
+                    cur.spreads_match_clean,
+                    cur.survived,
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for cur in &current.cases {
+        if baseline.find(&cur.name).is_none() {
+            problems.push(format!(
+                "scenario '{}' not in baseline — regenerate results/server_chaos_baseline.json",
+                cur.name
+            ));
+        }
+    }
+    problems
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(handle.addr())?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<Response, String> {
+        writeln!(self.writer, "{line}").map_err(|e| e.to_string())?;
+        self.recv()
+    }
+
+    fn recv(&mut self) -> Result<Response, String> {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+        if reply.is_empty() {
+            return Err("connection closed".to_string());
+        }
+        parse_response(reply.trim()).map_err(|e| format!("bad reply `{reply}`: {e}"))
+    }
+}
+
+fn reference_bits(seed: u64, maturity: f64, recovery: f64) -> u64 {
+    let engine = CpuCdsEngine::new(&MarketData::paper_workload(seed));
+    engine
+        .price(&CdsOption::new(maturity, PaymentFrequency::Quarterly, recovery))
+        .spread_bps
+        .to_bits()
+}
+
+fn quote_line(id: u64, maturity: f64, recovery: f64, low_priority: bool) -> String {
+    let tail = if low_priority { " LO" } else { "" };
+    format!("QUOTE {id} {} Q {}{tail}", f64_to_wire(maturity), f64_to_wire(recovery))
+}
+
+/// A shard dies while a closed-loop burst is in flight; retries and the
+/// hedger must keep every quote priced bit-identically.
+fn scenario_engine_death(seed: u64) -> Result<ServerChaosCase, String> {
+    let handle =
+        serve(ServerConfig { shards: 2, seed, ..Default::default() }).map_err(|e| e.to_string())?;
+    let mut client = Client::connect(&handle).map_err(|e| e.to_string())?;
+    let total = 24u64;
+    let mut priced = 0u64;
+    let mut matched = true;
+    for id in 0..total {
+        if id == total / 3 {
+            client.roundtrip("FAULT KILL 0")?;
+        }
+        let maturity = 2.0 + (id % 5) as f64;
+        let recovery = 0.2 + (id % 3) as f64 * 0.1;
+        match client.roundtrip(&quote_line(id, maturity, recovery, false))? {
+            Response::Quote(q) => {
+                priced += 1;
+                matched &= q.spread_bps.to_bits() == reference_bits(seed, maturity, recovery);
+            }
+            other => return Err(format!("unexpected reply to quote {id}: {other:?}")),
+        }
+    }
+    let stats = match client.roundtrip("STATS")? {
+        Response::Stats(s) => s,
+        other => return Err(format!("expected stats, got {other:?}")),
+    };
+    client.roundtrip("DRAIN")?;
+    let summary = handle.wait();
+    Ok(ServerChaosCase {
+        name: "server/engine-death-midburst".to_string(),
+        degraded: stats.dead_shards > 0,
+        shed_occurred: false,
+        spreads_match_clean: matched,
+        survived: priced == total && matched && summary.pending == 0,
+        sent: total,
+        priced,
+        shed: 0,
+    })
+}
+
+/// A drain deadline expires with quotes stuck behind a stalled shard;
+/// the journal checkpoints them and resume finishes bit-identically.
+fn scenario_kill_during_drain(seed: u64) -> Result<ServerChaosCase, String> {
+    let journal: PathBuf = std::env::temp_dir()
+        .join(format!("cds-server-chaos-drain-{}-{seed}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(cds_server::wal::sidecar_path(&journal));
+    let handle = serve(ServerConfig {
+        shards: 1,
+        seed,
+        journal: Some(journal.clone()),
+        cadence: 2,
+        drain_deadline: Duration::from_millis(100),
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let mut client = Client::connect(&handle).map_err(|e| e.to_string())?;
+    client.roundtrip("FAULT STALL 0 300")?;
+    // Pipeline a small burst (under the admission bound) and wait for
+    // the WAL to accept it; the 300ms stall keeps it pending.
+    let total = 4u64;
+    for id in 0..total {
+        writeln!(client.writer, "{}", quote_line(id, 5.0, 0.4, false))
+            .map_err(|e| e.to_string())?;
+    }
+    client.writer.flush().map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    while handle.stats().accepted < total {
+        if t0.elapsed() > Duration::from_secs(5) {
+            return Err("burst was never accepted".to_string());
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    handle.drain();
+    let summary = handle.wait();
+    let report = resume_journal(&journal).map_err(|e| e.to_string())?;
+    let want = reference_bits(seed, 5.0, 0.4);
+    let matched = report.spreads.len() == total as usize
+        && report.spreads.iter().all(|(_, _, spread, _)| spread.to_bits() == want);
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(cds_server::wal::sidecar_path(&journal));
+    Ok(ServerChaosCase {
+        name: "server/kill-during-drain-resume".to_string(),
+        degraded: true,
+        shed_occurred: false,
+        spreads_match_clean: matched,
+        survived: summary.accepted == total
+            && summary.pending > 0
+            && report.drained
+            && report.repriced > 0
+            && matched,
+        sent: total,
+        priced: summary.completed,
+        shed: 0,
+    })
+}
+
+/// A client pipelines a burst and stops reading; the in-flight bound
+/// must hold and every request must still get an answer.
+fn scenario_slow_consumer(seed: u64) -> Result<ServerChaosCase, String> {
+    let capacity = 8u64;
+    let handle = serve(ServerConfig {
+        shards: 1,
+        seed,
+        capacity,
+        ladder: LadderConfig {
+            shed_watermark: 0.5,
+            reject_watermark: 0.95,
+            recovery_observations: 32,
+        },
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let mut client = Client::connect(&handle).map_err(|e| e.to_string())?;
+    client.roundtrip("FAULT STALL 0 20")?;
+    let total = 64u64;
+    for id in 0..total {
+        writeln!(client.writer, "{}", quote_line(id, 5.0, 0.4, true)).map_err(|e| e.to_string())?;
+    }
+    client.writer.flush().map_err(|e| e.to_string())?;
+    // The consumer goes slow: no reads while the burst queues. The
+    // server must bound its in-flight set rather than buffer our lag.
+    let mut bound_held = true;
+    for _ in 0..20 {
+        std::thread::sleep(Duration::from_millis(10));
+        bound_held &= handle.stats().inflight <= capacity;
+    }
+    let want = reference_bits(seed, 5.0, 0.4);
+    let (mut priced, mut shed) = (0u64, 0u64);
+    let mut matched = true;
+    for _ in 0..total {
+        match client.recv()? {
+            Response::Quote(q) => {
+                matched &= q.spread_bps.to_bits() == want;
+                priced += 1;
+            }
+            Response::Shed { .. } | Response::Reject { .. } => shed += 1,
+            other => return Err(format!("unexpected reply {other:?}")),
+        }
+    }
+    client.roundtrip("DRAIN")?;
+    let summary = handle.wait();
+    Ok(ServerChaosCase {
+        name: "server/slow-consumer-backpressure".to_string(),
+        degraded: false,
+        shed_occurred: shed > 0,
+        spreads_match_clean: matched,
+        survived: bound_held
+            && priced + shed == total
+            && priced > 0
+            && shed > 0
+            && matched
+            && summary.pending == 0,
+        sent: total,
+        priced,
+        shed,
+    })
+}
+
+/// Sustained ~2x overload of a tiny deployment: the ladder must shed
+/// rather than queue without bound, and priced quotes stay bit-exact.
+fn scenario_overload_shed(seed: u64) -> Result<ServerChaosCase, String> {
+    let capacity = 4u64;
+    let handle = serve(ServerConfig { shards: 1, seed, capacity, ..Default::default() })
+        .map_err(|e| e.to_string())?;
+    let mut client = Client::connect(&handle).map_err(|e| e.to_string())?;
+    // 30ms of service per quote caps the deployment at ~33 quotes/s;
+    // offering one every 15ms is a sustained 2x overload.
+    client.roundtrip("FAULT STALL 0 30")?;
+    let total = 40u64;
+    for id in 0..total {
+        writeln!(client.writer, "{}", quote_line(id, 5.0, 0.4, true)).map_err(|e| e.to_string())?;
+        client.writer.flush().map_err(|e| e.to_string())?;
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    let want = reference_bits(seed, 5.0, 0.4);
+    let (mut priced, mut shed) = (0u64, 0u64);
+    let mut matched = true;
+    let mut bound_held = true;
+    for _ in 0..total {
+        match client.recv()? {
+            Response::Quote(q) => {
+                matched &= q.spread_bps.to_bits() == want;
+                priced += 1;
+            }
+            Response::Shed { .. } | Response::Reject { .. } => shed += 1,
+            other => return Err(format!("unexpected reply {other:?}")),
+        }
+        bound_held &= handle.stats().inflight <= capacity;
+    }
+    client.roundtrip("DRAIN")?;
+    let summary = handle.wait();
+    Ok(ServerChaosCase {
+        name: "server/overload-shed".to_string(),
+        degraded: false,
+        shed_occurred: shed > 0,
+        spreads_match_clean: matched,
+        survived: bound_held
+            && priced + shed == total
+            && priced > 0
+            && shed > 0
+            && matched
+            && summary.pending == 0,
+        sent: total,
+        priced,
+        shed,
+    })
+}
+
+/// Execute the serving chaos matrix against in-process servers.
+pub fn run(seed: u64) -> Result<ServerChaosReport, String> {
+    let cases = vec![
+        scenario_engine_death(seed)?,
+        scenario_kill_during_drain(seed)?,
+        scenario_slow_consumer(seed)?,
+        scenario_overload_shed(seed)?,
+    ];
+    Ok(ServerChaosReport { schema_version: SCHEMA_VERSION, seed, cases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str, survived: bool) -> ServerChaosCase {
+        ServerChaosCase {
+            name: name.to_string(),
+            degraded: false,
+            shed_occurred: true,
+            spreads_match_clean: true,
+            survived,
+            sent: 10,
+            priced: 5,
+            shed: 5,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_gates_on_verdicts_only() {
+        let report = ServerChaosReport {
+            schema_version: SCHEMA_VERSION,
+            seed: 42,
+            cases: vec![case("server/a", true), case("server/b", true)],
+        };
+        let parsed = ServerChaosReport::parse(&report.pretty()).expect("parse");
+        // Counts are not serialised; verdict comparison still passes.
+        assert!(compare(&parsed, &report).is_empty());
+        let mut flipped = report.clone();
+        flipped.cases[1].survived = false;
+        let problems = compare(&parsed, &flipped);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("server/b"), "{problems:?}");
+    }
+
+    #[test]
+    fn compare_flags_missing_and_new_scenarios() {
+        let baseline = ServerChaosReport {
+            schema_version: SCHEMA_VERSION,
+            seed: 42,
+            cases: vec![case("server/a", true)],
+        };
+        let current = ServerChaosReport {
+            schema_version: SCHEMA_VERSION,
+            seed: 42,
+            cases: vec![case("server/new", true)],
+        };
+        let problems = compare(&baseline, &current);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let report = ServerChaosReport { schema_version: SCHEMA_VERSION, seed: 1, cases: vec![] };
+        let bumped = report.pretty().replace("\"schema_version\": 1", "\"schema_version\": 9");
+        assert!(ServerChaosReport::parse(&bumped).expect_err("gate").contains("regenerate"));
+    }
+}

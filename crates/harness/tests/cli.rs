@@ -232,3 +232,121 @@ fn csv_write_to_unwritable_dir_exits_2() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
 }
+
+#[test]
+fn loadgen_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["loadgen", "--check", "/nonexistent/dir/server_slo_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn loadgen_bad_rate_exits_2() {
+    let out = harness().args(["loadgen", "--rate", "-5"]).output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rate"));
+}
+
+#[test]
+fn loadgen_small_run_exits_0() {
+    let out = harness()
+        .args(["loadgen", "--options", "40", "--rate", "4000", "--no-faults"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("priced"));
+}
+
+#[test]
+fn loadgen_check_against_impossible_slo_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("slo-impossible.json");
+    // A 0us p99 ceiling is unreachable; the SLO gate must exit 1.
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"schema_version\": 1, \"p50_micros_max\": 0, \"p99_micros_max\": 0, ",
+            "\"p999_micros_max\": 0, \"min_answer_fraction\": 1.0, ",
+            "\"min_priced_fraction\": 0.0}"
+        ),
+    )
+    .expect("write baseline");
+    let out = harness()
+        .args([
+            "loadgen",
+            "--options",
+            "40",
+            "--rate",
+            "4000",
+            "--no-faults",
+            "--check",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("SLO"));
+}
+
+#[test]
+fn loadgen_malformed_baseline_exits_2() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("slo-malformed.json");
+    std::fs::write(&path, "{ not json").expect("write malformed baseline");
+    let out = harness()
+        .args(["loadgen", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed baseline"));
+}
+
+#[test]
+fn server_chaos_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["server-chaos", "--check", "/nonexistent/dir/server_chaos_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn server_chaos_check_against_foreign_baseline_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("server-chaos-foreign.json");
+    // A baseline naming a scenario the matrix does not run: the exact
+    // verdict comparison must flag both directions and exit 1.
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"schema_version\": 1, \"seed\": 42, \"cases\": [",
+            "{\"name\": \"server/no-such-scenario\", \"degraded\": false, ",
+            "\"shed_occurred\": false, \"spreads_match_clean\": true, ",
+            "\"survived\": true}]}"
+        ),
+    )
+    .expect("write baseline");
+    let out = harness()
+        .args(["server-chaos", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-scenario"), "{stderr}");
+}
+
+#[test]
+fn server_chaos_against_committed_baseline_exits_0() {
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/server_chaos_baseline.json");
+    let out =
+        harness().args(["server-chaos", "--check", baseline]).output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}

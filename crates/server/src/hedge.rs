@@ -1,0 +1,119 @@
+//! The idempotence ledger behind deadline-aware retries and hedging.
+//!
+//! Retries and hedged attempts mean the same logical quote can be
+//! priced more than once — by different shards, concurrently. The
+//! ledger makes that safe: the **first** recorded spread for a request
+//! id wins, every later attempt is suppressed, and duplicate client
+//! sends of the same id are answered from the ledger without
+//! re-counting. "Never double-count a spread" is the property the
+//! `tests/ladder_props.rs` suite hammers with racing recorders.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::lock_recover;
+
+/// Outcome of [`QuoteLedger::record`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordOutcome {
+    /// This attempt won: its spread is now the canonical answer.
+    First,
+    /// A previous attempt already answered this id; `spread` is the
+    /// canonical value the duplicate must echo (not its own).
+    Duplicate {
+        /// The canonical spread recorded by the winning attempt.
+        spread: f64,
+    },
+}
+
+/// Request-id → canonical spread map with duplicate accounting.
+#[derive(Debug, Default)]
+pub struct QuoteLedger {
+    spreads: Mutex<HashMap<u64, f64>>,
+    duplicates_suppressed: AtomicU64,
+}
+
+impl QuoteLedger {
+    /// An empty ledger.
+    pub fn new() -> QuoteLedger {
+        QuoteLedger::default()
+    }
+
+    /// Record an attempt's spread for `id`. Exactly one concurrent
+    /// caller per id ever sees [`RecordOutcome::First`]; everyone else
+    /// gets the canonical spread back.
+    pub fn record(&self, id: u64, spread: f64) -> RecordOutcome {
+        let mut map = lock_recover(&self.spreads);
+        match map.entry(id) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(spread);
+                RecordOutcome::First
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+                RecordOutcome::Duplicate { spread: *slot.get() }
+            }
+        }
+    }
+
+    /// The canonical spread for `id`, if one was recorded.
+    pub fn get(&self, id: u64) -> Option<f64> {
+        lock_recover(&self.spreads).get(&id).copied()
+    }
+
+    /// Distinct request ids answered.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.spreads).len()
+    }
+
+    /// Whether any id was answered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many duplicate attempts were suppressed so far.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_wins_and_duplicates_echo_the_canonical_spread() {
+        let ledger = QuoteLedger::new();
+        assert_eq!(ledger.record(7, 101.5), RecordOutcome::First);
+        assert_eq!(ledger.record(7, 999.0), RecordOutcome::Duplicate { spread: 101.5 });
+        assert_eq!(ledger.get(7), Some(101.5));
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger.duplicates_suppressed(), 1);
+    }
+
+    #[test]
+    fn racing_recorders_elect_exactly_one_winner_per_id() {
+        let ledger = Arc::new(QuoteLedger::new());
+        let ids = 32u64;
+        let racers = 8;
+        let mut joins = Vec::new();
+        for racer in 0..racers {
+            let ledger = ledger.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut wins = 0u64;
+                for id in 0..ids {
+                    if let RecordOutcome::First = ledger.record(id, racer as f64) {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let total_wins: u64 = joins.into_iter().map(|j| j.join().expect("racer")).sum();
+        assert_eq!(total_wins, ids, "every id has exactly one winning attempt");
+        assert_eq!(ledger.len(), ids as usize);
+        assert_eq!(ledger.duplicates_suppressed(), ids * (racers - 1));
+    }
+}

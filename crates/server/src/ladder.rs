@@ -1,0 +1,269 @@
+//! The explicit degradation ladder.
+//!
+//! The server is always on exactly one rung. Telemetry (queue pressure
+//! and engine-shard deaths) picks a *target* rung through the pure
+//! [`DegradationLadder::target`] function; the stateful
+//! [`DegradationLadder::observe`] then moves **at most one rung per
+//! observation**, immediately when degrading and only after a
+//! hysteresis streak of calm observations when recovering. Monotone
+//! single-step movement is what makes the ladder auditable: an operator
+//! reading the rung counter sees every intermediate state, and the
+//! property tests in `tests/ladder_props.rs` hold the ladder to it.
+
+/// One rung of the degradation ladder, ordered from healthiest to most
+/// degraded. `Ord` follows severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Full service: every valid quote is admitted and priced on its
+    /// home shard.
+    Healthy = 0,
+    /// Queue pressure above the shed watermark: low-priority quotes are
+    /// shed with a `Retry-After` hint; high-priority quotes still serve.
+    ShedLowPriority = 1,
+    /// At least one engine shard is dead (or pressure keeps climbing):
+    /// quotes are priced inline on the CPU reference engine, which is
+    /// bit-identical to the shard path and cannot die with the shards.
+    CpuFallback = 2,
+    /// Queue pressure above the reject watermark: every quote is
+    /// rejected with a `Retry-After` hint until pressure recedes.
+    RejectRetryAfter = 3,
+}
+
+impl Rung {
+    /// All rungs in severity order.
+    pub const ALL: [Rung; 4] =
+        [Rung::Healthy, Rung::ShedLowPriority, Rung::CpuFallback, Rung::RejectRetryAfter];
+
+    /// Severity index, 0 (healthy) to 3 (reject).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Rung from a severity index, saturating at the worst rung.
+    pub fn from_index(i: usize) -> Rung {
+        *Rung::ALL.get(i).unwrap_or(&Rung::RejectRetryAfter)
+    }
+
+    /// Stable wire/telemetry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Healthy => "healthy",
+            Rung::ShedLowPriority => "shed-low-priority",
+            Rung::CpuFallback => "cpu-fallback",
+            Rung::RejectRetryAfter => "reject-retry-after",
+        }
+    }
+
+    /// Inverse of [`Rung::name`].
+    pub fn from_name(name: &str) -> Option<Rung> {
+        Rung::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One rung worse (saturating).
+    pub fn worse(self) -> Rung {
+        Rung::from_index(self.index().saturating_add(1))
+    }
+
+    /// One rung better (saturating).
+    pub fn better(self) -> Rung {
+        Rung::from_index(self.index().saturating_sub(1))
+    }
+}
+
+/// The counters the ladder observes; a point-in-time snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LadderTelemetry {
+    /// Accepted-but-unanswered quotes (in-flight depth).
+    pub queue_depth: u64,
+    /// In-flight capacity the admission layer enforces.
+    pub queue_capacity: u64,
+    /// Engine shards currently marked dead.
+    pub shards_dead: usize,
+    /// Total engine shards.
+    pub shards_total: usize,
+}
+
+impl LadderTelemetry {
+    /// Queue occupancy as a fraction of capacity (0 when capacity is 0).
+    pub fn queue_fraction(&self) -> f64 {
+        if self.queue_capacity == 0 {
+            0.0
+        } else {
+            self.queue_depth as f64 / self.queue_capacity as f64
+        }
+    }
+}
+
+/// Watermarks and hysteresis for the ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderConfig {
+    /// Queue fraction at or above which low-priority load is shed.
+    pub shed_watermark: f64,
+    /// Queue fraction at or above which everything is rejected.
+    pub reject_watermark: f64,
+    /// Consecutive calm observations required before stepping one rung
+    /// back toward healthy.
+    pub recovery_observations: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig { shed_watermark: 0.5, reject_watermark: 0.9, recovery_observations: 8 }
+    }
+}
+
+impl LadderConfig {
+    /// Reject nonsensical watermarks up front so a misconfigured server
+    /// fails at startup, not mid-incident.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.shed_watermark > 0.0 && self.shed_watermark < 1.0) {
+            return Err("shed watermark must be in (0, 1)");
+        }
+        if !(self.reject_watermark > 0.0 && self.reject_watermark <= 1.0) {
+            return Err("reject watermark must be in (0, 1]");
+        }
+        if self.shed_watermark >= self.reject_watermark {
+            return Err("shed watermark must be below the reject watermark");
+        }
+        if self.recovery_observations == 0 {
+            return Err("recovery requires at least one calm observation");
+        }
+        Ok(())
+    }
+}
+
+/// The stateful ladder: current rung plus the calm streak driving
+/// hysteresis on recovery.
+#[derive(Debug, Clone)]
+pub struct DegradationLadder {
+    config: LadderConfig,
+    rung: Rung,
+    calm_streak: u32,
+}
+
+impl DegradationLadder {
+    /// A ladder starting on [`Rung::Healthy`].
+    ///
+    /// # Errors
+    /// Propagates [`LadderConfig::validate`] failures.
+    pub fn new(config: LadderConfig) -> Result<Self, &'static str> {
+        config.validate()?;
+        Ok(DegradationLadder { config, rung: Rung::Healthy, calm_streak: 0 })
+    }
+
+    /// Current rung.
+    pub fn rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// The rung the telemetry calls for, independent of history. Pure
+    /// and monotone: strictly worse telemetry never yields a healthier
+    /// target.
+    ///
+    /// Overload contributes `healthy < shed < reject`; any dead shard
+    /// contributes `cpu-fallback` (the CPU path cannot die with the
+    /// shards). The target is the worse of the two pressures.
+    pub fn target(telemetry: &LadderTelemetry, config: &LadderConfig) -> Rung {
+        let qf = telemetry.queue_fraction();
+        let overload = if qf >= config.reject_watermark {
+            Rung::RejectRetryAfter
+        } else if qf >= config.shed_watermark {
+            Rung::ShedLowPriority
+        } else {
+            Rung::Healthy
+        };
+        let death = if telemetry.shards_dead > 0 { Rung::CpuFallback } else { Rung::Healthy };
+        overload.max(death)
+    }
+
+    /// Feed one telemetry snapshot and return the (possibly updated)
+    /// rung. Degrades by at most one rung immediately; recovers by at
+    /// most one rung after `recovery_observations` consecutive
+    /// observations whose target is healthier than the current rung.
+    pub fn observe(&mut self, telemetry: &LadderTelemetry) -> Rung {
+        let target = Self::target(telemetry, &self.config);
+        match target.cmp(&self.rung) {
+            std::cmp::Ordering::Greater => {
+                self.calm_streak = 0;
+                self.rung = self.rung.worse();
+            }
+            std::cmp::Ordering::Less => {
+                self.calm_streak += 1;
+                if self.calm_streak >= self.config.recovery_observations {
+                    self.calm_streak = 0;
+                    self.rung = self.rung.better();
+                }
+            }
+            std::cmp::Ordering::Equal => self.calm_streak = 0,
+        }
+        self.rung
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm() -> LadderTelemetry {
+        LadderTelemetry { queue_depth: 0, queue_capacity: 64, shards_dead: 0, shards_total: 4 }
+    }
+
+    fn saturated() -> LadderTelemetry {
+        LadderTelemetry { queue_depth: 64, queue_capacity: 64, shards_dead: 0, shards_total: 4 }
+    }
+
+    #[test]
+    fn default_config_validates() {
+        LadderConfig::default().validate().expect("default must be valid");
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        for bad in [
+            LadderConfig { shed_watermark: 0.0, ..Default::default() },
+            LadderConfig { reject_watermark: 1.5, ..Default::default() },
+            LadderConfig { shed_watermark: 0.9, reject_watermark: 0.5, ..Default::default() },
+            LadderConfig { recovery_observations: 0, ..Default::default() },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must not validate");
+        }
+    }
+
+    #[test]
+    fn target_tracks_watermarks_and_deaths() {
+        let c = LadderConfig::default();
+        assert_eq!(DegradationLadder::target(&calm(), &c), Rung::Healthy);
+        let shed = LadderTelemetry { queue_depth: 32, ..calm() };
+        assert_eq!(DegradationLadder::target(&shed, &c), Rung::ShedLowPriority);
+        assert_eq!(DegradationLadder::target(&saturated(), &c), Rung::RejectRetryAfter);
+        let dead = LadderTelemetry { shards_dead: 1, ..calm() };
+        assert_eq!(DegradationLadder::target(&dead, &c), Rung::CpuFallback);
+        // Death and overload combine to the worse of the two.
+        let both = LadderTelemetry { shards_dead: 1, ..saturated() };
+        assert_eq!(DegradationLadder::target(&both, &c), Rung::RejectRetryAfter);
+    }
+
+    #[test]
+    fn degrades_one_rung_per_observation_and_recovers_with_hysteresis() {
+        let cfg = LadderConfig { recovery_observations: 3, ..Default::default() };
+        let mut ladder = DegradationLadder::new(cfg).expect("valid");
+        // Saturation climbs 0 → 1 → 2 → 3, one rung per observation.
+        assert_eq!(ladder.observe(&saturated()), Rung::ShedLowPriority);
+        assert_eq!(ladder.observe(&saturated()), Rung::CpuFallback);
+        assert_eq!(ladder.observe(&saturated()), Rung::RejectRetryAfter);
+        assert_eq!(ladder.observe(&saturated()), Rung::RejectRetryAfter);
+        // Recovery needs the calm streak, then steps down one at a time.
+        assert_eq!(ladder.observe(&calm()), Rung::RejectRetryAfter);
+        assert_eq!(ladder.observe(&calm()), Rung::RejectRetryAfter);
+        assert_eq!(ladder.observe(&calm()), Rung::CpuFallback);
+        assert_eq!(ladder.observe(&calm()), Rung::CpuFallback);
+        assert_eq!(ladder.observe(&calm()), Rung::CpuFallback);
+        assert_eq!(ladder.observe(&calm()), Rung::ShedLowPriority);
+    }
+
+    #[test]
+    fn zero_capacity_reads_as_idle() {
+        let t = LadderTelemetry { queue_depth: 10, queue_capacity: 0, ..calm() };
+        assert_eq!(t.queue_fraction(), 0.0);
+    }
+}

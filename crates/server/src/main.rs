@@ -1,0 +1,90 @@
+//! `cds-server` binary: bind, serve, drain gracefully on `SIGTERM`.
+
+use cds_server::server::{serve, ServerConfig};
+use cds_server::signal;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: cds-server [options]
+
+options:
+  --addr <host:port>        bind address (default 127.0.0.1:0; port 0 = ephemeral)
+  --shards <n>              engine shards (default 4)
+  --seed <n>                boot curve epoch seed (default 42)
+  --capacity <n>            in-flight quote cap (default 256)
+  --service-micros <n>      admission service estimate per quote (default 200)
+  --journal <path>          write-ahead journal path (durability off when absent)
+  --cadence <n>             completions per checkpoint (default 64)
+  --drain-deadline-ms <n>   drain budget before checkpointing pending (default 5000)
+
+SIGTERM or the DRAIN command begins a graceful drain; the process exits 0
+once in-flight quotes complete or are durably checkpointed as pending.";
+
+fn fatal(msg: &str) -> ExitCode {
+    eprintln!("cds-server: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut std::iter::Peekable<std::env::Args>,
+    flag: &str,
+) -> Result<T, String> {
+    let Some(value) = args.next() else {
+        return Err(format!("{flag} requires a value"));
+    };
+    value.parse::<T>().map_err(|_| format!("bad value `{value}` for {flag}"))
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() };
+    let mut args = std::env::args().peekable();
+    let _argv0 = args.next();
+    while let Some(arg) = args.next() {
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => parse_flag(&mut args, "--addr").map(|v| config.addr = v),
+            "--shards" => parse_flag(&mut args, "--shards").map(|v| config.shards = v),
+            "--seed" => parse_flag(&mut args, "--seed").map(|v| config.seed = v),
+            "--capacity" => parse_flag(&mut args, "--capacity").map(|v| config.capacity = v),
+            "--service-micros" => {
+                parse_flag(&mut args, "--service-micros").map(|v| config.service_micros = v)
+            }
+            "--journal" => {
+                parse_flag(&mut args, "--journal").map(|v: String| config.journal = Some(v.into()))
+            }
+            "--cadence" => parse_flag(&mut args, "--cadence").map(|v| config.cadence = v),
+            "--drain-deadline-ms" => parse_flag(&mut args, "--drain-deadline-ms")
+                .map(|v: u64| config.drain_deadline = Duration::from_millis(v)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(msg) = result {
+            return fatal(&msg);
+        }
+    }
+
+    signal::install();
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => return fatal(&format!("startup failed: {e}")),
+    };
+    // The parseable readiness line tests and tooling wait for.
+    println!("cds-server listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !signal::termination_requested() && !handle.is_draining() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.drain();
+    let summary = handle.wait();
+    eprintln!(
+        "cds-server: drained (accepted={} completed={} pending={})",
+        summary.accepted, summary.completed, summary.pending
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,635 @@
+//! The `cds-server` line protocol.
+//!
+//! One request per line, one response line per request, UTF-8, newline
+//! terminated. Floating-point fields that must survive the wire
+//! bit-exactly travel as `0x`-prefixed 64-bit hex bit patterns; plain
+//! decimals are accepted on input for human use. Responses carry the
+//! spread both ways: a decimal for eyeballs and `bits=` for machines.
+//!
+//! ```text
+//! QUOTE <id> <maturity> <A|S|Q|M> <recovery> [HI|LO]
+//! TICK <seed>
+//! FAULT KILL|REVIVE <shard> | FAULT STALL <shard> <millis>
+//! STATS | DRAIN | PING
+//! ```
+
+use crate::ladder::Rung;
+use cds_quant::option::PaymentFrequency;
+use std::fmt;
+
+/// Quote priority; the shed-low-priority rung drops `Low` quotes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Served on every rung below reject.
+    High,
+    /// First to be shed under pressure.
+    Low,
+}
+
+/// A parsed `QUOTE` line. Parameters are raw (not yet validated against
+/// the quant domain) so the server can answer invalid quotes with a
+/// typed `ERR` instead of a parse failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuoteRequest {
+    /// Client-chosen request id; retries and hedges of the same logical
+    /// quote reuse it, and the ledger makes it idempotent.
+    pub id: u64,
+    /// Contract maturity in years.
+    pub maturity: f64,
+    /// Premium payment frequency.
+    pub frequency: PaymentFrequency,
+    /// Recovery rate in `[0, 1)`.
+    pub recovery: f64,
+    /// Shedding priority (defaults to `High` on the wire).
+    pub priority: Priority,
+}
+
+/// A fault-injection command (test/chaos surface, mirrors
+/// `dataflow_sim::fault` semantics at the serving layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCmd {
+    /// Mark a shard dead: its queue stops being serviced.
+    Kill {
+        /// Target shard index.
+        shard: usize,
+    },
+    /// Revive a dead shard.
+    Revive {
+        /// Target shard index.
+        shard: usize,
+    },
+    /// Make a shard sleep this long per quote (0 clears the stall).
+    Stall {
+        /// Target shard index.
+        shard: usize,
+        /// Added service time per quote, in milliseconds.
+        millis: u64,
+    },
+}
+
+/// One request line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Telemetry snapshot.
+    Stats,
+    /// Begin graceful drain.
+    Drain,
+    /// Publish a new curve epoch from this seed.
+    Tick {
+        /// `MarketData::paper_workload` seed for the new epoch.
+        seed: u64,
+    },
+    /// Fault injection.
+    Fault(FaultCmd),
+    /// Price a quote.
+    Quote(QuoteRequest),
+}
+
+/// Post-fault shard state reported by `OK FAULT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving normally.
+    Live,
+    /// Killed; not serviced.
+    Dead,
+    /// Serving with an injected per-quote stall.
+    Stalled,
+}
+
+impl ShardState {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardState::Live => "live",
+            ShardState::Dead => "dead",
+            ShardState::Stalled => "stalled",
+        }
+    }
+
+    /// Inverse of [`ShardState::name`].
+    pub fn from_name(s: &str) -> Option<ShardState> {
+        [ShardState::Live, ShardState::Dead, ShardState::Stalled]
+            .into_iter()
+            .find(|v| v.name() == s)
+    }
+}
+
+/// A successful quote reply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuoteReply {
+    /// Echoed request id.
+    pub id: u64,
+    /// Par spread in basis points; travels bit-exactly via `bits=`.
+    pub spread_bps: f64,
+    /// Curve epoch the quote was priced under.
+    pub epoch: u64,
+    /// Shard that priced it; `None` means the inline CPU-fallback path.
+    pub shard: Option<usize>,
+    /// Pricing attempts consumed (1 = first try; 0 = served from the
+    /// idempotence ledger).
+    pub attempts: u32,
+    /// Whether a hedged attempt was launched for this quote.
+    pub hedged: bool,
+    /// Whether the reply was served from the ledger (duplicate id).
+    pub cached: bool,
+}
+
+/// A telemetry snapshot (`OK STATS` reply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Current degradation rung index (see [`Rung::index`]).
+    pub rung: u8,
+    /// Quotes accepted (admitted and journalled).
+    pub accepted: u64,
+    /// Quotes completed (priced and answered).
+    pub completed: u64,
+    /// Quotes shed (low-priority or backpressure).
+    pub shed: u64,
+    /// Quotes rejected (reject rung or draining).
+    pub rejected: u64,
+    /// Hedged attempts launched.
+    pub hedges: u64,
+    /// Retry attempts scheduled after shard failures.
+    pub retries: u64,
+    /// Duplicate pricings suppressed by the idempotence ledger.
+    pub dedup_hits: u64,
+    /// Quotes that exhausted their deadline budget.
+    pub deadline_misses: u64,
+    /// Accepted-but-unanswered quotes right now.
+    pub inflight: u64,
+    /// Dead shards right now.
+    pub dead_shards: u64,
+    /// Total shards.
+    pub shards: u64,
+    /// Current curve epoch.
+    pub epoch: u64,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `PONG`.
+    Pong,
+    /// `OK DRAIN` — drain initiated.
+    DrainAck,
+    /// `OK TICK epoch=<n>` — new epoch published.
+    TickAck {
+        /// The newly published epoch.
+        epoch: u64,
+    },
+    /// `OK FAULT shard=<k> state=<s>`.
+    FaultAck {
+        /// Target shard.
+        shard: usize,
+        /// Its state after the command.
+        state: ShardState,
+    },
+    /// `OK STATS ...`.
+    Stats(StatsReply),
+    /// `OK <id> ...` — a priced quote.
+    Quote(QuoteReply),
+    /// `SHED <id> retry_after_ms=<m> rung=<r>`.
+    Shed {
+        /// Echoed request id.
+        id: u64,
+        /// Client back-off hint, milliseconds.
+        retry_after_ms: u64,
+        /// Rung that shed the quote.
+        rung: Rung,
+    },
+    /// `REJECT <id> retry_after_ms=<m> rung=<r>` (also used while
+    /// draining).
+    Reject {
+        /// Echoed request id.
+        id: u64,
+        /// Client back-off hint, milliseconds.
+        retry_after_ms: u64,
+        /// Rung that rejected the quote.
+        rung: Rung,
+    },
+    /// `ERR <id|-> <reason>`.
+    Error {
+        /// Request id when the error is tied to one.
+        id: Option<u64>,
+        /// Human-readable reason (single line).
+        reason: String,
+    },
+}
+
+/// A protocol parse failure; the offending line is answered with `ERR`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was malformed.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol parse error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn bad(reason: impl Into<String>) -> ParseError {
+    ParseError { reason: reason.into() }
+}
+
+/// Format an `f64` as a bit-exact wire token (`0x`-prefixed hex bits).
+pub fn f64_to_wire(v: f64) -> String {
+    format!("0x{:016x}", v.to_bits())
+}
+
+/// Parse a wire float: `0x<hex>` is exact f64 bits, anything else is a
+/// decimal literal.
+pub fn f64_from_wire(tok: &str) -> Result<f64, ParseError> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        let bits = u64::from_str_radix(hex, 16)
+            .map_err(|_| bad(format!("bad f64 bit pattern `{tok}`")))?;
+        Ok(f64::from_bits(bits))
+    } else {
+        tok.parse::<f64>().map_err(|_| bad(format!("bad float `{tok}`")))
+    }
+}
+
+fn parse_u64(tok: &str, what: &str) -> Result<u64, ParseError> {
+    tok.parse::<u64>().map_err(|_| bad(format!("bad {what} `{tok}`")))
+}
+
+fn parse_usize(tok: &str, what: &str) -> Result<usize, ParseError> {
+    tok.parse::<usize>().map_err(|_| bad(format!("bad {what} `{tok}`")))
+}
+
+fn frequency_from_wire(tok: &str) -> Result<PaymentFrequency, ParseError> {
+    match tok {
+        "A" => Ok(PaymentFrequency::Annual),
+        "S" => Ok(PaymentFrequency::SemiAnnual),
+        "Q" => Ok(PaymentFrequency::Quarterly),
+        "M" => Ok(PaymentFrequency::Monthly),
+        other => Err(bad(format!("bad frequency `{other}` (want A|S|Q|M)"))),
+    }
+}
+
+fn frequency_to_wire(f: PaymentFrequency) -> &'static str {
+    match f {
+        PaymentFrequency::Annual => "A",
+        PaymentFrequency::SemiAnnual => "S",
+        PaymentFrequency::Quarterly => "Q",
+        PaymentFrequency::Monthly => "M",
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    match toks.split_first() {
+        None => Err(bad("empty request")),
+        Some((&"PING", [])) => Ok(Request::Ping),
+        Some((&"STATS", [])) => Ok(Request::Stats),
+        Some((&"DRAIN", [])) => Ok(Request::Drain),
+        Some((&"TICK", [seed])) => Ok(Request::Tick { seed: parse_u64(seed, "seed")? }),
+        Some((&"FAULT", rest)) => match rest {
+            ["KILL", shard] => {
+                Ok(Request::Fault(FaultCmd::Kill { shard: parse_usize(shard, "shard")? }))
+            }
+            ["REVIVE", shard] => {
+                Ok(Request::Fault(FaultCmd::Revive { shard: parse_usize(shard, "shard")? }))
+            }
+            ["STALL", shard, millis] => Ok(Request::Fault(FaultCmd::Stall {
+                shard: parse_usize(shard, "shard")?,
+                millis: parse_u64(millis, "stall millis")?,
+            })),
+            _ => Err(bad("usage: FAULT KILL|REVIVE <shard> | FAULT STALL <shard> <millis>")),
+        },
+        Some((&"QUOTE", rest)) => {
+            let (core, priority) = match rest {
+                [a, b, c, d] => ((a, b, c, d), Priority::High),
+                [a, b, c, d, "HI"] => ((a, b, c, d), Priority::High),
+                [a, b, c, d, "LO"] => ((a, b, c, d), Priority::Low),
+                _ => return Err(bad("usage: QUOTE <id> <maturity> <A|S|Q|M> <recovery> [HI|LO]")),
+            };
+            let (id, maturity, freq, recovery) = core;
+            Ok(Request::Quote(QuoteRequest {
+                id: parse_u64(id, "request id")?,
+                maturity: f64_from_wire(maturity)?,
+                frequency: frequency_from_wire(freq)?,
+                recovery: f64_from_wire(recovery)?,
+                priority,
+            }))
+        }
+        Some((verb, _)) => Err(bad(format!("unknown verb `{verb}`"))),
+    }
+}
+
+/// Format one request line (no trailing newline). Floats travel as
+/// exact bit patterns.
+pub fn format_request(req: &Request) -> String {
+    match req {
+        Request::Ping => "PING".to_string(),
+        Request::Stats => "STATS".to_string(),
+        Request::Drain => "DRAIN".to_string(),
+        Request::Tick { seed } => format!("TICK {seed}"),
+        Request::Fault(FaultCmd::Kill { shard }) => format!("FAULT KILL {shard}"),
+        Request::Fault(FaultCmd::Revive { shard }) => format!("FAULT REVIVE {shard}"),
+        Request::Fault(FaultCmd::Stall { shard, millis }) => {
+            format!("FAULT STALL {shard} {millis}")
+        }
+        Request::Quote(q) => {
+            let prio = match q.priority {
+                Priority::High => "HI",
+                Priority::Low => "LO",
+            };
+            format!(
+                "QUOTE {} {} {} {} {prio}",
+                q.id,
+                f64_to_wire(q.maturity),
+                frequency_to_wire(q.frequency),
+                f64_to_wire(q.recovery),
+            )
+        }
+    }
+}
+
+/// Format one response line (no trailing newline).
+pub fn format_response(resp: &Response) -> String {
+    match resp {
+        Response::Pong => "PONG".to_string(),
+        Response::DrainAck => "OK DRAIN".to_string(),
+        Response::TickAck { epoch } => format!("OK TICK epoch={epoch}"),
+        Response::FaultAck { shard, state } => {
+            format!("OK FAULT shard={shard} state={}", state.name())
+        }
+        Response::Stats(s) => format!(
+            "OK STATS rung={} accepted={} completed={} shed={} rejected={} hedges={} \
+             retries={} dedup={} deadline_misses={} inflight={} dead_shards={} shards={} \
+             epoch={} draining={}",
+            Rung::from_index(s.rung as usize).name(),
+            s.accepted,
+            s.completed,
+            s.shed,
+            s.rejected,
+            s.hedges,
+            s.retries,
+            s.dedup_hits,
+            s.deadline_misses,
+            s.inflight,
+            s.dead_shards,
+            s.shards,
+            s.epoch,
+            u8::from(s.draining),
+        ),
+        Response::Quote(q) => {
+            let shard = match q.shard {
+                Some(k) => k.to_string(),
+                None => "cpu".to_string(),
+            };
+            format!(
+                "OK {} spread={} bits={} epoch={} shard={shard} attempts={} hedged={} cached={}",
+                q.id,
+                q.spread_bps,
+                f64_to_wire(q.spread_bps),
+                q.epoch,
+                q.attempts,
+                u8::from(q.hedged),
+                u8::from(q.cached),
+            )
+        }
+        Response::Shed { id, retry_after_ms, rung } => {
+            format!("SHED {id} retry_after_ms={retry_after_ms} rung={}", rung.name())
+        }
+        Response::Reject { id, retry_after_ms, rung } => {
+            format!("REJECT {id} retry_after_ms={retry_after_ms} rung={}", rung.name())
+        }
+        Response::Error { id, reason } => {
+            let id = id.map_or_else(|| "-".to_string(), |i| i.to_string());
+            format!("ERR {id} {reason}")
+        }
+    }
+}
+
+fn kv<'a>(toks: &[&'a str]) -> Result<Vec<(&'a str, &'a str)>, ParseError> {
+    toks.iter()
+        .map(|t| t.split_once('=').ok_or_else(|| bad(format!("expected key=value, got `{t}`"))))
+        .collect()
+}
+
+fn kv_get<'a>(pairs: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, ParseError> {
+    pairs
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| bad(format!("missing field `{key}`")))
+}
+
+fn rung_from_wire(tok: &str) -> Result<Rung, ParseError> {
+    Rung::from_name(tok).ok_or_else(|| bad(format!("unknown rung `{tok}`")))
+}
+
+/// Parse one response line (the client half of the protocol).
+pub fn parse_response(line: &str) -> Result<Response, ParseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    match toks.split_first() {
+        None => Err(bad("empty response")),
+        Some((&"PONG", [])) => Ok(Response::Pong),
+        Some((&"SHED", [id, rest @ ..])) => {
+            let pairs = kv(rest)?;
+            Ok(Response::Shed {
+                id: parse_u64(id, "request id")?,
+                retry_after_ms: parse_u64(kv_get(&pairs, "retry_after_ms")?, "retry_after_ms")?,
+                rung: rung_from_wire(kv_get(&pairs, "rung")?)?,
+            })
+        }
+        Some((&"REJECT", [id, rest @ ..])) => {
+            let pairs = kv(rest)?;
+            Ok(Response::Reject {
+                id: parse_u64(id, "request id")?,
+                retry_after_ms: parse_u64(kv_get(&pairs, "retry_after_ms")?, "retry_after_ms")?,
+                rung: rung_from_wire(kv_get(&pairs, "rung")?)?,
+            })
+        }
+        Some((&"ERR", [id, reason @ ..])) => Ok(Response::Error {
+            id: if *id == "-" { None } else { Some(parse_u64(id, "request id")?) },
+            reason: reason.join(" "),
+        }),
+        Some((&"OK", ["DRAIN"])) => Ok(Response::DrainAck),
+        Some((&"OK", ["TICK", rest @ ..])) => {
+            let pairs = kv(rest)?;
+            Ok(Response::TickAck { epoch: parse_u64(kv_get(&pairs, "epoch")?, "epoch")? })
+        }
+        Some((&"OK", ["FAULT", rest @ ..])) => {
+            let pairs = kv(rest)?;
+            let state = kv_get(&pairs, "state")?;
+            Ok(Response::FaultAck {
+                shard: parse_usize(kv_get(&pairs, "shard")?, "shard")?,
+                state: ShardState::from_name(state)
+                    .ok_or_else(|| bad(format!("unknown shard state `{state}`")))?,
+            })
+        }
+        Some((&"OK", ["STATS", rest @ ..])) => {
+            let pairs = kv(rest)?;
+            let field = |k: &str| parse_u64(kv_get(&pairs, k)?, k);
+            Ok(Response::Stats(StatsReply {
+                rung: rung_from_wire(kv_get(&pairs, "rung")?)?.index() as u8,
+                accepted: field("accepted")?,
+                completed: field("completed")?,
+                shed: field("shed")?,
+                rejected: field("rejected")?,
+                hedges: field("hedges")?,
+                retries: field("retries")?,
+                dedup_hits: field("dedup")?,
+                deadline_misses: field("deadline_misses")?,
+                inflight: field("inflight")?,
+                dead_shards: field("dead_shards")?,
+                shards: field("shards")?,
+                epoch: field("epoch")?,
+                draining: field("draining")? != 0,
+            }))
+        }
+        Some((&"OK", [id, rest @ ..])) => {
+            let pairs = kv(rest)?;
+            let shard = match kv_get(&pairs, "shard")? {
+                "cpu" => None,
+                k => Some(parse_usize(k, "shard")?),
+            };
+            Ok(Response::Quote(QuoteReply {
+                id: parse_u64(id, "request id")?,
+                // bits= is authoritative; the decimal field is display-only.
+                spread_bps: f64_from_wire(kv_get(&pairs, "bits")?)?,
+                epoch: parse_u64(kv_get(&pairs, "epoch")?, "epoch")?,
+                shard,
+                attempts: parse_u64(kv_get(&pairs, "attempts")?, "attempts")? as u32,
+                hedged: parse_u64(kv_get(&pairs, "hedged")?, "hedged")? != 0,
+                cached: parse_u64(kv_get(&pairs, "cached")?, "cached")? != 0,
+            }))
+        }
+        Some((verb, _)) => Err(bad(format!("unknown response `{verb}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let cases = [
+            Request::Ping,
+            Request::Stats,
+            Request::Drain,
+            Request::Tick { seed: 99 },
+            Request::Fault(FaultCmd::Kill { shard: 2 }),
+            Request::Fault(FaultCmd::Revive { shard: 0 }),
+            Request::Fault(FaultCmd::Stall { shard: 1, millis: 250 }),
+            Request::Quote(QuoteRequest {
+                id: 7,
+                maturity: 5.37,
+                frequency: PaymentFrequency::Quarterly,
+                recovery: 0.4,
+                priority: Priority::Low,
+            }),
+        ];
+        for req in cases {
+            let line = format_request(&req);
+            assert_eq!(parse_request(&line), Ok(req), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn quote_floats_survive_the_wire_bit_exactly() {
+        let maturity = f64::from_bits(0x400a_3333_3333_3334); // an awkward 3.275…
+        let req = Request::Quote(QuoteRequest {
+            id: 1,
+            maturity,
+            frequency: PaymentFrequency::Monthly,
+            recovery: 0.123_456_789_012_345_68,
+            priority: Priority::High,
+        });
+        match parse_request(&format_request(&req)) {
+            Ok(Request::Quote(q)) => {
+                assert_eq!(q.maturity.to_bits(), maturity.to_bits());
+            }
+            other => panic!("expected quote, got {other:?}"),
+        }
+        // Human decimals still parse.
+        match parse_request("QUOTE 3 5.0 Q 0.4") {
+            Ok(Request::Quote(q)) => {
+                assert_eq!(q.priority, Priority::High);
+                assert_eq!(q.maturity, 5.0);
+            }
+            other => panic!("expected quote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_lines_round_trip() {
+        let cases = [
+            Response::Pong,
+            Response::DrainAck,
+            Response::TickAck { epoch: 3 },
+            Response::FaultAck { shard: 1, state: ShardState::Dead },
+            Response::Stats(StatsReply {
+                rung: 2,
+                accepted: 10,
+                completed: 8,
+                shed: 1,
+                rejected: 1,
+                hedges: 2,
+                retries: 3,
+                dedup_hits: 1,
+                deadline_misses: 0,
+                inflight: 2,
+                dead_shards: 1,
+                shards: 4,
+                epoch: 5,
+                draining: true,
+            }),
+            Response::Quote(QuoteReply {
+                id: 42,
+                spread_bps: 101.25,
+                epoch: 2,
+                shard: Some(3),
+                attempts: 2,
+                hedged: true,
+                cached: false,
+            }),
+            Response::Quote(QuoteReply {
+                id: 43,
+                spread_bps: -0.5,
+                epoch: 0,
+                shard: None,
+                attempts: 1,
+                hedged: false,
+                cached: true,
+            }),
+            Response::Shed { id: 9, retry_after_ms: 12, rung: Rung::ShedLowPriority },
+            Response::Reject { id: 9, retry_after_ms: 40, rung: Rung::RejectRetryAfter },
+            Response::Error { id: Some(5), reason: "recovery rate out of range".to_string() },
+            Response::Error { id: None, reason: "unknown verb `QUOT`".to_string() },
+        ];
+        for resp in cases {
+            let line = format_response(&resp);
+            assert_eq!(parse_response(&line), Ok(resp.clone()), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_fail_typed() {
+        for line in [
+            "",
+            "QUOT 1 5.0 Q 0.4",
+            "QUOTE x 5.0 Q 0.4",
+            "QUOTE 1 5.0 X 0.4",
+            "QUOTE 1 5.0 Q",
+            "FAULT KILL",
+            "FAULT STALL 1",
+            "TICK",
+        ] {
+            assert!(parse_request(line).is_err(), "must reject `{line}`");
+        }
+        assert!(parse_response("OK 1 spread=1.0").is_err(), "missing bits field");
+    }
+}

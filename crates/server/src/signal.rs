@@ -1,0 +1,69 @@
+//! Libc-free termination signal latch.
+//!
+//! The container has no `libc` crate, so the binary installs its
+//! handlers through the C library's `signal(2)` entry point directly.
+//! The handler body is async-signal-safe: one relaxed atomic store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATION_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX entry point; the handler only
+        // performs an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the `SIGTERM`/`SIGINT` handlers (idempotent). On non-Unix
+/// targets this is a no-op and [`termination_requested`] only trips via
+/// [`request_termination`].
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a termination signal (or programmatic request) has arrived.
+pub fn termination_requested() -> bool {
+    TERMINATION_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Trip the latch programmatically (tests, non-Unix fallback).
+pub fn request_termination() {
+    TERMINATION_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_trips_programmatically() {
+        install();
+        request_termination();
+        assert!(termination_requested());
+    }
+}

@@ -1,0 +1,506 @@
+//! The serving write-ahead journal.
+//!
+//! Every accepted quote is appended (and flushed) to the journal
+//! *before* it is dispatched to a shard; every completion is appended
+//! after its canonical spread is elected. Completions additionally
+//! checkpoint through the engine's [`Checkpoint`] text format (written
+//! atomically to a `.ckpt` sidecar every `cadence` completions and at
+//! drain), tagged with the `cds-server` scenario label so a resume
+//! under the wrong journal fails typed. A `SIGTERM` mid-burst therefore
+//! leaves one of two states, both safe: the drain finished (journal
+//! carries a terminal `drain commit=` line and a complete checkpoint)
+//! or it did not (accepted-but-incomplete quotes are recoverable as
+//! [`WalState::pending`] and reprice bit-identically — the CPU engine
+//! is deterministic given the epoch seed).
+
+use crate::proto::{f64_from_wire, f64_to_wire, Priority};
+use cds_engine::checkpoint::{Checkpoint, CompletedOption, CHECKPOINT_SCHEMA_VERSION};
+use cds_quant::option::{CdsOption, PaymentFrequency};
+use cds_quant::QuantError;
+use dataflow_sim::Cycle;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::lock_recover;
+
+/// Scenario label stamped on every server checkpoint; resuming a
+/// journal recorded by something else fails typed instead of silently
+/// replaying the wrong work.
+pub const SERVER_SCENARIO: &str = "cds-server";
+
+const WAL_HEADER: &str = "cds-server-wal v1";
+
+/// A journal failure.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The journal or its checkpoint sidecar is malformed.
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "journal io error: {e}"),
+            WalError::Corrupt(reason) => write!(f, "journal corrupt: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+fn corrupt(reason: impl Into<String>) -> WalError {
+    WalError::Corrupt(reason.into())
+}
+
+/// One accepted quote, durable before dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptRecord {
+    /// Journal sequence number (dense, 0-based) — the checkpoint's
+    /// option index.
+    pub seq: u32,
+    /// Client request id.
+    pub id: u64,
+    /// Contract maturity in years (bit-exact in the journal).
+    pub maturity: f64,
+    /// Premium payment frequency.
+    pub frequency: PaymentFrequency,
+    /// Recovery rate (bit-exact in the journal).
+    pub recovery: f64,
+    /// Shedding priority.
+    pub priority: Priority,
+}
+
+impl AcceptRecord {
+    /// Rebuild the validated quant option this record was accepted as.
+    ///
+    /// # Errors
+    /// Propagates domain validation — cannot fail for records the
+    /// server itself accepted, but a hand-edited journal is re-checked.
+    pub fn option(&self) -> Result<CdsOption, QuantError> {
+        CdsOption::validated(self.maturity, self.frequency, self.recovery)
+    }
+}
+
+fn freq_token(f: PaymentFrequency) -> &'static str {
+    match f {
+        PaymentFrequency::Annual => "A",
+        PaymentFrequency::SemiAnnual => "S",
+        PaymentFrequency::Quarterly => "Q",
+        PaymentFrequency::Monthly => "M",
+    }
+}
+
+fn freq_parse(tok: &str) -> Result<PaymentFrequency, WalError> {
+    match tok {
+        "A" => Ok(PaymentFrequency::Annual),
+        "S" => Ok(PaymentFrequency::SemiAnnual),
+        "Q" => Ok(PaymentFrequency::Quarterly),
+        "M" => Ok(PaymentFrequency::Monthly),
+        other => Err(corrupt(format!("bad frequency `{other}`"))),
+    }
+}
+
+struct WalInner {
+    file: BufWriter<File>,
+    ckpt_path: PathBuf,
+    cadence: u32,
+    accepted: u32,
+    completions: Vec<CompletedOption>,
+}
+
+/// Appender half of the journal; all methods flush before returning so
+/// a kill after an `accept` never loses the acceptance.
+pub struct WalWriter {
+    seed: u64,
+    inner: Mutex<WalInner>,
+}
+
+impl fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalWriter").field("seed", &self.seed).finish_non_exhaustive()
+    }
+}
+
+impl WalWriter {
+    /// Create (truncate) a journal at `path`. `seed` is the boot curve
+    /// epoch seed; `cadence` is the completions-per-checkpoint interval.
+    pub fn create(path: &Path, seed: u64, cadence: u32) -> Result<WalWriter, WalError> {
+        if cadence == 0 {
+            return Err(corrupt("checkpoint cadence must be at least 1"));
+        }
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        let mut file = BufWriter::new(file);
+        writeln!(file, "{WAL_HEADER}")?;
+        writeln!(file, "seed={seed}")?;
+        writeln!(file, "cadence={cadence}")?;
+        file.flush()?;
+        let ckpt_path = sidecar_path(path);
+        Ok(WalWriter {
+            seed,
+            inner: Mutex::new(WalInner {
+                file,
+                ckpt_path,
+                cadence,
+                accepted: 0,
+                completions: Vec::new(),
+            }),
+        })
+    }
+
+    /// Durably record an acceptance and allocate its sequence number.
+    /// Nothing may be dispatched for this quote until this returns.
+    pub fn accept(&self, id: u64, option: &CdsOption, priority: Priority) -> Result<u32, WalError> {
+        let mut inner = lock_recover(&self.inner);
+        let seq = inner.accepted;
+        let prio = match priority {
+            Priority::High => "HI",
+            Priority::Low => "LO",
+        };
+        writeln!(
+            inner.file,
+            "accept seq={seq} id={id} mat={} freq={} rec={} prio={prio}",
+            f64_to_wire(option.maturity),
+            freq_token(option.frequency),
+            f64_to_wire(option.recovery_rate),
+        )?;
+        inner.file.flush()?;
+        inner.accepted += 1;
+        Ok(seq)
+    }
+
+    /// Durably record a completion (the canonical spread for `seq`).
+    /// Every `cadence` completions the checkpoint sidecar is rewritten
+    /// atomically.
+    pub fn done(&self, seq: u32, spread_bps: f64) -> Result<(), WalError> {
+        let mut inner = lock_recover(&self.inner);
+        writeln!(inner.file, "done seq={seq} bits={}", f64_to_wire(spread_bps))?;
+        inner.file.flush()?;
+        let done_cycle = inner.completions.len() as Cycle;
+        inner.completions.push(CompletedOption { index: seq, done_cycle, spread_bps });
+        if (inner.completions.len() as u32).is_multiple_of(inner.cadence) {
+            let cp = build_checkpoint(&inner);
+            write_sidecar(&inner.ckpt_path, &cp)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the current checkpoint (also rewrites the sidecar).
+    pub fn checkpoint_now(&self) -> Result<Checkpoint, WalError> {
+        let inner = lock_recover(&self.inner);
+        let cp = build_checkpoint(&inner);
+        write_sidecar(&inner.ckpt_path, &cp)?;
+        Ok(cp)
+    }
+
+    /// Terminal drain record: writes the final checkpoint sidecar and a
+    /// `drain commit=` line marking how many completions were durable at
+    /// drain. Pending quotes (if the drain deadline expired first)
+    /// remain recoverable.
+    pub fn finalize(&self) -> Result<Checkpoint, WalError> {
+        let mut inner = lock_recover(&self.inner);
+        let cp = build_checkpoint(&inner);
+        write_sidecar(&inner.ckpt_path, &cp)?;
+        let commit = inner.completions.len();
+        writeln!(inner.file, "drain commit={commit}")?;
+        inner.file.flush()?;
+        Ok(cp)
+    }
+}
+
+fn build_checkpoint(inner: &WalInner) -> Checkpoint {
+    Checkpoint {
+        schema_version: CHECKPOINT_SCHEMA_VERSION,
+        total_options: inner.accepted,
+        cadence: inner.cadence,
+        watermark_cycle: inner.completions.len() as Cycle,
+        fault_seed: None,
+        scenario: Some(SERVER_SCENARIO.to_string()),
+        admitted: (0..inner.accepted).collect(),
+        shed: Vec::new(),
+        completed: inner.completions.clone(),
+    }
+}
+
+/// The checkpoint sidecar lives next to the journal.
+pub fn sidecar_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".ckpt");
+    PathBuf::from(os)
+}
+
+fn write_sidecar(path: &Path, cp: &Checkpoint) -> Result<(), WalError> {
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    std::fs::write(&tmp, cp.to_text())?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Everything a journal recovers to.
+#[derive(Debug)]
+pub struct WalState {
+    /// Boot curve epoch seed the server ran with.
+    pub seed: u64,
+    /// Checkpoint cadence the server ran with.
+    pub cadence: u32,
+    /// Every accepted quote, in sequence order.
+    pub accepted: Vec<AcceptRecord>,
+    /// Canonical spread per completed sequence number.
+    pub done: HashMap<u32, f64>,
+    /// Whether a terminal `drain commit=` record was found.
+    pub drained: bool,
+    /// The checkpoint sidecar, when present and valid.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+impl WalState {
+    /// Accepted-but-incomplete quotes, in sequence order — the work a
+    /// resume must finish.
+    pub fn pending(&self) -> Vec<AcceptRecord> {
+        self.accepted.iter().filter(|a| !self.done.contains_key(&a.seq)).copied().collect()
+    }
+}
+
+fn parse_kv<'a>(tok: &'a str, key: &str) -> Result<&'a str, WalError> {
+    tok.strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| corrupt(format!("expected `{key}=`, got `{tok}`")))
+}
+
+fn parse_accept(toks: &[&str]) -> Result<AcceptRecord, WalError> {
+    match toks {
+        [seq, id, mat, freq, rec, prio] => Ok(AcceptRecord {
+            seq: parse_kv(seq, "seq")?
+                .parse::<u32>()
+                .map_err(|_| corrupt(format!("bad seq in `{seq}`")))?,
+            id: parse_kv(id, "id")?
+                .parse::<u64>()
+                .map_err(|_| corrupt(format!("bad id in `{id}`")))?,
+            maturity: f64_from_wire(parse_kv(mat, "mat")?).map_err(|e| corrupt(e.reason))?,
+            frequency: freq_parse(parse_kv(freq, "freq")?)?,
+            recovery: f64_from_wire(parse_kv(rec, "rec")?).map_err(|e| corrupt(e.reason))?,
+            priority: match parse_kv(prio, "prio")? {
+                "HI" => Priority::High,
+                "LO" => Priority::Low,
+                other => return Err(corrupt(format!("bad priority `{other}`"))),
+            },
+        }),
+        _ => Err(corrupt("malformed accept record")),
+    }
+}
+
+fn parse_line(state: &mut WalState, line: &str) -> Result<(), WalError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    match toks.split_first() {
+        Some((&"accept", rest)) => {
+            let rec = parse_accept(rest)?;
+            if rec.seq as usize != state.accepted.len() {
+                return Err(corrupt(format!(
+                    "accept seq {} out of order (expected {})",
+                    rec.seq,
+                    state.accepted.len()
+                )));
+            }
+            state.accepted.push(rec);
+            Ok(())
+        }
+        Some((&"done", [seq, bits])) => {
+            let seq = parse_kv(seq, "seq")?
+                .parse::<u32>()
+                .map_err(|_| corrupt(format!("bad seq in `{seq}`")))?;
+            if seq as usize >= state.accepted.len() {
+                return Err(corrupt(format!("done for unaccepted seq {seq}")));
+            }
+            let spread = f64_from_wire(parse_kv(bits, "bits")?).map_err(|e| corrupt(e.reason))?;
+            state.done.insert(seq, spread);
+            Ok(())
+        }
+        Some((&"drain", [commit])) => {
+            let commit = parse_kv(commit, "commit")?
+                .parse::<usize>()
+                .map_err(|_| corrupt(format!("bad commit in `{commit}`")))?;
+            if commit != state.done.len() {
+                return Err(corrupt(format!(
+                    "drain commit {} disagrees with {} durable completions",
+                    commit,
+                    state.done.len()
+                )));
+            }
+            state.drained = true;
+            Ok(())
+        }
+        _ => Err(corrupt(format!("unknown journal record `{line}`"))),
+    }
+}
+
+/// Read a journal (and its checkpoint sidecar) back. A torn final line
+/// — the signature of a kill mid-write — is dropped; corruption
+/// anywhere else fails typed.
+pub fn read_wal(path: &Path) -> Result<WalState, WalError> {
+    let text = std::fs::read_to_string(path)?;
+    let ends_clean = text.ends_with('\n');
+    let lines: Vec<&str> = text.lines().collect();
+    let (header, body) = match lines.split_first() {
+        Some((h, b)) if *h == WAL_HEADER => (h, b),
+        Some((h, _)) => return Err(corrupt(format!("bad header `{h}`"))),
+        None => return Err(corrupt("empty journal")),
+    };
+    let _ = header;
+    let (seed_line, body) = body.split_first().ok_or_else(|| corrupt("journal missing seed"))?;
+    let seed = parse_kv(seed_line, "seed")?.parse::<u64>().map_err(|_| corrupt("bad seed"))?;
+    let (cadence_line, body) =
+        body.split_first().ok_or_else(|| corrupt("journal missing cadence"))?;
+    let cadence =
+        parse_kv(cadence_line, "cadence")?.parse::<u32>().map_err(|_| corrupt("bad cadence"))?;
+
+    let mut state = WalState {
+        seed,
+        cadence,
+        accepted: Vec::new(),
+        done: HashMap::new(),
+        drained: false,
+        checkpoint: None,
+    };
+    for (i, line) in body.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = parse_line(&mut state, line) {
+            let is_last = i + 1 == body.len();
+            if is_last && !ends_clean {
+                break; // torn tail from a mid-write kill: drop it
+            }
+            return Err(e);
+        }
+    }
+
+    let ckpt_path = sidecar_path(path);
+    if ckpt_path.exists() {
+        let text = std::fs::read_to_string(&ckpt_path)?;
+        let cp =
+            Checkpoint::parse(&text).map_err(|e| corrupt(format!("checkpoint sidecar: {e}")))?;
+        match cp.scenario.as_deref() {
+            Some(SERVER_SCENARIO) => {}
+            other => {
+                return Err(corrupt(format!(
+                    "checkpoint scenario {:?} is not `{SERVER_SCENARIO}`; refusing to resume \
+                     someone else's journal",
+                    other
+                )))
+            }
+        }
+        state.checkpoint = Some(cp);
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_quant::option::PaymentFrequency;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cds-server-wal-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn opt() -> CdsOption {
+        CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.4)
+    }
+
+    #[test]
+    fn accept_done_drain_round_trip_bit_exactly() {
+        let path = tmp("roundtrip.wal");
+        let wal = WalWriter::create(&path, 42, 2).expect("create");
+        let spread = f64::from_bits(0x4059_4ccc_cccc_cccd);
+        let s0 = wal.accept(100, &opt(), Priority::High).expect("accept");
+        let s1 = wal.accept(101, &opt(), Priority::Low).expect("accept");
+        assert_eq!((s0, s1), (0, 1));
+        wal.done(0, spread).expect("done");
+        let cp = wal.finalize().expect("finalize");
+        assert_eq!(cp.total_options, 2);
+        assert_eq!(cp.scenario.as_deref(), Some(SERVER_SCENARIO));
+        assert!(!cp.is_complete());
+
+        let state = read_wal(&path).expect("read");
+        assert_eq!(state.seed, 42);
+        assert_eq!(state.accepted.len(), 2);
+        assert_eq!(state.done.len(), 1);
+        assert!(state.drained);
+        assert_eq!(state.done[&0].to_bits(), spread.to_bits());
+        let pending = state.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].seq, 1);
+        assert_eq!(pending[0].id, 101);
+        assert_eq!(pending[0].priority, Priority::Low);
+        let cp = state.checkpoint.expect("sidecar present");
+        assert_eq!(cp.completed.len(), 1);
+        assert_eq!(cp.completed[0].spread_bps.to_bits(), spread.to_bits());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sidecar_path(&path));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_is_typed() {
+        let path = tmp("torn.wal");
+        let wal = WalWriter::create(&path, 7, 4).expect("create");
+        wal.accept(1, &opt(), Priority::High).expect("accept");
+        wal.done(0, 100.0).expect("done");
+        drop(wal);
+        // Simulate a kill mid-append: a partial accept line, no newline.
+        let mut text = std::fs::read_to_string(&path).expect("read back");
+        text.push_str("accept seq=1 id=2 mat=0x40");
+        std::fs::write(&path, &text).expect("rewrite");
+        let state = read_wal(&path).expect("torn tail tolerated");
+        assert_eq!(state.accepted.len(), 1);
+        assert_eq!(state.pending().len(), 0);
+        assert!(!state.drained);
+        // The same garbage mid-file (newline-terminated, with records
+        // after it) is corruption, not a torn tail.
+        let mut text = std::fs::read_to_string(&path).expect("read back");
+        text.push_str("\ndone seq=0 bits=0x4059000000000000\n");
+        std::fs::write(&path, &text).expect("rewrite");
+        match read_wal(&path) {
+            Err(WalError::Corrupt(_)) => {}
+            other => panic!("interior corruption must be typed, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sidecar_path(&path));
+    }
+
+    #[test]
+    fn foreign_scenario_checkpoints_are_refused() {
+        let path = tmp("foreign.wal");
+        let wal = WalWriter::create(&path, 7, 1).expect("create");
+        wal.accept(1, &opt(), Priority::High).expect("accept");
+        wal.done(0, 100.0).expect("done");
+        drop(wal);
+        let ckpt = sidecar_path(&path);
+        let text = std::fs::read_to_string(&ckpt).expect("sidecar");
+        std::fs::write(&ckpt, text.replace(SERVER_SCENARIO, "corrupt-spread")).expect("rewrite");
+        match read_wal(&path) {
+            Err(WalError::Corrupt(reason)) => {
+                assert!(reason.contains("corrupt-spread"), "reason: {reason}");
+            }
+            other => panic!("foreign scenario must be refused, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&ckpt);
+    }
+}
