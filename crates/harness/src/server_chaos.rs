@@ -19,18 +19,30 @@
 //!   tiny deployment; the ladder must shed rather than queue without
 //!   bound, and what *is* priced must stay bit-exact.
 //!
+//! A second matrix ([`run_isolation`], `server-chaos --isolation`)
+//! attacks the tenant bulkheads instead of the failure-recovery path:
+//! `server/noisy-neighbor-flood` (a quota'd tenant floods at ~10x its
+//! rate; the victim tenant must keep its latency and never be
+//! throttled), `server/slowloris-reaper` (idle trickle connections
+//! must be reaped while a clean client prices bit-exactly), and
+//! `server/protocol-fuzz` (seeded garbage and torn lines must each
+//! earn exactly one typed `ERR`, never a wedge). Its baseline is
+//! `results/tenant_isolation_baseline.json`.
+//!
 //! Wall-clock runs are not cycle-reproducible, so unlike the engine
-//! chaos gate the committed baseline
-//! (`results/server_chaos_baseline.json`) pins only the **stable
-//! booleans** of each scenario — survived, degraded, shed-occurred,
+//! chaos gate the committed baselines pin only the **stable booleans**
+//! of each scenario — survived, degraded, shed-occurred,
 //! spreads-match — never counts or latencies.
 
 use crate::json::Json;
+use crate::loadgen::{compliant_trip, flood_as_tenant, quantile, slowloris_probe, LineClient};
 use cds_cpu::engine::CpuCdsEngine;
 use cds_quant::option::{CdsOption, MarketData, PaymentFrequency};
+use cds_server::fuzz::{fuzz_lines, torn_lines};
 use cds_server::ladder::LadderConfig;
 use cds_server::proto::{f64_to_wire, parse_response, Response};
 use cds_server::server::{resume_journal, serve, ServerConfig, ServerHandle};
+use cds_server::tenant::TenantLimits;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -463,6 +475,212 @@ pub fn run(seed: u64) -> Result<ServerChaosReport, String> {
         scenario_kill_during_drain(seed)?,
         scenario_slow_consumer(seed)?,
         scenario_overload_shed(seed)?,
+    ];
+    Ok(ServerChaosReport { schema_version: SCHEMA_VERSION, seed, cases })
+}
+
+// ---------------------------------------------------------------------
+// Tenant-isolation matrix (`cds-harness server-chaos --isolation`)
+// ---------------------------------------------------------------------
+
+/// Quota rate for the abuser tenant in the noisy-neighbor scenario.
+const ISOLATION_ABUSER_RATE: f64 = 100.0;
+
+/// Bucket capacity for the abuser tenant.
+const ISOLATION_ABUSER_BURST: f64 = 8.0;
+
+/// Victim p99 under flood may be at most this factor of its solo p99…
+const ISOLATION_P99_FACTOR: f64 = 50.0;
+
+/// …with an absolute floor so microsecond-scale solo p99s don't turn
+/// scheduler jitter into a verdict flip.
+const ISOLATION_P99_FLOOR_MICROS: u64 = 10_000;
+
+/// A quota'd abuser tenant floods a pipelined connection at far above
+/// its rate while a compliant default-tenant victim keeps pricing; the
+/// abuser must be throttled (with a positive retry hint) and held to
+/// its quota, and the victim must stay un-throttled, bit-exact, and
+/// within a fixed latency factor of its solo p99.
+fn scenario_noisy_neighbor(seed: u64) -> Result<ServerChaosCase, String> {
+    let abuser_limits = TenantLimits {
+        rate_per_s: ISOLATION_ABUSER_RATE,
+        burst: ISOLATION_ABUSER_BURST,
+        max_inflight: 8,
+        weight: 1,
+    };
+    let handle = serve(ServerConfig {
+        shards: 2,
+        seed,
+        tenant_overrides: vec![("abuser".to_string(), abuser_limits)],
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+    let want = reference_bits(seed, 5.0, 0.4);
+    let trips = 120u64;
+    let flood_n = 3_000u64;
+
+    let mut victim = LineClient::connect(addr)?;
+    let (mut victim_throttles, mut mismatches) = (0u64, 0u64);
+    let mut solo = Vec::with_capacity(trips as usize);
+    for id in 0..trips {
+        let trip = compliant_trip(&mut victim, id)?;
+        victim_throttles += trip.throttles;
+        mismatches += u64::from(trip.bits != want);
+        solo.push(trip.micros);
+    }
+    solo.sort_unstable();
+    let p99_solo = quantile(&solo, 0.99);
+
+    let flooder = std::thread::spawn(move || flood_as_tenant(addr, "abuser", flood_n));
+    std::thread::sleep(Duration::from_millis(5));
+    let mut under_flood = Vec::with_capacity(trips as usize);
+    for id in 0..trips {
+        let trip = compliant_trip(&mut victim, 10_000 + id)?;
+        victim_throttles += trip.throttles;
+        mismatches += u64::from(trip.bits != want);
+        under_flood.push(trip.micros);
+    }
+    under_flood.sort_unstable();
+    let p99_flood = quantile(&under_flood, 0.99);
+    let flood = flooder.join().map_err(|_| "abuser flood thread panicked".to_string())??;
+
+    victim.roundtrip("DRAIN")?;
+    let summary = handle.wait();
+
+    let dur_s = flood.duration.as_secs_f64().max(1e-9);
+    let quota_ceiling = 2.0 * (ISOLATION_ABUSER_BURST + ISOLATION_ABUSER_RATE * dur_s) + 16.0;
+    let p99_ceiling =
+        ((p99_solo as f64 * ISOLATION_P99_FACTOR) as u64).max(ISOLATION_P99_FLOOR_MICROS);
+    let matched = mismatches == 0;
+    Ok(ServerChaosCase {
+        name: "server/noisy-neighbor-flood".to_string(),
+        degraded: false,
+        shed_occurred: flood.throttled > 0,
+        spreads_match_clean: matched,
+        survived: flood.throttled > 0
+            && flood.retry_hint_positive
+            && (flood.priced as f64) <= quota_ceiling
+            && victim_throttles == 0
+            && matched
+            && p99_flood <= p99_ceiling
+            && summary.pending == 0,
+        sent: 2 * trips + flood_n,
+        priced: 2 * trips + flood.priced,
+        shed: flood.throttled + flood.shed,
+    })
+}
+
+/// Trickled connections that never complete a request line must be
+/// closed by the idle reaper while a clean client keeps pricing.
+fn scenario_slowloris_reaper(seed: u64) -> Result<ServerChaosCase, String> {
+    let handle = serve(ServerConfig {
+        shards: 1,
+        seed,
+        read_timeout: Duration::from_millis(20),
+        idle_timeout: Duration::from_millis(250),
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+    let opened = 3usize;
+    let trickles: Vec<_> = (0..opened)
+        .map(|_| std::thread::spawn(move || slowloris_probe(addr, Duration::from_secs(3))))
+        .collect();
+
+    let want = reference_bits(seed, 5.0, 0.4);
+    let mut client = LineClient::connect(addr)?;
+    let trips = 10u64;
+    let mut mismatches = 0u64;
+    for id in 0..trips {
+        let trip = compliant_trip(&mut client, id)?;
+        mismatches += u64::from(trip.bits != want);
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let reaped =
+        trickles.into_iter().map(|t| t.join().unwrap_or(false)).filter(|&reaped| reaped).count();
+
+    client.roundtrip("DRAIN")?;
+    let summary = handle.wait();
+    let matched = mismatches == 0;
+    Ok(ServerChaosCase {
+        name: "server/slowloris-reaper".to_string(),
+        degraded: false,
+        shed_occurred: false,
+        spreads_match_clean: matched,
+        survived: reaped == opened && matched && summary.pending == 0,
+        sent: trips,
+        priced: trips,
+        shed: 0,
+    })
+}
+
+/// Torn one-shot connections and a seeded garbage corpus: every
+/// reply-owing fuzz line gets exactly one typed `ERR`, nothing else
+/// leaks through, and the connection still prices bit-identically.
+fn scenario_protocol_fuzz(seed: u64) -> Result<ServerChaosCase, String> {
+    let max_line = 256usize;
+    let handle =
+        serve(ServerConfig { shards: 1, seed, max_line_bytes: max_line, ..Default::default() })
+            .map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+
+    // Torn prefixes on one-shot connections, dropped unterminated.
+    for torn in torn_lines(seed, 12) {
+        let mut stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        let _ = stream.write_all(&torn);
+        drop(stream);
+    }
+
+    let mut client = LineClient::connect(addr)?;
+    let corpus = fuzz_lines(seed, 250, max_line);
+    let expected = corpus.iter().filter(|l| l.expect_reply).count() as u64;
+    for line in &corpus {
+        client.writer.write_all(&line.bytes).map_err(|e| e.to_string())?;
+    }
+    writeln!(client.writer, "PING").map_err(|e| e.to_string())?;
+    client.writer.flush().map_err(|e| e.to_string())?;
+    let (mut errs, mut strays) = (0u64, 0u64);
+    loop {
+        match client.recv()? {
+            Response::Pong => break,
+            Response::Error { .. } => errs += 1,
+            _ => strays += 1,
+        }
+    }
+    // A torn prefix can legitimately complete as a valid command (e.g.
+    // `TICK 99` cut to `TICK 9`) and republish the curve; re-publish
+    // the boot epoch so the bit-exactness check has a fixed reference.
+    match client.roundtrip(&format!("TICK {seed}"))? {
+        Response::TickAck { .. } => {}
+        other => return Err(format!("epoch republish failed: {other:?}")),
+    }
+    let trip = compliant_trip(&mut client, 9_000)?;
+    let matched = trip.bits == reference_bits(seed, 5.0, 0.4);
+
+    client.roundtrip("DRAIN")?;
+    let summary = handle.wait();
+    Ok(ServerChaosCase {
+        name: "server/protocol-fuzz".to_string(),
+        degraded: false,
+        shed_occurred: false,
+        spreads_match_clean: matched,
+        survived: errs == expected && strays == 0 && matched && summary.pending == 0,
+        sent: corpus.len() as u64 + 1,
+        priced: 1,
+        shed: 0,
+    })
+}
+
+/// Execute the tenant-isolation matrix against in-process servers. The
+/// committed baseline lives in `results/tenant_isolation_baseline.json`
+/// and is gated with the same verdict-only [`compare`] as the chaos
+/// matrix.
+pub fn run_isolation(seed: u64) -> Result<ServerChaosReport, String> {
+    let cases = vec![
+        scenario_noisy_neighbor(seed)?,
+        scenario_slowloris_reaper(seed)?,
+        scenario_protocol_fuzz(seed)?,
     ];
     Ok(ServerChaosReport { schema_version: SCHEMA_VERSION, seed, cases })
 }

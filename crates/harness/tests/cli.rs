@@ -343,6 +343,61 @@ fn server_chaos_check_against_foreign_baseline_exits_1() {
 }
 
 #[test]
+fn loadgen_abuser_run_exits_0_with_bulkheads_held() {
+    let out = harness().args(["loadgen", "--abuser"]).output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bulkheads held"), "{stdout}");
+    assert!(stdout.contains("abuser throttled"), "{stdout}");
+}
+
+#[test]
+fn isolation_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["server-chaos", "--isolation", "--check", "/nonexistent/dir/tenant_isolation.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn isolation_check_against_foreign_baseline_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tenant-isolation-foreign.json");
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"schema_version\": 1, \"seed\": 42, \"cases\": [",
+            "{\"name\": \"server/no-such-isolation-scenario\", \"degraded\": false, ",
+            "\"shed_occurred\": false, \"spreads_match_clean\": true, ",
+            "\"survived\": true}]}"
+        ),
+    )
+    .expect("write baseline");
+    let out = harness()
+        .args(["server-chaos", "--isolation", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-isolation-scenario"), "{stderr}");
+}
+
+#[test]
+fn isolation_against_committed_baseline_exits_0() {
+    let baseline =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/tenant_isolation_baseline.json");
+    let out = harness()
+        .args(["server-chaos", "--isolation", "--check", baseline])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
 fn server_chaos_against_committed_baseline_exits_0() {
     let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/server_chaos_baseline.json");
     let out =

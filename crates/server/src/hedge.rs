@@ -7,6 +7,12 @@
 //! sends of the same id are answered from the ledger without
 //! re-counting. "Never double-count a spread" is the property the
 //! `tests/ladder_props.rs` suite hammers with racing recorders.
+//!
+//! Entries are keyed by `(tenant slot, request id)`, not by id alone:
+//! request ids are client-chosen, so a hostile tenant could otherwise
+//! pre-claim another tenant's id space and have the victim served the
+//! attacker's cached spreads (wrong parameters, cross-tenant leak).
+//! Idempotence is a per-tenant contract.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,10 +33,11 @@ pub enum RecordOutcome {
     },
 }
 
-/// Request-id → canonical spread map with duplicate accounting.
+/// `(tenant slot, request id)` → canonical spread map with duplicate
+/// accounting.
 #[derive(Debug, Default)]
 pub struct QuoteLedger {
-    spreads: Mutex<HashMap<u64, f64>>,
+    spreads: Mutex<HashMap<(u64, u64), f64>>,
     duplicates_suppressed: AtomicU64,
 }
 
@@ -40,12 +47,13 @@ impl QuoteLedger {
         QuoteLedger::default()
     }
 
-    /// Record an attempt's spread for `id`. Exactly one concurrent
-    /// caller per id ever sees [`RecordOutcome::First`]; everyone else
-    /// gets the canonical spread back.
-    pub fn record(&self, id: u64, spread: f64) -> RecordOutcome {
+    /// Record an attempt's spread for `id` within `tenant`'s id space.
+    /// Exactly one concurrent caller per key ever sees
+    /// [`RecordOutcome::First`]; everyone else gets the canonical
+    /// spread back.
+    pub fn record(&self, tenant: u64, id: u64, spread: f64) -> RecordOutcome {
         let mut map = lock_recover(&self.spreads);
-        match map.entry(id) {
+        match map.entry((tenant, id)) {
             std::collections::hash_map::Entry::Vacant(slot) => {
                 slot.insert(spread);
                 RecordOutcome::First
@@ -57,12 +65,13 @@ impl QuoteLedger {
         }
     }
 
-    /// The canonical spread for `id`, if one was recorded.
-    pub fn get(&self, id: u64) -> Option<f64> {
-        lock_recover(&self.spreads).get(&id).copied()
+    /// The canonical spread for `id` in `tenant`'s id space, if one was
+    /// recorded.
+    pub fn get(&self, tenant: u64, id: u64) -> Option<f64> {
+        lock_recover(&self.spreads).get(&(tenant, id)).copied()
     }
 
-    /// Distinct request ids answered.
+    /// Distinct `(tenant, id)` keys answered.
     pub fn len(&self) -> usize {
         lock_recover(&self.spreads).len()
     }
@@ -86,11 +95,24 @@ mod tests {
     #[test]
     fn first_wins_and_duplicates_echo_the_canonical_spread() {
         let ledger = QuoteLedger::new();
-        assert_eq!(ledger.record(7, 101.5), RecordOutcome::First);
-        assert_eq!(ledger.record(7, 999.0), RecordOutcome::Duplicate { spread: 101.5 });
-        assert_eq!(ledger.get(7), Some(101.5));
+        assert_eq!(ledger.record(0, 7, 101.5), RecordOutcome::First);
+        assert_eq!(ledger.record(0, 7, 999.0), RecordOutcome::Duplicate { spread: 101.5 });
+        assert_eq!(ledger.get(0, 7), Some(101.5));
         assert_eq!(ledger.len(), 1);
         assert_eq!(ledger.duplicates_suppressed(), 1);
+    }
+
+    #[test]
+    fn tenants_have_disjoint_id_spaces() {
+        let ledger = QuoteLedger::new();
+        assert_eq!(ledger.record(0, 7, 101.5), RecordOutcome::First);
+        // A different tenant reusing the same id is NOT a duplicate:
+        // it must never be served tenant 0's cached spread.
+        assert_eq!(ledger.record(1, 7, 55.25), RecordOutcome::First);
+        assert_eq!(ledger.get(0, 7), Some(101.5));
+        assert_eq!(ledger.get(1, 7), Some(55.25));
+        assert_eq!(ledger.get(2, 7), None);
+        assert_eq!(ledger.duplicates_suppressed(), 0);
     }
 
     #[test]
@@ -104,7 +126,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 let mut wins = 0u64;
                 for id in 0..ids {
-                    if let RecordOutcome::First = ledger.record(id, racer as f64) {
+                    if let RecordOutcome::First = ledger.record(0, id, racer as f64) {
                         wins += 1;
                     }
                 }

@@ -19,25 +19,38 @@
 //!   engine's [`cds_engine::checkpoint::Checkpoint`] text format, so a
 //!   `SIGTERM` mid-burst drains or leaves a bit-identically resumable
 //!   journal.
+//! - [`tenant`] — per-tenant bulkheads: token-bucket rate limits,
+//!   in-flight quotas, and a bounded name registry; connections bind
+//!   with `TENANT <name>` and over-limit quotes get `THROTTLE` with a
+//!   retry-after hint.
+//! - [`fair`] — deficit-weighted round-robin shard queues, so one
+//!   flooding tenant cannot starve compliant tenants' dequeue share.
+//! - [`fuzz`] — the seeded wire-level fuzzer used by the hostile-client
+//!   tests, `loadgen --abuser`, and the isolation chaos scenarios.
 //! - [`server`] — sharded per-core ingestion queues feeding the
 //!   admission control, the retry/hedge executor, and graceful drain.
 //! - [`signal`] — a libc-free `SIGTERM`/`SIGINT` flag for the binary.
 
 #![warn(missing_docs)]
 
+pub mod fair;
+pub mod fuzz;
 pub mod hedge;
 pub mod ladder;
 pub mod proto;
 pub mod server;
 pub mod signal;
 pub mod snapshot;
+pub mod tenant;
 pub mod wal;
 
+pub use crate::fair::{DrrScheduler, FairQueue};
 pub use crate::hedge::QuoteLedger;
 pub use crate::ladder::{DegradationLadder, LadderConfig, LadderTelemetry, Rung};
 pub use crate::proto::{Priority, QuoteRequest, Request, Response};
 pub use crate::server::{serve, ServerConfig, ServerError, ServerHandle};
 pub use crate::snapshot::{CurveBook, EpochSnapshot};
+pub use crate::tenant::{TenantLimits, TenantRegistry, TenantState};
 pub use crate::wal::{AcceptRecord, WalState, WalWriter};
 
 /// Lock a mutex, recovering the inner value if a holder panicked.

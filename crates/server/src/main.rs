@@ -2,6 +2,7 @@
 
 use cds_server::server::{serve, ServerConfig};
 use cds_server::signal;
+use cds_server::tenant::TenantLimits;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -13,13 +14,41 @@ options:
   --shards <n>              engine shards (default 4)
   --seed <n>                boot curve epoch seed (default 42)
   --capacity <n>            in-flight quote cap (default 256)
+  --conn-capacity <n>       per-connection in-flight cap (default 256)
   --service-micros <n>      admission service estimate per quote (default 200)
   --journal <path>          write-ahead journal path (durability off when absent)
   --cadence <n>             completions per checkpoint (default 64)
   --drain-deadline-ms <n>   drain budget before checkpointing pending (default 5000)
+  --read-timeout-ms <n>     accepted-stream read timeout (default 100)
+  --write-timeout-ms <n>    accepted-stream write timeout (default 2000)
+  --idle-timeout-ms <n>     close connections with no complete request line
+                            for this long (slowloris reaper, default 30000)
+  --max-line-bytes <n>      request-line byte cap (default 1024, min 64)
+  --max-tenants <n>         tenant registry bound (default 64)
+  --tenant-default <spec>   limits for default/self-registered tenants
+  --tenant <name>=<spec>    per-tenant limit override (repeatable)
+
+<spec> is <rate_per_s>:<burst>:<max_inflight>:<weight>, e.g. 500:32:64:2.
 
 SIGTERM or the DRAIN command begins a graceful drain; the process exits 0
 once in-flight quotes complete or are durably checkpointed as pending.";
+
+fn parse_limits(spec: &str) -> Result<TenantLimits, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [rate, burst, inflight, weight] = parts.as_slice() else {
+        return Err(format!("bad tenant spec `{spec}` (want rate:burst:inflight:weight)"));
+    };
+    let limits = TenantLimits {
+        rate_per_s: rate.parse().map_err(|_| format!("bad rate `{rate}` in `{spec}`"))?,
+        burst: burst.parse().map_err(|_| format!("bad burst `{burst}` in `{spec}`"))?,
+        max_inflight: inflight
+            .parse()
+            .map_err(|_| format!("bad max_inflight `{inflight}` in `{spec}`"))?,
+        weight: weight.parse().map_err(|_| format!("bad weight `{weight}` in `{spec}`"))?,
+    };
+    limits.validate().map_err(|e| e.to_string())?;
+    Ok(limits)
+}
 
 fn fatal(msg: &str) -> ExitCode {
     eprintln!("cds-server: {msg}");
@@ -56,6 +85,34 @@ fn main() -> ExitCode {
             "--cadence" => parse_flag(&mut args, "--cadence").map(|v| config.cadence = v),
             "--drain-deadline-ms" => parse_flag(&mut args, "--drain-deadline-ms")
                 .map(|v: u64| config.drain_deadline = Duration::from_millis(v)),
+            "--conn-capacity" => {
+                parse_flag(&mut args, "--conn-capacity").map(|v| config.conn_capacity = v)
+            }
+            "--read-timeout-ms" => parse_flag(&mut args, "--read-timeout-ms")
+                .map(|v: u64| config.read_timeout = Duration::from_millis(v)),
+            "--write-timeout-ms" => parse_flag(&mut args, "--write-timeout-ms")
+                .map(|v: u64| config.write_timeout = Duration::from_millis(v)),
+            "--idle-timeout-ms" => parse_flag(&mut args, "--idle-timeout-ms")
+                .map(|v: u64| config.idle_timeout = Duration::from_millis(v)),
+            "--max-line-bytes" => {
+                parse_flag(&mut args, "--max-line-bytes").map(|v| config.max_line_bytes = v)
+            }
+            "--max-tenants" => {
+                parse_flag(&mut args, "--max-tenants").map(|v| config.max_tenants = v)
+            }
+            "--tenant-default" => parse_flag(&mut args, "--tenant-default")
+                .and_then(|v: String| parse_limits(&v))
+                .map(|limits| config.tenant_defaults = limits),
+            "--tenant" => parse_flag(&mut args, "--tenant").and_then(|v: String| {
+                let Some((name, spec)) = v.split_once('=') else {
+                    return Err(format!(
+                        "bad --tenant `{v}` (want name=rate:burst:inflight:weight)"
+                    ));
+                };
+                let limits = parse_limits(spec)?;
+                config.tenant_overrides.push((name.to_string(), limits));
+                Ok(())
+            }),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;

@@ -8,10 +8,19 @@
 //!
 //! ```text
 //! QUOTE <id> <maturity> <A|S|Q|M> <recovery> [HI|LO]
+//! TENANT <name>
 //! TICK <seed>
 //! FAULT KILL|REVIVE <shard> | FAULT STALL <shard> <millis>
 //! STATS | DRAIN | PING
 //! ```
+//!
+//! Request lines are bounded: the server reads at most its configured
+//! `max_line_bytes` per line and answers an over-long or non-UTF-8 line
+//! with a typed `ERR` instead of buffering it (see [`decode_line`] and
+//! [`oversize_error`]). A connection is bound to the `default` tenant
+//! until it sends `TENANT <name>`; tenant-level throttling replies
+//! `THROTTLE <id> retry_after_ms=<m> tenant=<t>`, the tenant-scoped
+//! sibling of the ladder's `REJECT ... retry_after_ms=`.
 
 use crate::ladder::Rung;
 use cds_quant::option::PaymentFrequency;
@@ -68,7 +77,7 @@ pub enum FaultCmd {
 }
 
 /// One request line.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -76,6 +85,11 @@ pub enum Request {
     Stats,
     /// Begin graceful drain.
     Drain,
+    /// Bind this connection to a tenant.
+    Tenant {
+        /// Tenant name; must satisfy [`valid_tenant_name`].
+        name: String,
+    },
     /// Publish a new curve epoch from this seed.
     Tick {
         /// `MarketData::paper_workload` seed for the new epoch.
@@ -167,6 +181,10 @@ pub struct StatsReply {
     pub epoch: u64,
     /// Whether a drain is in progress.
     pub draining: bool,
+    /// Quotes throttled by tenant rate limits or in-flight quotas.
+    pub throttled: u64,
+    /// Distinct tenants registered (including `default`).
+    pub tenants: u64,
 }
 
 /// One response line.
@@ -192,6 +210,21 @@ pub enum Response {
     Stats(StatsReply),
     /// `OK <id> ...` — a priced quote.
     Quote(QuoteReply),
+    /// `OK TENANT name=<n>` — connection rebound to a tenant.
+    TenantAck {
+        /// The tenant now bound.
+        name: String,
+    },
+    /// `THROTTLE <id> retry_after_ms=<m> tenant=<t>` — bounced by the
+    /// tenant's token bucket or in-flight quota (not by the ladder).
+    Throttle {
+        /// Echoed request id.
+        id: u64,
+        /// Back-off hint derived from the tenant's own refill rate.
+        retry_after_ms: u64,
+        /// The tenant that exceeded its limits.
+        tenant: String,
+    },
     /// `SHED <id> retry_after_ms=<m> rung=<r>`.
     Shed {
         /// Echoed request id.
@@ -237,6 +270,33 @@ impl std::error::Error for ParseError {}
 
 fn bad(reason: impl Into<String>) -> ParseError {
     ParseError { reason: reason.into() }
+}
+
+/// Default cap on one request line, in bytes (excluding the newline).
+/// The longest legitimate line (`QUOTE` with hex floats) is under 64
+/// bytes; the cap bounds what a hostile client can make the server
+/// buffer per connection.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1024;
+
+/// Tenant names are short and filesystem/log-safe: 1..=32 chars of
+/// `[A-Za-z0-9_.-]`.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 32
+        && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+}
+
+/// Decode one raw request line. Non-UTF-8 bytes are a typed error —
+/// never a silent drop, never a panic.
+pub fn decode_line(bytes: &[u8]) -> Result<&str, ParseError> {
+    std::str::from_utf8(bytes).map_err(|_| bad("request line is not valid UTF-8"))
+}
+
+/// The typed error for a request line longer than `max_line_bytes`.
+/// The connection reader sends exactly one of these per oversized line
+/// and discards the remainder without buffering it.
+pub fn oversize_error(max_line_bytes: usize) -> ParseError {
+    bad(format!("request line exceeds {max_line_bytes} bytes"))
 }
 
 /// Format an `f64` as a bit-exact wire token (`0x`-prefixed hex bits).
@@ -291,6 +351,16 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         Some((&"PING", [])) => Ok(Request::Ping),
         Some((&"STATS", [])) => Ok(Request::Stats),
         Some((&"DRAIN", [])) => Ok(Request::Drain),
+        Some((&"TENANT", [name])) => {
+            if valid_tenant_name(name) {
+                Ok(Request::Tenant { name: (*name).to_string() })
+            } else {
+                Err(bad(format!(
+                    "invalid tenant name `{name}`: want 1..=32 chars of [A-Za-z0-9_.-]"
+                )))
+            }
+        }
+        Some((&"TENANT", _)) => Err(bad("usage: TENANT <name>")),
         Some((&"TICK", [seed])) => Ok(Request::Tick { seed: parse_u64(seed, "seed")? }),
         Some((&"FAULT", rest)) => match rest {
             ["KILL", shard] => {
@@ -332,6 +402,7 @@ pub fn format_request(req: &Request) -> String {
         Request::Ping => "PING".to_string(),
         Request::Stats => "STATS".to_string(),
         Request::Drain => "DRAIN".to_string(),
+        Request::Tenant { name } => format!("TENANT {name}"),
         Request::Tick { seed } => format!("TICK {seed}"),
         Request::Fault(FaultCmd::Kill { shard }) => format!("FAULT KILL {shard}"),
         Request::Fault(FaultCmd::Revive { shard }) => format!("FAULT REVIVE {shard}"),
@@ -366,7 +437,7 @@ pub fn format_response(resp: &Response) -> String {
         Response::Stats(s) => format!(
             "OK STATS rung={} accepted={} completed={} shed={} rejected={} hedges={} \
              retries={} dedup={} deadline_misses={} inflight={} dead_shards={} shards={} \
-             epoch={} draining={}",
+             epoch={} draining={} throttled={} tenants={}",
             Rung::from_index(s.rung as usize).name(),
             s.accepted,
             s.completed,
@@ -381,7 +452,13 @@ pub fn format_response(resp: &Response) -> String {
             s.shards,
             s.epoch,
             u8::from(s.draining),
+            s.throttled,
+            s.tenants,
         ),
+        Response::TenantAck { name } => format!("OK TENANT name={name}"),
+        Response::Throttle { id, retry_after_ms, tenant } => {
+            format!("THROTTLE {id} retry_after_ms={retry_after_ms} tenant={tenant}")
+        }
         Response::Quote(q) => {
             let shard = match q.shard {
                 Some(k) => k.to_string(),
@@ -435,6 +512,14 @@ pub fn parse_response(line: &str) -> Result<Response, ParseError> {
     match toks.split_first() {
         None => Err(bad("empty response")),
         Some((&"PONG", [])) => Ok(Response::Pong),
+        Some((&"THROTTLE", [id, rest @ ..])) => {
+            let pairs = kv(rest)?;
+            Ok(Response::Throttle {
+                id: parse_u64(id, "request id")?,
+                retry_after_ms: parse_u64(kv_get(&pairs, "retry_after_ms")?, "retry_after_ms")?,
+                tenant: kv_get(&pairs, "tenant")?.to_string(),
+            })
+        }
         Some((&"SHED", [id, rest @ ..])) => {
             let pairs = kv(rest)?;
             Ok(Response::Shed {
@@ -456,6 +541,10 @@ pub fn parse_response(line: &str) -> Result<Response, ParseError> {
             reason: reason.join(" "),
         }),
         Some((&"OK", ["DRAIN"])) => Ok(Response::DrainAck),
+        Some((&"OK", ["TENANT", rest @ ..])) => {
+            let pairs = kv(rest)?;
+            Ok(Response::TenantAck { name: kv_get(&pairs, "name")?.to_string() })
+        }
         Some((&"OK", ["TICK", rest @ ..])) => {
             let pairs = kv(rest)?;
             Ok(Response::TickAck { epoch: parse_u64(kv_get(&pairs, "epoch")?, "epoch")? })
@@ -487,6 +576,8 @@ pub fn parse_response(line: &str) -> Result<Response, ParseError> {
                 shards: field("shards")?,
                 epoch: field("epoch")?,
                 draining: field("draining")? != 0,
+                throttled: field("throttled")?,
+                tenants: field("tenants")?,
             }))
         }
         Some((&"OK", [id, rest @ ..])) => {
@@ -524,6 +615,7 @@ mod tests {
             Request::Fault(FaultCmd::Kill { shard: 2 }),
             Request::Fault(FaultCmd::Revive { shard: 0 }),
             Request::Fault(FaultCmd::Stall { shard: 1, millis: 250 }),
+            Request::Tenant { name: "hedge-desk_7.eu".to_string() },
             Request::Quote(QuoteRequest {
                 id: 7,
                 maturity: 5.37,
@@ -586,6 +678,8 @@ mod tests {
                 shards: 4,
                 epoch: 5,
                 draining: true,
+                throttled: 7,
+                tenants: 3,
             }),
             Response::Quote(QuoteReply {
                 id: 42,
@@ -605,6 +699,8 @@ mod tests {
                 hedged: false,
                 cached: true,
             }),
+            Response::TenantAck { name: "hedge-desk_7.eu".to_string() },
+            Response::Throttle { id: 11, retry_after_ms: 250, tenant: "abuser".to_string() },
             Response::Shed { id: 9, retry_after_ms: 12, rung: Rung::ShedLowPriority },
             Response::Reject { id: 9, retry_after_ms: 40, rung: Rung::RejectRetryAfter },
             Response::Error { id: Some(5), reason: "recovery rate out of range".to_string() },
@@ -627,9 +723,33 @@ mod tests {
             "FAULT KILL",
             "FAULT STALL 1",
             "TICK",
+            "TENANT",
+            "TENANT two names",
+            "TENANT bad/name",
+            "TENANT ../../etc/passwd",
+            "TENANT a_name_that_is_way_too_long_for_the_thirty_two_char_cap",
         ] {
             assert!(parse_request(line).is_err(), "must reject `{line}`");
         }
         assert!(parse_response("OK 1 spread=1.0").is_err(), "missing bits field");
+    }
+
+    #[test]
+    fn tenant_name_validation() {
+        for good in ["a", "default", "hedge-desk_7.eu", "A.B-C_9", &"x".repeat(32)] {
+            assert!(valid_tenant_name(good), "must accept `{good}`");
+        }
+        for bad in ["", " ", "a b", "a/b", "λ", "name!", &"x".repeat(33)] {
+            assert!(!valid_tenant_name(bad), "must reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn raw_line_decoding_is_typed() {
+        assert_eq!(decode_line(b"PING"), Ok("PING"));
+        let err = decode_line(&[0x51, 0xff, 0xfe]).expect_err("non-UTF-8 must fail");
+        assert!(err.reason.contains("UTF-8"), "{err}");
+        let err = oversize_error(1024);
+        assert!(err.reason.contains("1024"), "{err}");
     }
 }

@@ -12,24 +12,39 @@
 //!
 //! ## Request life cycle
 //!
-//! Validate → idempotence check → degradation-ladder observation →
-//! in-flight cap → per-shard virtual-queue admission (the engine's
-//! M/D/1 [`AdmissionControl`] bound, in microseconds) → durable WAL
-//! accept → dispatch. The hedger launches one hedged attempt to a
-//! different shard after [`RetryPolicy::hedge_after_micros`] of
-//! silence; a dead shard bounces its quotes back to the hedger, which
-//! re-dispatches with jittered exponential backoff while the deadline
-//! budget lasts. The [`QuoteLedger`] elects exactly one canonical
-//! spread per request id no matter how many attempts race.
+//! Validate → idempotence check → tenant token bucket → degradation-
+//! ladder observation → tenant in-flight quota → per-connection cap →
+//! global in-flight cap → per-shard virtual-queue admission (the
+//! engine's M/D/1 [`AdmissionControl`] bound, in microseconds) →
+//! durable WAL accept → deficit-weighted fair dispatch. The hedger
+//! launches one hedged attempt to a different shard after
+//! [`RetryPolicy::hedge_after_micros`] of silence; a dead shard bounces
+//! its quotes back to the hedger, which re-dispatches with jittered
+//! exponential backoff while the deadline budget lasts. The
+//! [`QuoteLedger`] elects exactly one canonical spread per
+//! `(tenant, id)` no matter how many attempts race.
+//!
+//! ## Hostile clients
+//!
+//! The connection path assumes the peer is adversarial: request lines
+//! are read through a bounded accumulator (`max_line_bytes`; overlong
+//! lines get one typed `ERR` and the excess is discarded, never
+//! buffered), non-UTF-8 lines get a typed `ERR`, writes carry a
+//! timeout so a slow consumer cannot pin a responder thread, and an
+//! idle reaper closes connections that complete no request line within
+//! `idle_timeout` — trickling single bytes (slowloris) does **not**
+//! reset that clock.
 
+use crate::fair::FairQueue;
 use crate::hedge::{QuoteLedger, RecordOutcome};
 use crate::ladder::{DegradationLadder, LadderConfig, LadderTelemetry, Rung};
 use crate::lock_recover;
 use crate::proto::{
-    format_response, parse_request, FaultCmd, Priority, QuoteReply, QuoteRequest, Request,
-    Response, ShardState, StatsReply,
+    decode_line, format_response, oversize_error, parse_request, FaultCmd, Priority, QuoteReply,
+    QuoteRequest, Request, Response, ShardState, StatsReply, DEFAULT_MAX_LINE_BYTES,
 };
 use crate::snapshot::{CurveBook, EpochSnapshot};
+use crate::tenant::{TenantError, TenantLimits, TenantRegistry, TenantState, DEFAULT_MAX_TENANTS};
 use crate::wal::{read_wal, WalError, WalWriter};
 use cds_engine::checkpoint::Checkpoint;
 use cds_engine::retry::RetryPolicy;
@@ -38,7 +53,7 @@ use cds_quant::option::CdsOption;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
@@ -73,6 +88,28 @@ pub struct ServerConfig {
     /// How long a drain waits for in-flight quotes before checkpointing
     /// the remainder as pending.
     pub drain_deadline: Duration,
+    /// Read timeout on accepted streams; doubles as the poll cadence
+    /// for the shutdown flag and the idle reaper.
+    pub read_timeout: Duration,
+    /// Write timeout on accepted streams; a consumer slower than this
+    /// mid-reply is disconnected instead of pinning the writer thread.
+    pub write_timeout: Duration,
+    /// Close a connection that completes no request line for this long
+    /// (slowloris reaper; byte trickle does not reset it).
+    pub idle_timeout: Duration,
+    /// Request-line byte cap; longer lines get one typed `ERR` and the
+    /// excess is discarded unbuffered.
+    pub max_line_bytes: usize,
+    /// Per-connection in-flight cap (one client cannot occupy the whole
+    /// global capacity through a single pipelined connection).
+    pub conn_capacity: u64,
+    /// Limits for `default` and self-registered tenants.
+    pub tenant_defaults: TenantLimits,
+    /// Boot-time per-tenant limit overrides.
+    pub tenant_overrides: Vec<(String, TenantLimits)>,
+    /// Tenant-registry size bound (hostile `TENANT` binds cannot grow
+    /// memory past it).
+    pub max_tenants: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +126,14 @@ impl Default for ServerConfig {
             journal: None,
             cadence: 64,
             drain_deadline: Duration::from_secs(5),
+            read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            conn_capacity: 256,
+            tenant_defaults: TenantLimits::default(),
+            tenant_overrides: Vec::new(),
+            max_tenants: DEFAULT_MAX_TENANTS,
         }
     }
 }
@@ -112,6 +157,28 @@ impl ServerConfig {
         }
         self.retry.validate().map_err(|_| ServerError::Config("invalid retry policy"))?;
         self.ladder.validate().map_err(ServerError::Config)?;
+        if self.read_timeout.is_zero() || self.write_timeout.is_zero() {
+            return Err(ServerError::Config("read/write timeouts must be positive"));
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(ServerError::Config("idle timeout must be positive"));
+        }
+        if self.max_line_bytes < 64 {
+            return Err(ServerError::Config("max_line_bytes must be at least 64"));
+        }
+        if self.conn_capacity == 0 {
+            return Err(ServerError::Config("per-connection capacity must be at least 1"));
+        }
+        if self.max_tenants == 0 {
+            return Err(ServerError::Config("max_tenants must be at least 1"));
+        }
+        self.tenant_defaults.validate().map_err(ServerError::Tenant)?;
+        for (name, limits) in &self.tenant_overrides {
+            if !crate::proto::valid_tenant_name(name) {
+                return Err(ServerError::Tenant(TenantError::BadName(name.clone())));
+            }
+            limits.validate().map_err(ServerError::Tenant)?;
+        }
         Ok(())
     }
 }
@@ -125,6 +192,8 @@ pub enum ServerError {
     Config(&'static str),
     /// Journal failure.
     Wal(WalError),
+    /// Tenant configuration or registration failure.
+    Tenant(TenantError),
 }
 
 impl fmt::Display for ServerError {
@@ -133,6 +202,7 @@ impl fmt::Display for ServerError {
             ServerError::Io(e) => write!(f, "server io error: {e}"),
             ServerError::Config(reason) => write!(f, "server config error: {reason}"),
             ServerError::Wal(e) => write!(f, "server journal error: {e}"),
+            ServerError::Tenant(e) => write!(f, "server tenant error: {e}"),
         }
     }
 }
@@ -151,6 +221,12 @@ impl From<WalError> for ServerError {
     }
 }
 
+impl From<TenantError> for ServerError {
+    fn from(e: TenantError) -> Self {
+        ServerError::Tenant(e)
+    }
+}
+
 #[derive(Debug, Default)]
 struct Stats {
     accepted: AtomicU64,
@@ -163,6 +239,7 @@ struct Stats {
     deadline_misses: AtomicU64,
     inflight: AtomicU64,
     rung: AtomicU64,
+    throttled: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -182,6 +259,7 @@ struct Core {
     stats: Stats,
     ladder: Mutex<DegradationLadder>,
     shards: Vec<ShardCtl>,
+    tenants: TenantRegistry,
     wal: Option<WalWriter>,
     next_seq: AtomicU32,
     draining: AtomicBool,
@@ -265,12 +343,15 @@ impl Core {
             shards: self.shards.len() as u64,
             epoch: self.book.epoch(),
             draining: self.draining.load(Ordering::Relaxed),
+            throttled: self.stats.throttled.load(Ordering::Relaxed),
+            tenants: self.tenants.len() as u64,
         }
     }
 }
 
 /// One in-flight quote attempt; hedges and retries clone it, sharing
-/// the `done` latch and the hedge flag.
+/// the `done` latch, the hedge flag, and the tenant/connection
+/// reservations (released exactly once, by whoever wins the latch).
 #[derive(Clone)]
 struct Job {
     seq: u32,
@@ -280,6 +361,8 @@ struct Job {
     attempt: u32,
     hedge_launched: Arc<AtomicBool>,
     done: Arc<AtomicBool>,
+    tenant: Arc<TenantState>,
+    conn_inflight: Arc<AtomicU64>,
     resp: Sender<String>,
 }
 
@@ -319,7 +402,7 @@ impl Ord for Scheduled {
 }
 
 fn complete(core: &Core, job: &Job, spread: f64, epoch: u64, shard: Option<usize>) {
-    let (canonical, cached) = match core.ledger.record(job.id, spread) {
+    let (canonical, cached) = match core.ledger.record(job.tenant.slot as u64, job.id, spread) {
         RecordOutcome::First => (spread, false),
         RecordOutcome::Duplicate { spread } => {
             core.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
@@ -334,6 +417,8 @@ fn complete(core: &Core, job: &Job, spread: f64, epoch: u64, shard: Option<usize
         }
         core.stats.completed.fetch_add(1, Ordering::Relaxed);
         core.stats.inflight.fetch_sub(1, Ordering::Relaxed);
+        job.tenant.release_inflight();
+        job.conn_inflight.fetch_sub(1, Ordering::SeqCst);
         let _ = job.resp.send(format_response(&Response::Quote(QuoteReply {
             id: job.id,
             spread_bps: canonical,
@@ -350,6 +435,8 @@ fn fail_deadline(core: &Core, job: &Job) {
     if !job.done.swap(true, Ordering::SeqCst) {
         core.stats.deadline_misses.fetch_add(1, Ordering::Relaxed);
         core.stats.inflight.fetch_sub(1, Ordering::Relaxed);
+        job.tenant.release_inflight();
+        job.conn_inflight.fetch_sub(1, Ordering::SeqCst);
         let _ = job.resp.send(format_response(&Response::Error {
             id: Some(job.id),
             reason: "deadline budget exhausted".to_string(),
@@ -370,11 +457,11 @@ fn next_live(core: &Core, start: usize, avoid: Option<usize>) -> Option<usize> {
         })
 }
 
-fn shard_worker(core: Arc<Core>, k: usize, rx: Receiver<Job>, timer_tx: Sender<TimerEvent>) {
+fn shard_worker(core: Arc<Core>, k: usize, rx: Arc<FairQueue<Job>>, timer_tx: Sender<TimerEvent>) {
     let mut cached: Arc<EpochSnapshot> = core.book.current();
     loop {
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => {
+        match rx.pop_timeout(Duration::from_millis(50)) {
+            Some(job) => {
                 if core.shutdown.load(Ordering::Relaxed) {
                     // The drain deadline already passed: this quote is
                     // durably journalled as pending; a resume finishes it.
@@ -396,17 +483,19 @@ fn shard_worker(core: Arc<Core>, k: usize, rx: Receiver<Job>, timer_tx: Sender<T
                 let spread = cached.engine.price(&job.option).spread_bps;
                 complete(&core, &job, spread, cached.epoch, Some(k));
             }
-            Err(RecvTimeoutError::Timeout) => {
+            None => {
                 if core.shutdown.load(Ordering::Relaxed) {
+                    // Release anything still queued (journalled as
+                    // pending) so held response senders drop.
+                    rx.clear();
                     break;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }
 
-fn hedger(core: Arc<Core>, rx: Receiver<TimerEvent>, senders: Vec<Sender<Job>>) {
+fn hedger(core: Arc<Core>, rx: Receiver<TimerEvent>, senders: Vec<Arc<FairQueue<Job>>>) {
     let mut cached: Arc<EpochSnapshot> = core.book.current();
     let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
     let mut order = 0u64;
@@ -427,7 +516,7 @@ fn hedger(core: Arc<Core>, rx: Receiver<TimerEvent>, senders: Vec<Sender<Job>>) 
                         job.hedge_launched.store(true, Ordering::Relaxed);
                         let mut hedge = job.clone();
                         hedge.attempt = job.attempt + 1;
-                        let _ = senders[target].send(hedge);
+                        senders[target].push(hedge.tenant.slot, hedge.tenant.limits.weight, hedge);
                     }
                 }
                 TimerAction::Dispatch { job, avoid } => {
@@ -436,7 +525,7 @@ fn hedger(core: Arc<Core>, rx: Receiver<TimerEvent>, senders: Vec<Sender<Job>>) 
                     }
                     match next_live(&core, avoid + 1, Some(avoid)) {
                         Some(target) => {
-                            let _ = senders[target].send(job);
+                            senders[target].push(job.tenant.slot, job.tenant.limits.weight, job);
                         }
                         None => {
                             // Every shard is dead: price inline on the
@@ -495,11 +584,19 @@ fn hedger(core: Arc<Core>, rx: Receiver<TimerEvent>, senders: Vec<Sender<Job>>) 
     }
 }
 
+/// Per-connection request context: the bound tenant and the
+/// connection's own in-flight reservation counter.
+struct ConnCtx {
+    tenant: Arc<TenantState>,
+    conn_inflight: Arc<AtomicU64>,
+}
+
 fn handle_quote(
     core: &Arc<Core>,
     q: &QuoteRequest,
+    ctx: &ConnCtx,
     cached: &mut Arc<EpochSnapshot>,
-    senders: &[Sender<Job>],
+    senders: &[Arc<FairQueue<Job>>],
     timer_tx: &Sender<TimerEvent>,
     resp: &Sender<String>,
 ) {
@@ -522,9 +619,11 @@ fn handle_quote(
             return;
         }
     };
-    // Idempotent duplicate of an already answered id: serve from the
-    // ledger without re-pricing or re-journalling.
-    if let Some(spread) = core.ledger.get(q.id) {
+    let tenant_slot = ctx.tenant.slot as u64;
+    // Idempotent duplicate of an already answered id (within this
+    // tenant's id space): serve from the ledger without re-pricing,
+    // re-journalling, or charging the token bucket.
+    if let Some(spread) = core.ledger.get(tenant_slot, q.id) {
         core.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
         reply(Response::Quote(QuoteReply {
             id: q.id,
@@ -535,6 +634,13 @@ fn handle_quote(
             hedged: false,
             cached: true,
         }));
+        return;
+    }
+    // Tenant token bucket, before the ladder sees the quote: throttled
+    // traffic never becomes queue pressure for other tenants.
+    if let Err(retry_after_ms) = ctx.tenant.try_take_token(core.now_micros()) {
+        core.stats.throttled.fetch_add(1, Ordering::Relaxed);
+        reply(Response::Throttle { id: q.id, retry_after_ms, tenant: ctx.tenant.name.clone() });
         return;
     }
     // One ladder observation per quote decision.
@@ -550,9 +656,33 @@ fn handle_quote(
         reply(Response::Shed { id: q.id, retry_after_ms: core.retry_after_ms(), rung });
         return;
     }
-    // Reserve an in-flight slot (slow-consumer / overload bound).
+    // Tenant in-flight quota: the bulkhead that keeps one tenant from
+    // occupying the shared capacity below.
+    if let Err(retry_after_ms) = ctx.tenant.try_reserve_inflight() {
+        core.stats.throttled.fetch_add(1, Ordering::Relaxed);
+        reply(Response::Throttle { id: q.id, retry_after_ms, tenant: ctx.tenant.name.clone() });
+        return;
+    }
+    let release_tenant = || {
+        ctx.tenant.release_inflight();
+    };
+    // Per-connection in-flight cap (a single pipelined connection
+    // cannot occupy the whole global capacity).
+    if ctx.conn_inflight.fetch_add(1, Ordering::SeqCst) >= core.config.conn_capacity {
+        ctx.conn_inflight.fetch_sub(1, Ordering::SeqCst);
+        release_tenant();
+        core.stats.shed.fetch_add(1, Ordering::Relaxed);
+        reply(Response::Shed { id: q.id, retry_after_ms: core.retry_after_ms(), rung });
+        return;
+    }
+    let release_all = || {
+        ctx.conn_inflight.fetch_sub(1, Ordering::SeqCst);
+        release_tenant();
+    };
+    // Reserve a global in-flight slot (slow-consumer / overload bound).
     if core.stats.inflight.fetch_add(1, Ordering::SeqCst) >= core.config.capacity {
         core.stats.inflight.fetch_sub(1, Ordering::SeqCst);
+        release_all();
         core.stats.shed.fetch_add(1, Ordering::Relaxed);
         reply(Response::Shed { id: q.id, retry_after_ms: core.retry_after_ms(), rung });
         return;
@@ -560,6 +690,7 @@ fn handle_quote(
     let home = (q.id % core.shards.len() as u64) as usize;
     if !core.admit_virtual(home) {
         core.stats.inflight.fetch_sub(1, Ordering::SeqCst);
+        release_all();
         core.stats.shed.fetch_add(1, Ordering::Relaxed);
         reply(Response::Shed { id: q.id, retry_after_ms: core.retry_after_ms(), rung });
         return;
@@ -569,6 +700,7 @@ fn handle_quote(
         Ok(seq) => seq,
         Err(e) => {
             core.stats.inflight.fetch_sub(1, Ordering::SeqCst);
+            release_all();
             reply(Response::Error { id: Some(q.id), reason: format!("journal: {e}") });
             return;
         }
@@ -582,6 +714,8 @@ fn handle_quote(
         attempt: 1,
         hedge_launched: Arc::new(AtomicBool::new(false)),
         done: Arc::new(AtomicBool::new(false)),
+        tenant: Arc::clone(&ctx.tenant),
+        conn_inflight: Arc::clone(&ctx.conn_inflight),
         resp: resp.clone(),
     };
     if rung >= Rung::CpuFallback || core.dead_shards() == core.shards.len() {
@@ -591,7 +725,7 @@ fn handle_quote(
         complete(core, &job, spread, cached.epoch, None);
         return;
     }
-    let _ = senders[home].send(job.clone());
+    senders[home].push(job.tenant.slot, job.tenant.limits.weight, job.clone());
     let _ = timer_tx.send(TimerEvent::Hedge {
         fire_at: job.accepted_at + Duration::from_micros(core.config.retry.hedge_after_micros),
         job,
@@ -601,8 +735,9 @@ fn handle_quote(
 fn handle_request(
     core: &Arc<Core>,
     line: &str,
+    ctx: &mut ConnCtx,
     cached: &mut Arc<EpochSnapshot>,
-    senders: &[Sender<Job>],
+    senders: &[Arc<FairQueue<Job>>],
     timer_tx: &Sender<TimerEvent>,
     resp: &Sender<String>,
 ) {
@@ -617,6 +752,13 @@ fn handle_request(
             core.draining.store(true, Ordering::SeqCst);
             reply(Response::DrainAck);
         }
+        Ok(Request::Tenant { name }) => match core.tenants.bind(&name, core.now_micros()) {
+            Ok(tenant) => {
+                ctx.tenant = tenant;
+                reply(Response::TenantAck { name });
+            }
+            Err(e) => reply(Response::Error { id: None, reason: e.to_string() }),
+        },
         Ok(Request::Tick { seed }) => {
             let epoch = core.book.publish(seed);
             reply(Response::TickAck { epoch });
@@ -650,53 +792,89 @@ fn handle_request(
             };
             reply(Response::FaultAck { shard, state });
         }
-        Ok(Request::Quote(q)) => handle_quote(core, &q, cached, senders, timer_tx, resp),
+        Ok(Request::Quote(q)) => handle_quote(core, &q, ctx, cached, senders, timer_tx, resp),
+    }
+}
+
+/// Decode and dispatch one complete raw request line. Non-UTF-8 bytes
+/// get a typed `ERR`; blank lines are skipped silently (no reply owed).
+#[allow(clippy::too_many_arguments)]
+fn process_line(
+    core: &Arc<Core>,
+    bytes: &[u8],
+    ctx: &mut ConnCtx,
+    cached: &mut Arc<EpochSnapshot>,
+    senders: &[Arc<FairQueue<Job>>],
+    timer_tx: &Sender<TimerEvent>,
+    resp: &Sender<String>,
+) {
+    match decode_line(bytes) {
+        Err(e) => {
+            let _ = resp.send(format_response(&Response::Error { id: None, reason: e.reason }));
+        }
+        Ok(s) => {
+            let line = s.trim();
+            if !line.is_empty() {
+                handle_request(core, line, ctx, cached, senders, timer_tx, resp);
+            }
+        }
     }
 }
 
 fn handle_conn(
     core: Arc<Core>,
     stream: TcpStream,
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Arc<FairQueue<Job>>>,
     timer_tx: Sender<TimerEvent>,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_read_timeout(Some(core.config.read_timeout));
+    let _ = write_half.set_write_timeout(Some(core.config.write_timeout));
     let (resp_tx, resp_rx) = channel::<String>();
     let writer = thread::spawn(move || {
         let mut out = write_half;
         for line in resp_rx {
+            // A write timeout fires mid-line on a stalled consumer;
+            // framing is unrecoverable past that point, so the
+            // connection is shut down rather than resynchronised.
             if out.write_all(line.as_bytes()).is_err() || out.write_all(b"\n").is_err() {
                 break;
             }
             let _ = out.flush();
         }
+        let _ = out.shutdown(std::net::Shutdown::Both);
     });
-    let mut reader = BufReader::new(stream);
+    let mut ctx = ConnCtx {
+        tenant: core.tenants.default_tenant(),
+        conn_inflight: Arc::new(AtomicU64::new(0)),
+    };
     let mut cached = core.book.current();
-    let mut acc = String::new();
+    let max_line = core.config.max_line_bytes;
+    let mut input = stream;
+    let mut chunk = vec![0u8; 4096];
+    // The bounded line accumulator: never grows past `max_line` bytes,
+    // no matter what the peer sends.
+    let mut acc: Vec<u8> = Vec::new();
+    // True while discarding the tail of an oversized line (its single
+    // ERR was already sent at the moment the cap was crossed).
+    let mut discarding = false;
+    // Last *completed* request line; byte trickle does not touch this,
+    // which is exactly what defeats slowloris.
+    let mut last_line = Instant::now();
     loop {
         if core.shutdown.load(Ordering::Relaxed) {
             break;
         }
-        match reader.read_line(&mut acc) {
-            Ok(0) => break,
-            Ok(_) => {
-                if acc.ends_with('\n') {
-                    let line = acc.trim().to_string();
-                    acc.clear();
-                    if !line.is_empty() {
-                        handle_request(&core, &line, &mut cached, &senders, &timer_tx, &resp_tx);
-                    }
-                } else {
-                    // EOF without a trailing newline: serve it, then close.
-                    let line = acc.trim().to_string();
-                    if !line.is_empty() {
-                        handle_request(&core, &line, &mut cached, &senders, &timer_tx, &resp_tx);
-                    }
-                    break;
+        let n = match input.read(&mut chunk) {
+            Ok(0) => {
+                // EOF without a trailing newline: serve the bounded
+                // partial line, then close.
+                if !discarding && !acc.is_empty() {
+                    process_line(&core, &acc, &mut ctx, &mut cached, &senders, &timer_tx, &resp_tx);
                 }
+                break;
             }
+            Ok(n) => n,
             Err(e)
                 if matches!(
                     e.kind(),
@@ -705,9 +883,54 @@ fn handle_conn(
                         | std::io::ErrorKind::Interrupted
                 ) =>
             {
-                continue
+                if last_line.elapsed() >= core.config.idle_timeout {
+                    // Idle/slowloris reaper: no complete line for a
+                    // whole idle window — say why, then hang up.
+                    let _ = resp_tx.send(format_response(&Response::Error {
+                        id: None,
+                        reason: format!(
+                            "idle timeout: no complete request line in {}ms",
+                            core.config.idle_timeout.as_millis()
+                        ),
+                    }));
+                    break;
+                }
+                continue;
             }
             Err(_) => break,
+        };
+        let mut rest = &chunk[..n];
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..];
+            if discarding {
+                // Tail of an oversized line; its ERR is already sent.
+                discarding = false;
+            } else if acc.len() + head.len() > max_line {
+                let _ = resp_tx.send(format_response(&Response::Error {
+                    id: None,
+                    reason: oversize_error(max_line).reason,
+                }));
+            } else {
+                acc.extend_from_slice(head);
+                process_line(&core, &acc, &mut ctx, &mut cached, &senders, &timer_tx, &resp_tx);
+            }
+            acc.clear();
+            last_line = Instant::now();
+        }
+        if !discarding && !rest.is_empty() {
+            if acc.len() + rest.len() > max_line {
+                // Cap crossed mid-line: one ERR now, then discard until
+                // the newline finally shows up.
+                let _ = resp_tx.send(format_response(&Response::Error {
+                    id: None,
+                    reason: oversize_error(max_line).reason,
+                }));
+                acc.clear();
+                discarding = true;
+            } else {
+                acc.extend_from_slice(rest);
+            }
         }
     }
     drop(resp_tx);
@@ -733,7 +956,7 @@ pub struct DrainSummary {
 fn acceptor(
     core: Arc<Core>,
     listener: TcpListener,
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Arc<FairQueue<Job>>>,
     timer_tx: Sender<TimerEvent>,
 ) -> DrainSummary {
     let _ = listener.set_nonblocking(true);
@@ -851,6 +1074,12 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     let admission = AdmissionControl::from_md1(config.service_micros, config.target_utilisation);
     let book = CurveBook::new(config.seed);
     let shards: Vec<ShardCtl> = (0..config.shards).map(|_| ShardCtl::default()).collect();
+    // The registry pre-registers `default` plus every configured
+    // override; buckets start full at server-relative time zero.
+    let tenants = TenantRegistry::new(config.tenant_defaults, config.max_tenants, 0)?;
+    for (name, limits) in &config.tenant_overrides {
+        tenants.register(name, *limits, 0)?;
+    }
     let core = Arc::new(Core {
         admission,
         book,
@@ -858,6 +1087,7 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         stats: Stats::default(),
         ladder: Mutex::new(ladder),
         shards,
+        tenants,
         wal,
         next_seq: AtomicU32::new(0),
         draining: AtomicBool::new(false),
@@ -866,17 +1096,12 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         config,
     });
 
-    let mut senders = Vec::with_capacity(core.config.shards);
-    let mut receivers = Vec::with_capacity(core.config.shards);
-    for _ in 0..core.config.shards {
-        let (tx, rx) = channel::<Job>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
+    let senders: Vec<Arc<FairQueue<Job>>> =
+        (0..core.config.shards).map(|_| Arc::new(FairQueue::default())).collect();
     let (timer_tx, timer_rx) = channel::<TimerEvent>();
 
     let mut workers = Vec::with_capacity(core.config.shards);
-    for (k, rx) in receivers.into_iter().enumerate() {
+    for (k, rx) in senders.iter().cloned().enumerate() {
         let core = core.clone();
         let timer_tx = timer_tx.clone();
         workers.push(thread::spawn(move || shard_worker(core, k, rx, timer_tx)));

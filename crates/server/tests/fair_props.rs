@@ -1,0 +1,147 @@
+//! Property tests for the deficit round-robin fair scheduler that backs
+//! the shard queues (`cds_server::fair`).
+//!
+//! The invariants the tenant-isolation design leans on:
+//!
+//! 1. **Work conservation** — `pop` yields a job whenever any tenant is
+//!    backlogged, and an arbitrary push/pop interleaving drains every
+//!    job exactly once.
+//! 2. **Per-tenant FIFO** — one tenant's jobs never reorder, whatever
+//!    the other tenants do.
+//! 3. **Starvation freedom** — with every tenant backlogged, each
+//!    tenant is served within one full ring rotation, i.e. within
+//!    `sum(weight_i * quantum)` pops.
+//! 4. **Weighted shares** — with every tenant saturated, one full round
+//!    dequeues exactly `weight_i * quantum` jobs per tenant.
+
+use cds_server::fair::DrrScheduler;
+use proptest::prelude::*;
+
+/// (slot, weight) pools kept small so rounds stay enumerable.
+fn tenant_set() -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0usize..6, 1u64..5), 1..6).prop_map(|mut v| {
+        // One weight per slot: last binding wins, mirroring `push`.
+        v.sort_by_key(|&(slot, _)| slot);
+        v.dedup_by_key(|&mut (slot, _)| slot);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of pushes and pops conserves work: every pushed
+    /// job is popped exactly once, pops never fail while backlogged,
+    /// and the scheduler ends empty.
+    #[test]
+    fn every_job_is_drained_exactly_once(
+        quantum in 1u64..4,
+        ops in proptest::collection::vec((0usize..5, 1u64..4, 0u8..2), 1..200),
+    ) {
+        let mut s: DrrScheduler<(usize, u64)> = DrrScheduler::new(quantum);
+        let mut pushed = [0u64; 5];
+        let mut popped_total = 0usize;
+        let mut pushed_total = 0usize;
+        for &(slot, weight, also_pop) in &ops {
+            s.push(slot, weight, (slot, pushed[slot]));
+            pushed[slot] += 1;
+            pushed_total += 1;
+            if also_pop == 1 {
+                prop_assert!(s.pop().is_some(), "backlogged scheduler refused to serve");
+                popped_total += 1;
+            }
+        }
+        while s.pop().is_some() {
+            popped_total += 1;
+        }
+        prop_assert_eq!(popped_total, pushed_total);
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(s.len(), 0);
+    }
+
+    /// One tenant's jobs come out in the order they went in, no matter
+    /// how the other tenants' pushes interleave.
+    #[test]
+    fn per_tenant_order_is_fifo(
+        quantum in 1u64..4,
+        pushes in proptest::collection::vec((0usize..4, 1u64..4), 1..120),
+    ) {
+        let mut s: DrrScheduler<(usize, u64)> = DrrScheduler::new(quantum);
+        let mut seq = vec![0u64; 4];
+        for &(slot, weight) in &pushes {
+            s.push(slot, weight, (slot, seq[slot]));
+            seq[slot] += 1;
+        }
+        let mut next_expected = vec![0u64; 4];
+        while let Some((slot, n)) = s.pop() {
+            prop_assert_eq!(n, next_expected[slot], "tenant {} reordered", slot);
+            next_expected[slot] += 1;
+        }
+        prop_assert_eq!(next_expected, seq);
+    }
+
+    /// With every tenant saturated, each tenant's first job arrives
+    /// within `sum(weight_i * quantum)` pops — the DRR starvation bound.
+    #[test]
+    fn starvation_is_bounded_by_one_rotation(
+        quantum in 1u64..4,
+        tenants in tenant_set(),
+    ) {
+        let round: u64 = tenants.iter().map(|&(_, w)| w * quantum).sum();
+        let mut s: DrrScheduler<usize> = DrrScheduler::new(quantum);
+        // Enough backlog that no tenant goes idle inside one rotation.
+        for _ in 0..(round as usize + 1) {
+            for &(slot, weight) in &tenants {
+                s.push(slot, weight, slot);
+            }
+        }
+        let mut first_served_at: std::collections::HashMap<usize, u64> = Default::default();
+        for k in 0..round {
+            let slot = s.pop().expect("saturated scheduler must serve");
+            first_served_at.entry(slot).or_insert(k);
+        }
+        for &(slot, _) in &tenants {
+            let at = first_served_at.get(&slot);
+            prop_assert!(
+                at.is_some(),
+                "tenant {} starved past a full rotation of {} pops",
+                slot,
+                round
+            );
+        }
+    }
+
+    /// With every tenant saturated, one full round dequeues exactly
+    /// `weight_i * quantum` jobs for each tenant: shares are exact, not
+    /// merely asymptotic.
+    #[test]
+    fn saturated_shares_are_exact_per_round(
+        quantum in 1u64..4,
+        tenants in tenant_set(),
+    ) {
+        let round: u64 = tenants.iter().map(|&(_, w)| w * quantum).sum();
+        let mut s: DrrScheduler<usize> = DrrScheduler::new(quantum);
+        for _ in 0..(2 * round as usize) {
+            for &(slot, weight) in &tenants {
+                s.push(slot, weight, slot);
+            }
+        }
+        // Two consecutive full rounds, each with exact weighted counts.
+        for _ in 0..2 {
+            let mut counts: std::collections::HashMap<usize, u64> = Default::default();
+            for _ in 0..round {
+                let slot = s.pop().expect("saturated scheduler must serve");
+                *counts.entry(slot).or_insert(0) += 1;
+            }
+            for &(slot, weight) in &tenants {
+                prop_assert_eq!(
+                    counts.get(&slot).copied().unwrap_or(0),
+                    weight * quantum,
+                    "tenant {} got the wrong share of a {}-pop round",
+                    slot,
+                    round
+                );
+            }
+        }
+    }
+}

@@ -118,34 +118,39 @@ proptest! {
     }
 
     /// For any storm of attempts — original, retries, hedges, client
-    /// re-sends — each request id is counted exactly once and the
-    /// canonical spread is the first recorded, so aggregate accounting
-    /// (sums over canonical spreads) is storm-invariant.
+    /// re-sends, across tenants — each `(tenant, id)` key is counted
+    /// exactly once and the canonical spread is the first recorded, so
+    /// aggregate accounting (sums over canonical spreads) is
+    /// storm-invariant. Tenants reusing each other's ids never collide.
     #[test]
     fn hedged_retries_never_double_count_a_spread(
-        attempts in proptest::collection::vec((0u64..24, -1e6f64..1e6), 1..200),
+        attempts in proptest::collection::vec((0u64..3, 0u64..24, -1e6f64..1e6), 1..200),
     ) {
         let ledger = QuoteLedger::new();
-        let mut firsts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut firsts: std::collections::HashMap<(u64, u64), f64> =
+            std::collections::HashMap::new();
         let mut wins = 0u64;
-        for &(id, spread) in &attempts {
-            firsts.entry(id).or_insert(spread);
-            match ledger.record(id, spread) {
+        for &(tenant, id, spread) in &attempts {
+            firsts.entry((tenant, id)).or_insert(spread);
+            match ledger.record(tenant, id, spread) {
                 RecordOutcome::First => wins += 1,
                 RecordOutcome::Duplicate { spread: canonical } => {
-                    // Every duplicate echoes the first spread, not its own.
-                    prop_assert_eq!(canonical.to_bits(), firsts[&id].to_bits());
+                    // Every duplicate echoes the first spread recorded
+                    // by the *same tenant*, not its own and never
+                    // another tenant's.
+                    prop_assert_eq!(canonical.to_bits(), firsts[&(tenant, id)].to_bits());
                 }
             }
         }
-        prop_assert_eq!(wins as usize, firsts.len(), "one win per unique id");
+        prop_assert_eq!(wins as usize, firsts.len(), "one win per unique (tenant, id)");
         prop_assert_eq!(ledger.len(), firsts.len());
         prop_assert_eq!(
             ledger.duplicates_suppressed() as usize,
             attempts.len() - firsts.len()
         );
         // The canonical aggregate equals the sum over first attempts.
-        let canonical_sum: f64 = firsts.keys().filter_map(|id| ledger.get(*id)).sum();
+        let canonical_sum: f64 =
+            firsts.keys().filter_map(|&(t, id)| ledger.get(t, id)).sum();
         let expected_sum: f64 = firsts.values().sum();
         prop_assert_eq!(canonical_sum.to_bits(), expected_sum.to_bits());
     }

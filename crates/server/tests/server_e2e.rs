@@ -145,11 +145,22 @@ fn dead_shards_are_survived_by_retries_and_cpu_fallback() {
     assert_eq!(stats.completed, stats.accepted);
 
     // Revive both shards: service continues (possibly still on the
-    // fallback rung until the hysteresis streak clears it).
+    // fallback rung until the hysteresis streak clears it). A
+    // back-to-back burst can legitimately trip the virtual-queue
+    // admission bound, so act like a compliant client: honor the
+    // Retry-After hint and re-send.
     client.roundtrip("FAULT REVIVE 0");
     client.roundtrip("FAULT REVIVE 1");
     for id in 20..60u64 {
-        let q = expect_quote(client.quote(id, 5.0, 0.4));
+        let q = loop {
+            match client.quote(id, 5.0, 0.4) {
+                Response::Quote(q) => break q,
+                Response::Shed { retry_after_ms, .. } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                }
+                other => panic!("expected a priced quote, got {other:?}"),
+            }
+        };
         assert_eq!(q.spread_bps.to_bits(), reference_spread(7, 5.0, 0.4).to_bits());
     }
     let stats = client.stats();

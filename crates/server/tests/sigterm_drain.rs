@@ -171,6 +171,120 @@ fn sigterm_mid_burst_drains_and_resumes_bit_identically() {
 }
 
 #[test]
+fn sigterm_under_abuse_load_still_drains_and_resumes_bit_identically() {
+    // The bulkhead version of the headline guarantee: a hostile tenant
+    // is flooding at many times its quota when the SIGTERM lands. The
+    // drain must still exit 0, and the journal must resume every
+    // accepted quote bit-identically — abuse never reaches durability.
+    let dir = std::env::temp_dir();
+    let journal = dir.join(format!("cds-server-abuse-drain-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(sidecar_path(&journal));
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cds-server"))
+        .args([
+            "--shards",
+            "2",
+            "--seed",
+            &SEED.to_string(),
+            "--cadence",
+            "4",
+            "--drain-deadline-ms",
+            "300",
+            "--tenant",
+            "abuser=50:8:16:1",
+            "--journal",
+        ])
+        .arg(&journal)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cds-server");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut ready = BufReader::new(stdout);
+    let mut line = String::new();
+    ready.read_line(&mut line).expect("readiness line");
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable readiness line `{line}`"));
+
+    // The abuser: bind the throttled tenant and flood it, draining
+    // replies so the server's write path never blocks on us.
+    let abuse_stream = TcpStream::connect(addr).expect("connect abuser");
+    abuse_stream.set_nodelay(true).expect("nodelay");
+    let mut abuse_writer = abuse_stream.try_clone().expect("clone");
+    let abuse_reader = BufReader::new(abuse_stream);
+    let drainer = std::thread::spawn(move || {
+        let mut reader = abuse_reader;
+        let mut sink = String::new();
+        while {
+            sink.clear();
+            matches!(reader.read_line(&mut sink), Ok(n) if n > 0)
+        } {}
+    });
+    let flooder = std::thread::spawn(move || {
+        let _ = writeln!(abuse_writer, "TENANT abuser");
+        for id in 0..3000u64 {
+            if writeln!(abuse_writer, "QUOTE {id} {} Q {}", f64_to_wire(3.0), f64_to_wire(0.2))
+                .is_err()
+            {
+                break; // drain closed the socket mid-flood: expected
+            }
+            let _ = abuse_writer.flush();
+        }
+    });
+
+    // The victim: stalled shards keep its burst in flight at SIGTERM.
+    let victim_stream = TcpStream::connect(addr).expect("connect victim");
+    victim_stream.set_nodelay(true).expect("nodelay");
+    let mut victim_writer = victim_stream.try_clone().expect("clone");
+    let victim_reader = BufReader::new(victim_stream);
+    writeln!(victim_writer, "FAULT STALL 0 150").expect("send");
+    writeln!(victim_writer, "FAULT STALL 1 150").expect("send");
+    for id in 0..12u64 {
+        let maturity = 1.0 + (id % 7) as f64 * 0.75;
+        writeln!(victim_writer, "QUOTE {id} {} Q {}", f64_to_wire(maturity), f64_to_wire(0.3))
+            .expect("send");
+    }
+    victim_writer.flush().expect("flush");
+
+    std::thread::sleep(Duration::from_millis(200));
+    let term =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("kill -TERM");
+    assert!(term.success(), "kill must be delivered");
+
+    let status = wait_exit(&mut child, Duration::from_secs(10));
+    assert!(status.success(), "SIGTERM under abuse must still drain cleanly, got {status:?}");
+    drop(victim_reader);
+    flooder.join().expect("flooder thread");
+    drainer.join().expect("drainer thread");
+
+    // Every accepted quote — victim and whatever trickle of abuser
+    // quotes passed the throttle — resumes bit-identically.
+    let state = read_wal(&journal).expect("journal must be readable");
+    assert!(state.drained, "drain must leave a terminal commit record");
+    assert!(!state.accepted.is_empty(), "the victim burst must have been accepted");
+    let report = resume_journal(&journal).expect("resume");
+    assert!(report.drained);
+    assert_eq!(report.spreads.len(), state.accepted.len());
+    let reference = CpuCdsEngine::new(&MarketData::paper_workload(SEED));
+    for (rec, (seq, _id, spread, _)) in state.accepted.iter().zip(&report.spreads) {
+        let want = reference.price(&rec.option().expect("journalled quote validates"));
+        assert_eq!(
+            spread.to_bits(),
+            want.spread_bps.to_bits(),
+            "resumed spread for seq {seq} diverged under abuse load"
+        );
+    }
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(sidecar_path(&journal));
+}
+
+#[test]
 fn kill_during_drain_leaves_a_resumable_journal() {
     // A second kill arriving *during* the drain (after SIGTERM already
     // started one) must not corrupt the journal: SIGKILL the process
