@@ -113,6 +113,38 @@ impl Checkpoint {
         )
     }
 
+    /// Persist this checkpoint at `path` through a [`crate::journal_io::JournalIo`]
+    /// with the full crash-consistent discipline (write `<path>.tmp`,
+    /// fsync it, rename over `path`, sync the parent directory). A
+    /// crash at any point leaves either the previous checkpoint or this
+    /// one — never a torn file (see
+    /// [`crate::journal_io::enumerate_crash_states`], which proves it).
+    ///
+    /// # Errors
+    /// [`CdsError::Storage`] on any substrate failure.
+    pub fn persist(
+        &self,
+        io: &dyn crate::journal_io::JournalIo,
+        path: &std::path::Path,
+    ) -> Result<(), CdsError> {
+        crate::journal_io::atomic_publish(io, path, self.to_text().as_bytes()).map_err(|e| {
+            CdsError::Storage { path: path.display().to_string(), cause: e.to_string() }
+        })
+    }
+
+    /// Load a checkpoint persisted by [`Checkpoint::persist`].
+    ///
+    /// # Errors
+    /// [`CdsError::Storage`] when the file cannot be read, or the typed
+    /// parse failure.
+    pub fn load(path: &std::path::Path) -> Result<Checkpoint, CdsError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CdsError::Storage {
+            path: path.display().to_string(),
+            cause: e.to_string(),
+        })?;
+        Checkpoint::parse(&text)
+    }
+
     /// Parse the text format. Every malformation is a typed
     /// [`CdsError::Journal`] — this never panics.
     pub fn parse(text: &str) -> Result<Checkpoint, CdsError> {

@@ -51,6 +51,14 @@ pub enum CdsError {
         /// What was wrong with the journal/checkpoint data.
         reason: String,
     },
+    /// The storage substrate failed while persisting or loading a
+    /// journal/checkpoint (ENOSPC, EIO, a failed rename or sync).
+    Storage {
+        /// The file the failing operation targeted.
+        path: String,
+        /// The underlying I/O failure.
+        cause: String,
+    },
 }
 
 impl std::fmt::Display for CdsError {
@@ -67,6 +75,9 @@ impl std::fmt::Display for CdsError {
                 write!(f, "{unpriced} option(s) unpriced after {attempts} recovery attempt(s)")
             }
             CdsError::Journal { reason } => write!(f, "invalid run journal: {reason}"),
+            CdsError::Storage { path, cause } => {
+                write!(f, "journal storage failure at {path}: {cause}")
+            }
         }
     }
 }
@@ -114,6 +125,13 @@ mod tests {
             (CdsError::OptionsLost { lost: vec![3, 4] }, "lost"),
             (CdsError::Exhausted { attempts: 2, unpriced: 5 }, "unpriced"),
             (CdsError::Journal { reason: "bad magic".to_string() }, "journal"),
+            (
+                CdsError::Storage {
+                    path: "/tmp/x.ckpt".to_string(),
+                    cause: "injected ENOSPC".to_string(),
+                },
+                "storage",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod host;
+pub mod journal_io;
 pub mod multi;
 pub mod report;
 pub mod retry;
@@ -94,6 +95,10 @@ pub mod prelude {
     pub use crate::checkpoint::{streaming_checkpoints, Checkpoint, CompletedOption};
     pub use crate::config::{EngineConfig, EngineVariant, HazardIiMode};
     pub use crate::error::CdsError;
+    pub use crate::journal_io::{
+        enumerate_crash_states, sync_ordering_held, CrashPlan, CrashState, FaultyJournalIo,
+        JournalIo, JournalOp, OsJournalIo, RecordingJournalIo, StorageFaultPlan,
+    };
     pub use crate::multi::MultiEngine;
     pub use crate::report::EngineRunReport;
     pub use crate::retry::{RetryPolicy, RetryPolicyError};

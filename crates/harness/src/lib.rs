@@ -48,6 +48,7 @@ pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod server_chaos;
+pub mod storage_chaos;
 pub mod tables;
 pub mod throughput;
 pub mod validate;

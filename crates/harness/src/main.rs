@@ -27,6 +27,7 @@
 //!   loadgen --abuser    hostile-client run: tenant flood, slowloris, fuzz
 //!   server-chaos        serving failure modes vs a survival baseline
 //!   server-chaos --isolation  tenant-isolation matrix vs its baseline
+//!   storage-chaos       storage-fault + crash-state sweep vs its baseline
 //!   replay              record (--json) / re-execute (--check) a run journal
 //!   conformance         metamorphic oracle + cross-variant differential fuzz
 //!   all                 everything above (except replay, which needs a path)
@@ -61,6 +62,7 @@ use cds_harness::hostcpu;
 use cds_harness::journal;
 use cds_harness::loadgen;
 use cds_harness::server_chaos;
+use cds_harness::storage_chaos;
 use cds_harness::tables;
 use cds_harness::throughput;
 use cds_harness::validate;
@@ -198,7 +200,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
-         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|loadgen|server-chaos|replay|conformance|all> \
+         ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|loadgen|server-chaos|storage-chaos|replay|conformance|all> \
          [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--throughput] [--threads N] [--scenario NAME] [--rate R] [--no-faults] [--abuser] [--isolation]"
     );
     std::process::exit(2);
@@ -1016,6 +1018,57 @@ fn cmd_server_chaos(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_storage_chaos(args: &Args) -> CliResult {
+    let baseline = match args.check_baseline.as_ref() {
+        Some(path) => Some((path, read_baseline(path, storage_chaos::StorageChaosReport::parse)?)),
+        None => None,
+    };
+    println!("== Storage-fault crash-consistency matrix (seed {}) ==\n", args.seed);
+    let report = storage_chaos::run(args.seed)
+        .map_err(|e| fatal(format!("storage-chaos scenario failed: {e}")))?;
+    let headers = ["Scenario", "States", "Typed", "Resumed", "ZeroSilent", "Ordering", "Survived"];
+    let rows: Vec<Vec<String>> = report
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.states.to_string(),
+                c.typed.to_string(),
+                c.resumed.to_string(),
+                if c.zero_silent_corruption { "yes" } else { "NO" }.to_string(),
+                if c.ordering_held { "yes" } else { "no" }.to_string(),
+                if c.survived { "PASS" } else { "FAIL" }.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+    if let Some(path) = &args.json_path {
+        write_json_report(path, &report.pretty())?;
+        println!("[storage-chaos report written to {}]", path.display());
+    }
+    if let Some((path, baseline)) = baseline {
+        let problems = storage_chaos::compare(&baseline, &report);
+        if problems.is_empty() {
+            println!(
+                "check against {}: PASS ({} scenarios' verdicts identical)",
+                path.display(),
+                baseline.cases.len()
+            );
+        } else {
+            eprintln!("check against {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  regression: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
+    } else if !report.all_survived() {
+        eprintln!("storage-chaos matrix: FAIL (a scenario did not survive)");
+        return Err(CliError::GateFailed);
+    }
+    Ok(())
+}
+
 fn run(args: &Args) -> CliResult {
     let workload =
         Workload::try_paper(args.seed, args.options.unwrap_or(cds_harness::DEFAULT_BATCH))
@@ -1056,6 +1109,7 @@ fn run(args: &Args) -> CliResult {
         "chaos" => cmd_chaos(args, true),
         "loadgen" => cmd_loadgen(args),
         "server-chaos" => cmd_server_chaos(args),
+        "storage-chaos" => cmd_storage_chaos(args),
         "replay" => cmd_replay(args),
         "conformance" => cmd_conformance(args),
         "all" => {

@@ -405,3 +405,49 @@ fn server_chaos_against_committed_baseline_exits_0() {
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
 }
+
+#[test]
+fn storage_chaos_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["storage-chaos", "--check", "/nonexistent/dir/storage_chaos_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn storage_chaos_check_against_foreign_baseline_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("storage-chaos-foreign.json");
+    // A baseline naming a scenario the matrix does not run: the exact
+    // verdict comparison must flag both directions and exit 1.
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"schema_version\": 1, \"seed\": 42, \"cases\": [",
+            "{\"name\": \"storage/no-such-scenario\", ",
+            "\"zero_silent_corruption\": true, \"ordering_held\": true, ",
+            "\"survived\": true}]}"
+        ),
+    )
+    .expect("write baseline");
+    let out = harness()
+        .args(["storage-chaos", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-scenario"), "{stderr}");
+}
+
+#[test]
+fn storage_chaos_against_committed_baseline_exits_0() {
+    let baseline =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/storage_chaos_baseline.json");
+    let out =
+        harness().args(["storage-chaos", "--check", baseline]).output().expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}

@@ -81,6 +81,11 @@ pub struct LadderTelemetry {
     pub shards_dead: usize,
     /// Total engine shards.
     pub shards_total: usize,
+    /// The write-ahead journal hit a storage failure (ENOSPC, EIO, a
+    /// short write) and its writer is fail-stop. Durability can no
+    /// longer be promised, so new quotes must be refused rather than
+    /// served unjournalled.
+    pub wal_degraded: bool,
 }
 
 impl LadderTelemetry {
@@ -162,7 +167,12 @@ impl DegradationLadder {
     ///
     /// Overload contributes `healthy < shed < reject`; any dead shard
     /// contributes `cpu-fallback` (the CPU path cannot die with the
-    /// shards). The target is the worse of the two pressures.
+    /// shards); a degraded journal contributes `reject-retry-after`
+    /// outright — the server promises durability-before-dispatch, and a
+    /// fail-stop journal writer cannot keep it, so quotes are refused
+    /// with a retry hint until an operator restarts onto healthy
+    /// storage (the degraded flag is sticky in-process). The target is
+    /// the worst of the pressures.
     pub fn target(telemetry: &LadderTelemetry, config: &LadderConfig) -> Rung {
         let qf = telemetry.queue_fraction();
         let overload = if qf >= config.reject_watermark {
@@ -173,7 +183,8 @@ impl DegradationLadder {
             Rung::Healthy
         };
         let death = if telemetry.shards_dead > 0 { Rung::CpuFallback } else { Rung::Healthy };
-        overload.max(death)
+        let storage = if telemetry.wal_degraded { Rung::RejectRetryAfter } else { Rung::Healthy };
+        overload.max(death).max(storage)
     }
 
     /// Feed one telemetry snapshot and return the (possibly updated)
@@ -205,11 +216,17 @@ mod tests {
     use super::*;
 
     fn calm() -> LadderTelemetry {
-        LadderTelemetry { queue_depth: 0, queue_capacity: 64, shards_dead: 0, shards_total: 4 }
+        LadderTelemetry {
+            queue_depth: 0,
+            queue_capacity: 64,
+            shards_dead: 0,
+            shards_total: 4,
+            wal_degraded: false,
+        }
     }
 
     fn saturated() -> LadderTelemetry {
-        LadderTelemetry { queue_depth: 64, queue_capacity: 64, shards_dead: 0, shards_total: 4 }
+        LadderTelemetry { queue_depth: 64, ..calm() }
     }
 
     #[test]
@@ -241,6 +258,16 @@ mod tests {
         // Death and overload combine to the worse of the two.
         let both = LadderTelemetry { shards_dead: 1, ..saturated() };
         assert_eq!(DegradationLadder::target(&both, &c), Rung::RejectRetryAfter);
+    }
+
+    #[test]
+    fn a_degraded_journal_targets_reject_outright() {
+        let c = LadderConfig::default();
+        let degraded = LadderTelemetry { wal_degraded: true, ..calm() };
+        assert_eq!(DegradationLadder::target(&degraded, &c), Rung::RejectRetryAfter);
+        // It dominates every other pressure combination.
+        let busy = LadderTelemetry { wal_degraded: true, shards_dead: 1, ..calm() };
+        assert_eq!(DegradationLadder::target(&busy, &c), Rung::RejectRetryAfter);
     }
 
     #[test]

@@ -18,6 +18,9 @@ options:
   --service-micros <n>      admission service estimate per quote (default 200)
   --journal <path>          write-ahead journal path (durability off when absent)
   --cadence <n>             completions per checkpoint (default 64)
+  --wal-fault <kind>@<n>    inject a journal storage fault (testing): kind is
+                            enospc|eio|short (at append index n) or liar
+                            (fsyncs lie from fsync index n); requires --journal
   --drain-deadline-ms <n>   drain budget before checkpointing pending (default 5000)
   --read-timeout-ms <n>     accepted-stream read timeout (default 100)
   --write-timeout-ms <n>    accepted-stream write timeout (default 2000)
@@ -83,6 +86,9 @@ fn main() -> ExitCode {
                 parse_flag(&mut args, "--journal").map(|v: String| config.journal = Some(v.into()))
             }
             "--cadence" => parse_flag(&mut args, "--cadence").map(|v| config.cadence = v),
+            "--wal-fault" => {
+                parse_flag(&mut args, "--wal-fault").map(|v| config.wal_fault = Some(v))
+            }
             "--drain-deadline-ms" => parse_flag(&mut args, "--drain-deadline-ms")
                 .map(|v: u64| config.drain_deadline = Duration::from_millis(v)),
             "--conn-capacity" => {

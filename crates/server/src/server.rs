@@ -45,8 +45,9 @@ use crate::proto::{
 };
 use crate::snapshot::{CurveBook, EpochSnapshot};
 use crate::tenant::{TenantError, TenantLimits, TenantRegistry, TenantState, DEFAULT_MAX_TENANTS};
-use crate::wal::{read_wal, WalError, WalWriter};
+use crate::wal::{read_wal, CorruptionReport, WalError, WalFaultSpec, WalWriter};
 use cds_engine::checkpoint::Checkpoint;
+use cds_engine::journal_io::{FaultyJournalIo, JournalIo, OsJournalIo};
 use cds_engine::retry::RetryPolicy;
 use cds_engine::streaming::AdmissionControl;
 use cds_quant::option::CdsOption;
@@ -85,6 +86,10 @@ pub struct ServerConfig {
     pub journal: Option<PathBuf>,
     /// Completions per checkpoint sidecar rewrite.
     pub cadence: u32,
+    /// Storage fault to inject into the journal's IO layer (testing
+    /// only; requires `journal`). The server runs normally until the
+    /// fault fires, then degrades per the fail-stop contract.
+    pub wal_fault: Option<WalFaultSpec>,
     /// How long a drain waits for in-flight quotes before checkpointing
     /// the remainder as pending.
     pub drain_deadline: Duration,
@@ -125,6 +130,7 @@ impl Default for ServerConfig {
             ladder: LadderConfig::default(),
             journal: None,
             cadence: 64,
+            wal_fault: None,
             drain_deadline: Duration::from_secs(5),
             read_timeout: Duration::from_millis(100),
             write_timeout: Duration::from_secs(2),
@@ -154,6 +160,9 @@ impl ServerConfig {
         }
         if self.cadence == 0 {
             return Err(ServerError::Config("checkpoint cadence must be at least 1"));
+        }
+        if self.wal_fault.is_some() && self.journal.is_none() {
+            return Err(ServerError::Config("--wal-fault requires a journal"));
         }
         self.retry.validate().map_err(|_| ServerError::Config("invalid retry policy"))?;
         self.ladder.validate().map_err(ServerError::Config)?;
@@ -261,6 +270,7 @@ struct Core {
     shards: Vec<ShardCtl>,
     tenants: TenantRegistry,
     wal: Option<WalWriter>,
+    wal_degraded: AtomicBool,
     next_seq: AtomicU32,
     draining: AtomicBool,
     shutdown: AtomicBool,
@@ -282,6 +292,17 @@ impl Core {
             queue_capacity: self.config.capacity,
             shards_dead: self.dead_shards(),
             shards_total: self.shards.len(),
+            wal_degraded: self.wal_degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record that the journal hit a storage failure: the `wal-degraded`
+    /// observation is sticky and drives the ladder to reject — the
+    /// server keeps serving already-accepted work but refuses new
+    /// quotes it can no longer journal.
+    fn note_wal_degraded(&self, context: &str, e: &WalError) {
+        if !self.wal_degraded.swap(true, Ordering::Relaxed) {
+            eprintln!("cds-server: journal degraded ({context}): {e}");
         }
     }
 
@@ -317,11 +338,16 @@ impl Core {
     /// Durably accept a quote, allocating its journal sequence number.
     fn accept_seq(&self, id: u64, option: &CdsOption, priority: Priority) -> Result<u32, WalError> {
         match &self.wal {
-            Some(wal) => {
-                let seq = wal.accept(id, option, priority)?;
-                self.next_seq.store(seq + 1, Ordering::Relaxed);
-                Ok(seq)
-            }
+            Some(wal) => match wal.accept(id, option, priority) {
+                Ok(seq) => {
+                    self.next_seq.store(seq + 1, Ordering::Relaxed);
+                    Ok(seq)
+                }
+                Err(e) => {
+                    self.note_wal_degraded("accept", &e);
+                    Err(e)
+                }
+            },
             None => Ok(self.next_seq.fetch_add(1, Ordering::Relaxed)),
         }
     }
@@ -412,7 +438,7 @@ fn complete(core: &Core, job: &Job, spread: f64, epoch: u64, shard: Option<usize
     if !job.done.swap(true, Ordering::SeqCst) {
         if let Some(wal) = &core.wal {
             if let Err(e) = wal.done(job.seq, canonical) {
-                eprintln!("cds-server: journal completion write failed: {e}");
+                core.note_wal_degraded("completion", &e);
             }
         }
         core.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -987,7 +1013,11 @@ fn acceptor(
         Some(wal) => match wal.finalize() {
             Ok(cp) => Some(cp),
             Err(e) => {
-                eprintln!("cds-server: final checkpoint failed: {e}");
+                core.note_wal_degraded("drain finalize", &e);
+                eprintln!(
+                    "cds-server: final checkpoint failed: {e}; the durable journal prefix \
+                     remains resumable"
+                );
                 None
             }
         },
@@ -1068,7 +1098,16 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
     config.validate()?;
     let ladder = DegradationLadder::new(config.ladder).map_err(ServerError::Config)?;
     let wal = match &config.journal {
-        Some(path) => Some(WalWriter::create(path, config.seed, config.cadence)?),
+        Some(path) => {
+            let io: Arc<dyn JournalIo> = match config.wal_fault {
+                Some(spec) => Arc::new(FaultyJournalIo::over(
+                    Arc::new(OsJournalIo::new()),
+                    spec.plan(config.seed),
+                )),
+                None => Arc::new(OsJournalIo::new()),
+            };
+            Some(WalWriter::create_with_io(io, path, config.seed, config.cadence)?)
+        }
         None => None,
     };
     let admission = AdmissionControl::from_md1(config.service_micros, config.target_utilisation);
@@ -1089,6 +1128,7 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServerError> {
         shards,
         tenants,
         wal,
+        wal_degraded: AtomicBool::new(false),
         next_seq: AtomicU32::new(0),
         draining: AtomicBool::new(false),
         shutdown: AtomicBool::new(false),
@@ -1158,10 +1198,12 @@ pub fn resume_journal(path: &std::path::Path) -> Result<ResumeReport, ServerErro
             Some(&spread) => spreads.push((rec.seq, rec.id, spread, false)),
             None => {
                 let option = rec.option().map_err(|e| {
-                    ServerError::Wal(WalError::Corrupt(format!(
-                        "journalled quote seq {} no longer validates: {e}",
-                        rec.seq
-                    )))
+                    ServerError::Wal(WalError::Corrupt(CorruptionReport {
+                        file: path.to_path_buf(),
+                        offset: 0,
+                        line: None,
+                        cause: format!("journalled quote seq {} no longer validates: {e}", rec.seq),
+                    }))
                 })?;
                 spreads.push((rec.seq, rec.id, engine.price(&option).spread_bps, true));
                 repriced += 1;

@@ -12,18 +12,49 @@
 //! or it did not (accepted-but-incomplete quotes are recoverable as
 //! [`WalState::pending`] and reprice bit-identically — the CPU engine
 //! is deterministic given the epoch seed).
+//!
+//! ## Crash-consistent write discipline
+//!
+//! All storage goes through the engine's
+//! [`cds_engine::journal_io::JournalIo`] abstraction, which makes the
+//! ordering testable (and its violation loud) in the `storage-chaos`
+//! harness:
+//!
+//! 1. the journal is **fsynced before** every sidecar publish, so a
+//!    checkpoint can never be durable ahead of the completions it
+//!    summarizes ([`read_wal`] cross-validates and fails typed if one
+//!    is found anyway),
+//! 2. the sidecar is published via [`Checkpoint::persist`]: tmp file →
+//!    fsync → rename → parent-directory sync, so a crash leaves the
+//!    previous checkpoint or the new one, never a torn file,
+//! 3. the terminal `drain commit=` marker is appended only after the
+//!    final checkpoint is durable, and is itself fsynced.
+//!
+//! Per-record appends are flushed but *not* fsynced (a power loss may
+//! lose a tail of them); the journal is prefix-consistent, and every
+//! unsynced prefix resumes bit-identically — the `storage-chaos`
+//! crash-state enumeration proves it.
+//!
+//! ## Fail-stop degradation
+//!
+//! The writer is **fail-stop**: the first storage failure (ENOSPC,
+//! EIO, a short write) marks it degraded and every later append is
+//! refused with [`WalError::Degraded`] instead of stacking further
+//! writes after a hole. The on-disk journal stays torn-at-EOF at
+//! worst, so the durable prefix remains resumable. The server surfaces
+//! the flag as the `wal-degraded` ladder observation.
 
 use crate::proto::{f64_from_wire, f64_to_wire, Priority};
 use cds_engine::checkpoint::{Checkpoint, CompletedOption, CHECKPOINT_SCHEMA_VERSION};
+use cds_engine::journal_io::{FileId, JournalIo, OsJournalIo, StorageFaultPlan};
+use cds_engine::CdsError;
 use cds_quant::option::{CdsOption, PaymentFrequency};
 use cds_quant::QuantError;
 use dataflow_sim::Cycle;
 use std::collections::HashMap;
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::lock_recover;
 
@@ -34,20 +65,63 @@ pub const SERVER_SCENARIO: &str = "cds-server";
 
 const WAL_HEADER: &str = "cds-server-wal v1";
 
+/// An attributable corruption: which file, where, and why — every
+/// distinguishable corruption class [`read_wal`] can meet reports one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// The corrupt file (journal or checkpoint sidecar).
+    pub file: PathBuf,
+    /// Byte offset of the offending record (0 when the corruption is
+    /// not positional, e.g. a cross-file inconsistency).
+    pub offset: u64,
+    /// 1-based line number of the offending record, when positional.
+    pub line: Option<u64>,
+    /// What is wrong.
+    pub cause: String,
+}
+
+impl fmt::Display for CorruptionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(
+                f,
+                "{} line {line} (byte {}): {}",
+                self.file.display(),
+                self.offset,
+                self.cause
+            ),
+            None => write!(f, "{}: {}", self.file.display(), self.cause),
+        }
+    }
+}
+
 /// A journal failure.
 #[derive(Debug)]
 pub enum WalError {
     /// Filesystem-level failure.
     Io(std::io::Error),
-    /// The journal or its checkpoint sidecar is malformed.
-    Corrupt(String),
+    /// The writer was misconfigured.
+    Config(&'static str),
+    /// The writer is fail-stop after an earlier storage failure; the
+    /// durable journal prefix remains resumable, but no further
+    /// appends are accepted.
+    Degraded,
+    /// The journal or its checkpoint sidecar is malformed; the report
+    /// attributes the corruption to a file, offset, and cause.
+    Corrupt(CorruptionReport),
 }
 
 impl fmt::Display for WalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WalError::Io(e) => write!(f, "journal io error: {e}"),
-            WalError::Corrupt(reason) => write!(f, "journal corrupt: {reason}"),
+            WalError::Config(reason) => write!(f, "journal misconfigured: {reason}"),
+            WalError::Degraded => write!(
+                f,
+                "journal degraded: an earlier storage failure made the writer fail-stop \
+                 (the durable prefix remains resumable)"
+            ),
+            WalError::Corrupt(report) => write!(f, "journal corrupt: {report}"),
         }
     }
 }
@@ -58,10 +132,6 @@ impl From<std::io::Error> for WalError {
     fn from(e: std::io::Error) -> Self {
         WalError::Io(e)
     }
-}
-
-fn corrupt(reason: impl Into<String>) -> WalError {
-    WalError::Corrupt(reason.into())
 }
 
 /// One accepted quote, durable before dispatch.
@@ -102,26 +172,89 @@ fn freq_token(f: PaymentFrequency) -> &'static str {
     }
 }
 
-fn freq_parse(tok: &str) -> Result<PaymentFrequency, WalError> {
+fn freq_parse(tok: &str) -> Result<PaymentFrequency, String> {
     match tok {
         "A" => Ok(PaymentFrequency::Annual),
         "S" => Ok(PaymentFrequency::SemiAnnual),
         "Q" => Ok(PaymentFrequency::Quarterly),
         "M" => Ok(PaymentFrequency::Monthly),
-        other => Err(corrupt(format!("bad frequency `{other}`"))),
+        other => Err(format!("bad frequency `{other}`")),
+    }
+}
+
+/// Which storage fault `--wal-fault` injects into the server's journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalFaultKind {
+    /// The targeted append fails with ENOSPC.
+    Enospc,
+    /// The targeted append fails with EIO.
+    Eio,
+    /// The targeted append lands a seeded prefix, then fails.
+    ShortWrite,
+    /// Every fsync from the given index onward lies.
+    LyingFsync,
+}
+
+/// A parsed `--wal-fault <kind>@<n>` specification: inject `kind` at
+/// absolute journal-io operation index `at` (append index for the
+/// write faults, fsync index for the lying fsync).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalFaultSpec {
+    /// The fault class to inject.
+    pub kind: WalFaultKind,
+    /// Absolute per-class operation index.
+    pub at: u64,
+}
+
+impl WalFaultSpec {
+    /// Expand into a [`StorageFaultPlan`] seeded with `seed`.
+    #[must_use]
+    pub fn plan(self, seed: u64) -> StorageFaultPlan {
+        let plan = StorageFaultPlan::new(seed);
+        match self.kind {
+            WalFaultKind::Enospc => plan.enospc_at(self.at),
+            WalFaultKind::Eio => plan.eio_at(self.at),
+            WalFaultKind::ShortWrite => plan.short_write_at(self.at),
+            WalFaultKind::LyingFsync => plan.lying_fsync_from(self.at),
+        }
+    }
+}
+
+impl std::str::FromStr for WalFaultSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<WalFaultSpec, String> {
+        let (kind, at) = s
+            .split_once('@')
+            .ok_or_else(|| format!("bad wal fault `{s}` (want <kind>@<index>)"))?;
+        let kind = match kind {
+            "enospc" => WalFaultKind::Enospc,
+            "eio" => WalFaultKind::Eio,
+            "short" => WalFaultKind::ShortWrite,
+            "liar" => WalFaultKind::LyingFsync,
+            other => {
+                return Err(format!("bad wal fault kind `{other}` (want enospc|eio|short|liar)"))
+            }
+        };
+        let at = at.parse::<u64>().map_err(|_| format!("bad wal fault index `{at}`"))?;
+        Ok(WalFaultSpec { kind, at })
     }
 }
 
 struct WalInner {
-    file: BufWriter<File>,
+    io: Arc<dyn JournalIo>,
+    file: FileId,
     ckpt_path: PathBuf,
     cadence: u32,
     accepted: u32,
     completions: Vec<CompletedOption>,
+    degraded: bool,
 }
 
 /// Appender half of the journal; all methods flush before returning so
-/// a kill after an `accept` never loses the acceptance.
+/// a kill after an `accept` never loses the acceptance. Fail-stop: the
+/// first storage failure degrades the writer permanently (see the
+/// module docs).
 pub struct WalWriter {
     seed: u64,
     inner: Mutex<WalInner>,
@@ -133,30 +266,92 @@ impl fmt::Debug for WalWriter {
     }
 }
 
-impl WalWriter {
-    /// Create (truncate) a journal at `path`. `seed` is the boot curve
-    /// epoch seed; `cadence` is the completions-per-checkpoint interval.
-    pub fn create(path: &Path, seed: u64, cadence: u32) -> Result<WalWriter, WalError> {
-        if cadence == 0 {
-            return Err(corrupt("checkpoint cadence must be at least 1"));
+fn append_line(inner: &mut WalInner, line: &str) -> Result<(), WalError> {
+    if inner.degraded {
+        return Err(WalError::Degraded);
+    }
+    match inner.io.append(inner.file, line.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            inner.degraded = true;
+            Err(WalError::Io(e))
         }
-        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
-        let mut file = BufWriter::new(file);
-        writeln!(file, "{WAL_HEADER}")?;
-        writeln!(file, "seed={seed}")?;
-        writeln!(file, "cadence={cadence}")?;
-        file.flush()?;
+    }
+}
+
+fn fsync_journal(inner: &mut WalInner) -> Result<(), WalError> {
+    if inner.degraded {
+        return Err(WalError::Degraded);
+    }
+    match inner.io.fsync(inner.file) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            inner.degraded = true;
+            Err(WalError::Io(e))
+        }
+    }
+}
+
+/// Publish the current checkpoint sidecar. The caller must have
+/// fsynced the journal first so the sidecar is never durable ahead of
+/// the completions it summarizes.
+fn publish_sidecar(inner: &mut WalInner) -> Result<Checkpoint, WalError> {
+    if inner.degraded {
+        return Err(WalError::Degraded);
+    }
+    let cp = build_checkpoint(inner);
+    match cp.persist(inner.io.as_ref(), &inner.ckpt_path) {
+        Ok(()) => Ok(cp),
+        Err(CdsError::Storage { path, cause }) => {
+            inner.degraded = true;
+            Err(WalError::Io(std::io::Error::other(format!("sidecar {path}: {cause}"))))
+        }
+        Err(other) => {
+            inner.degraded = true;
+            Err(WalError::Io(std::io::Error::other(format!("sidecar publish: {other}"))))
+        }
+    }
+}
+
+impl WalWriter {
+    /// Create (truncate) a journal at `path` on the real filesystem.
+    /// `seed` is the boot curve epoch seed; `cadence` is the
+    /// completions-per-checkpoint interval.
+    pub fn create(path: &Path, seed: u64, cadence: u32) -> Result<WalWriter, WalError> {
+        WalWriter::create_with_io(Arc::new(OsJournalIo::new()), path, seed, cadence)
+    }
+
+    /// Create a journal over an explicit storage substrate — the real
+    /// filesystem, a recording wrapper, or a fault-injecting one.
+    pub fn create_with_io(
+        io: Arc<dyn JournalIo>,
+        path: &Path,
+        seed: u64,
+        cadence: u32,
+    ) -> Result<WalWriter, WalError> {
+        if cadence == 0 {
+            return Err(WalError::Config("checkpoint cadence must be at least 1"));
+        }
+        let file = io.create(path)?;
+        io.append(file, format!("{WAL_HEADER}\nseed={seed}\ncadence={cadence}\n").as_bytes())?;
         let ckpt_path = sidecar_path(path);
         Ok(WalWriter {
             seed,
             inner: Mutex::new(WalInner {
+                io,
                 file,
                 ckpt_path,
                 cadence,
                 accepted: 0,
                 completions: Vec::new(),
+                degraded: false,
             }),
         })
+    }
+
+    /// True once a storage failure has made the writer fail-stop.
+    pub fn is_degraded(&self) -> bool {
+        lock_recover(&self.inner).degraded
     }
 
     /// Durably record an acceptance and allocate its sequence number.
@@ -168,53 +363,53 @@ impl WalWriter {
             Priority::High => "HI",
             Priority::Low => "LO",
         };
-        writeln!(
-            inner.file,
-            "accept seq={seq} id={id} mat={} freq={} rec={} prio={prio}",
+        let line = format!(
+            "accept seq={seq} id={id} mat={} freq={} rec={} prio={prio}\n",
             f64_to_wire(option.maturity),
             freq_token(option.frequency),
             f64_to_wire(option.recovery_rate),
-        )?;
-        inner.file.flush()?;
+        );
+        append_line(&mut inner, &line)?;
         inner.accepted += 1;
         Ok(seq)
     }
 
     /// Durably record a completion (the canonical spread for `seq`).
-    /// Every `cadence` completions the checkpoint sidecar is rewritten
-    /// atomically.
+    /// Every `cadence` completions the journal is fsynced and the
+    /// checkpoint sidecar rewritten atomically — in that order, so the
+    /// sidecar is never durable ahead of its journal.
     pub fn done(&self, seq: u32, spread_bps: f64) -> Result<(), WalError> {
         let mut inner = lock_recover(&self.inner);
-        writeln!(inner.file, "done seq={seq} bits={}", f64_to_wire(spread_bps))?;
-        inner.file.flush()?;
+        append_line(&mut inner, &format!("done seq={seq} bits={}\n", f64_to_wire(spread_bps)))?;
         let done_cycle = inner.completions.len() as Cycle;
         inner.completions.push(CompletedOption { index: seq, done_cycle, spread_bps });
         if (inner.completions.len() as u32).is_multiple_of(inner.cadence) {
-            let cp = build_checkpoint(&inner);
-            write_sidecar(&inner.ckpt_path, &cp)?;
+            fsync_journal(&mut inner)?;
+            publish_sidecar(&mut inner)?;
         }
         Ok(())
     }
 
-    /// Snapshot the current checkpoint (also rewrites the sidecar).
+    /// Snapshot the current checkpoint (fsyncs the journal, then
+    /// rewrites the sidecar).
     pub fn checkpoint_now(&self) -> Result<Checkpoint, WalError> {
-        let inner = lock_recover(&self.inner);
-        let cp = build_checkpoint(&inner);
-        write_sidecar(&inner.ckpt_path, &cp)?;
-        Ok(cp)
+        let mut inner = lock_recover(&self.inner);
+        fsync_journal(&mut inner)?;
+        publish_sidecar(&mut inner)
     }
 
-    /// Terminal drain record: writes the final checkpoint sidecar and a
-    /// `drain commit=` line marking how many completions were durable at
-    /// drain. Pending quotes (if the drain deadline expired first)
+    /// Terminal drain record: fsyncs the journal, writes the final
+    /// checkpoint sidecar, and only then appends (and fsyncs) the
+    /// `drain commit=` line marking how many completions were durable
+    /// at drain. Pending quotes (if the drain deadline expired first)
     /// remain recoverable.
     pub fn finalize(&self) -> Result<Checkpoint, WalError> {
         let mut inner = lock_recover(&self.inner);
-        let cp = build_checkpoint(&inner);
-        write_sidecar(&inner.ckpt_path, &cp)?;
+        fsync_journal(&mut inner)?;
+        let cp = publish_sidecar(&mut inner)?;
         let commit = inner.completions.len();
-        writeln!(inner.file, "drain commit={commit}")?;
-        inner.file.flush()?;
+        append_line(&mut inner, &format!("drain commit={commit}\n"))?;
+        fsync_journal(&mut inner)?;
         Ok(cp)
     }
 }
@@ -238,17 +433,6 @@ pub fn sidecar_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".ckpt");
     PathBuf::from(os)
-}
-
-fn write_sidecar(path: &Path, cp: &Checkpoint) -> Result<(), WalError> {
-    let tmp = {
-        let mut os = path.as_os_str().to_os_string();
-        os.push(".tmp");
-        PathBuf::from(os)
-    };
-    std::fs::write(&tmp, cp.to_text())?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
 }
 
 /// Everything a journal recovers to.
@@ -276,97 +460,178 @@ impl WalState {
     }
 }
 
-fn parse_kv<'a>(tok: &'a str, key: &str) -> Result<&'a str, WalError> {
+fn parse_kv<'a>(tok: &'a str, key: &str) -> Result<&'a str, String> {
     tok.strip_prefix(key)
         .and_then(|r| r.strip_prefix('='))
-        .ok_or_else(|| corrupt(format!("expected `{key}=`, got `{tok}`")))
+        .ok_or_else(|| format!("expected `{key}=`, got `{tok}`"))
 }
 
-fn parse_accept(toks: &[&str]) -> Result<AcceptRecord, WalError> {
+/// Strict journal-side f64 wire parse: exactly `0x` + 16 hex digits.
+///
+/// The TCP protocol's [`f64_from_wire`] is deliberately lenient (it
+/// accepts decimals and short hex from clients), but journal records
+/// are only ever written by [`f64_to_wire`], which always emits 16
+/// digits — so a shorter pattern here can only be a **torn write**,
+/// and accepting it would silently resume a wrong spread (`0x4059`
+/// parses as a valid, tiny f64). Rejecting it instead turns the torn
+/// byte into a dropped tail or a typed corruption.
+fn f64_wire_strict(tok: &str) -> Result<f64, String> {
+    let hex = tok.strip_prefix("0x").ok_or_else(|| format!("bad f64 wire `{tok}`"))?;
+    if hex.len() != 16 {
+        return Err(format!("truncated f64 bit pattern `{tok}` (want 16 hex digits)"));
+    }
+    f64_from_wire(tok).map_err(|e| e.reason)
+}
+
+fn parse_accept(toks: &[&str]) -> Result<AcceptRecord, String> {
     match toks {
         [seq, id, mat, freq, rec, prio] => Ok(AcceptRecord {
-            seq: parse_kv(seq, "seq")?
-                .parse::<u32>()
-                .map_err(|_| corrupt(format!("bad seq in `{seq}`")))?,
-            id: parse_kv(id, "id")?
-                .parse::<u64>()
-                .map_err(|_| corrupt(format!("bad id in `{id}`")))?,
-            maturity: f64_from_wire(parse_kv(mat, "mat")?).map_err(|e| corrupt(e.reason))?,
+            seq: parse_kv(seq, "seq")?.parse::<u32>().map_err(|_| format!("bad seq in `{seq}`"))?,
+            id: parse_kv(id, "id")?.parse::<u64>().map_err(|_| format!("bad id in `{id}`"))?,
+            maturity: f64_wire_strict(parse_kv(mat, "mat")?)?,
             frequency: freq_parse(parse_kv(freq, "freq")?)?,
-            recovery: f64_from_wire(parse_kv(rec, "rec")?).map_err(|e| corrupt(e.reason))?,
+            recovery: f64_wire_strict(parse_kv(rec, "rec")?)?,
             priority: match parse_kv(prio, "prio")? {
                 "HI" => Priority::High,
                 "LO" => Priority::Low,
-                other => return Err(corrupt(format!("bad priority `{other}`"))),
+                other => return Err(format!("bad priority `{other}`")),
             },
         }),
-        _ => Err(corrupt("malformed accept record")),
+        _ => Err("malformed accept record".to_string()),
     }
 }
 
-fn parse_line(state: &mut WalState, line: &str) -> Result<(), WalError> {
+fn parse_line(state: &mut WalState, line: &str) -> Result<(), String> {
     let toks: Vec<&str> = line.split_whitespace().collect();
     match toks.split_first() {
         Some((&"accept", rest)) => {
             let rec = parse_accept(rest)?;
             if rec.seq as usize != state.accepted.len() {
-                return Err(corrupt(format!(
+                return Err(format!(
                     "accept seq {} out of order (expected {})",
                     rec.seq,
                     state.accepted.len()
-                )));
+                ));
             }
             state.accepted.push(rec);
             Ok(())
         }
         Some((&"done", [seq, bits])) => {
-            let seq = parse_kv(seq, "seq")?
-                .parse::<u32>()
-                .map_err(|_| corrupt(format!("bad seq in `{seq}`")))?;
+            let seq =
+                parse_kv(seq, "seq")?.parse::<u32>().map_err(|_| format!("bad seq in `{seq}`"))?;
             if seq as usize >= state.accepted.len() {
-                return Err(corrupt(format!("done for unaccepted seq {seq}")));
+                return Err(format!("done for unaccepted seq {seq}"));
             }
-            let spread = f64_from_wire(parse_kv(bits, "bits")?).map_err(|e| corrupt(e.reason))?;
+            let spread = f64_wire_strict(parse_kv(bits, "bits")?)?;
             state.done.insert(seq, spread);
             Ok(())
         }
         Some((&"drain", [commit])) => {
             let commit = parse_kv(commit, "commit")?
                 .parse::<usize>()
-                .map_err(|_| corrupt(format!("bad commit in `{commit}`")))?;
+                .map_err(|_| format!("bad commit in `{commit}`"))?;
             if commit != state.done.len() {
-                return Err(corrupt(format!(
+                return Err(format!(
                     "drain commit {} disagrees with {} durable completions",
                     commit,
                     state.done.len()
-                )));
+                ));
             }
             state.drained = true;
             Ok(())
         }
-        _ => Err(corrupt(format!("unknown journal record `{line}`"))),
+        _ => Err(format!("unknown journal record `{line}`")),
     }
 }
 
+/// Cross-validate the checkpoint sidecar against the journal it
+/// summarizes: with the write discipline intact the journal is always
+/// durable first, so a sidecar that is *ahead* of the journal (more
+/// accepts, or a completion the journal never recorded, or a
+/// disagreeing spread) is corruption — typed, attributable, never a
+/// silent resume of the wrong work.
+fn cross_validate(state: &WalState, cp: &Checkpoint, ckpt_path: &Path) -> Result<(), WalError> {
+    let corrupt = |cause: String| {
+        WalError::Corrupt(CorruptionReport {
+            file: ckpt_path.to_path_buf(),
+            offset: 0,
+            line: None,
+            cause,
+        })
+    };
+    if cp.total_options as usize > state.accepted.len() {
+        return Err(corrupt(format!(
+            "checkpoint summarizes {} accepted quotes but the journal holds {} — the sidecar \
+             is durable ahead of its journal",
+            cp.total_options,
+            state.accepted.len()
+        )));
+    }
+    for c in &cp.completed {
+        match state.done.get(&c.index) {
+            None => {
+                return Err(corrupt(format!(
+                    "checkpoint holds a completion for seq {} the journal never recorded — \
+                     the sidecar is durable ahead of its journal",
+                    c.index
+                )))
+            }
+            Some(spread) if spread.to_bits() != c.spread_bps.to_bits() => {
+                return Err(corrupt(format!(
+                    "checkpoint spread for seq {} ({:016x}) disagrees with the journal \
+                     ({:016x})",
+                    c.index,
+                    c.spread_bps.to_bits(),
+                    spread.to_bits()
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
 /// Read a journal (and its checkpoint sidecar) back. A torn final line
-/// — the signature of a kill mid-write — is dropped; corruption
-/// anywhere else fails typed.
+/// — the signature of a kill or power loss mid-write — is dropped;
+/// corruption anywhere else fails typed with an attributable
+/// [`CorruptionReport`] (file, byte offset, line, cause).
 pub fn read_wal(path: &Path) -> Result<WalState, WalError> {
     let text = std::fs::read_to_string(path)?;
-    let ends_clean = text.ends_with('\n');
-    let lines: Vec<&str> = text.lines().collect();
-    let (header, body) = match lines.split_first() {
-        Some((h, b)) if *h == WAL_HEADER => (h, b),
-        Some((h, _)) => return Err(corrupt(format!("bad header `{h}`"))),
-        None => return Err(corrupt("empty journal")),
+    let corrupt = |offset: u64, line: Option<u64>, cause: String| {
+        WalError::Corrupt(CorruptionReport { file: path.to_path_buf(), offset, line, cause })
     };
-    let _ = header;
-    let (seed_line, body) = body.split_first().ok_or_else(|| corrupt("journal missing seed"))?;
-    let seed = parse_kv(seed_line, "seed")?.parse::<u64>().map_err(|_| corrupt("bad seed"))?;
-    let (cadence_line, body) =
-        body.split_first().ok_or_else(|| corrupt("journal missing cadence"))?;
-    let cadence =
-        parse_kv(cadence_line, "cadence")?.parse::<u32>().map_err(|_| corrupt("bad cadence"))?;
+    let ends_clean = text.ends_with('\n');
+    // Each record with its byte offset and 1-based line number.
+    let mut records: Vec<(u64, u64, &str)> = Vec::new();
+    let mut offset = 0u64;
+    for (i, seg) in text.split_inclusive('\n').enumerate() {
+        let line = seg.strip_suffix('\n').unwrap_or(seg);
+        records.push((offset, i as u64 + 1, line));
+        offset += seg.len() as u64;
+    }
+    let mut rest = records.as_slice();
+    let mut take_header = |expect: &str| -> Result<(u64, u64, &str), WalError> {
+        match rest.split_first() {
+            Some((&(off, line_no, line), tail)) => {
+                rest = tail;
+                Ok((off, line_no, line))
+            }
+            None => Err(corrupt(offset, None, format!("journal missing {expect}"))),
+        }
+    };
+    let (h_off, h_line, header) = take_header("header")?;
+    if header != WAL_HEADER {
+        return Err(corrupt(h_off, Some(h_line), format!("bad header `{header}`")));
+    }
+    let (s_off, s_line, seed_line) = take_header("seed")?;
+    let seed = parse_kv(seed_line, "seed")
+        .and_then(|v| v.parse::<u64>().map_err(|_| "bad seed".to_string()))
+        .map_err(|cause| corrupt(s_off, Some(s_line), cause))?;
+    let (c_off, c_line, cadence_line) = take_header("cadence")?;
+    let cadence = parse_kv(cadence_line, "cadence")
+        .and_then(|v| v.parse::<u32>().map_err(|_| "bad cadence".to_string()))
+        .map_err(|cause| corrupt(c_off, Some(c_line), cause))?;
+    let body = rest;
 
     let mut state = WalState {
         seed,
@@ -376,34 +641,45 @@ pub fn read_wal(path: &Path) -> Result<WalState, WalError> {
         drained: false,
         checkpoint: None,
     };
-    for (i, line) in body.iter().enumerate() {
+    for (i, &(off, line_no, line)) in body.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        if let Err(e) = parse_line(&mut state, line) {
+        if let Err(cause) = parse_line(&mut state, line) {
             let is_last = i + 1 == body.len();
             if is_last && !ends_clean {
                 break; // torn tail from a mid-write kill: drop it
             }
-            return Err(e);
+            return Err(corrupt(off, Some(line_no), cause));
         }
     }
 
     let ckpt_path = sidecar_path(path);
     if ckpt_path.exists() {
         let text = std::fs::read_to_string(&ckpt_path)?;
-        let cp =
-            Checkpoint::parse(&text).map_err(|e| corrupt(format!("checkpoint sidecar: {e}")))?;
+        let cp = Checkpoint::parse(&text).map_err(|e| {
+            WalError::Corrupt(CorruptionReport {
+                file: ckpt_path.clone(),
+                offset: 0,
+                line: None,
+                cause: format!("checkpoint sidecar: {e}"),
+            })
+        })?;
         match cp.scenario.as_deref() {
             Some(SERVER_SCENARIO) => {}
             other => {
-                return Err(corrupt(format!(
-                    "checkpoint scenario {:?} is not `{SERVER_SCENARIO}`; refusing to resume \
-                     someone else's journal",
-                    other
-                )))
+                return Err(WalError::Corrupt(CorruptionReport {
+                    file: ckpt_path.clone(),
+                    offset: 0,
+                    line: None,
+                    cause: format!(
+                        "checkpoint scenario {other:?} is not `{SERVER_SCENARIO}`; refusing to \
+                         resume someone else's journal"
+                    ),
+                }))
             }
         }
+        cross_validate(&state, &cp, &ckpt_path)?;
         state.checkpoint = Some(cp);
     }
     Ok(state)
@@ -412,6 +688,9 @@ pub fn read_wal(path: &Path) -> Result<WalState, WalError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cds_engine::journal_io::{
+        sync_ordering_held, FaultyJournalIo, JournalOp, RecordingJournalIo,
+    };
     use cds_quant::option::PaymentFrequency;
 
     fn tmp(name: &str) -> PathBuf {
@@ -472,12 +751,19 @@ mod tests {
         assert_eq!(state.pending().len(), 0);
         assert!(!state.drained);
         // The same garbage mid-file (newline-terminated, with records
-        // after it) is corruption, not a torn tail.
+        // after it) is corruption, not a torn tail — and the report
+        // attributes it to the right file, line, and byte offset.
         let mut text = std::fs::read_to_string(&path).expect("read back");
+        let torn_offset = text.len() as u64;
         text.push_str("\ndone seq=0 bits=0x4059000000000000\n");
         std::fs::write(&path, &text).expect("rewrite");
         match read_wal(&path) {
-            Err(WalError::Corrupt(_)) => {}
+            Err(WalError::Corrupt(report)) => {
+                assert_eq!(report.file, path);
+                assert_eq!(report.offset, torn_offset - "accept seq=1 id=2 mat=0x40".len() as u64);
+                assert_eq!(report.line, Some(6));
+                assert!(report.cause.contains("accept"), "cause: {}", report.cause);
+            }
             other => panic!("interior corruption must be typed, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
@@ -495,12 +781,153 @@ mod tests {
         let text = std::fs::read_to_string(&ckpt).expect("sidecar");
         std::fs::write(&ckpt, text.replace(SERVER_SCENARIO, "corrupt-spread")).expect("rewrite");
         match read_wal(&path) {
-            Err(WalError::Corrupt(reason)) => {
-                assert!(reason.contains("corrupt-spread"), "reason: {reason}");
+            Err(WalError::Corrupt(report)) => {
+                assert_eq!(report.file, ckpt);
+                assert!(report.cause.contains("corrupt-spread"), "cause: {}", report.cause);
             }
             other => panic!("foreign scenario must be refused, got {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&ckpt);
+    }
+
+    /// Satellite regression test for the fsync-ordering fix: the trace
+    /// must show journal-fsync before every sidecar publish, tmp-file
+    /// fsync before its rename, and a parent-directory sync after — and
+    /// the terminal drain marker only after the final sidecar sync.
+    #[test]
+    fn sync_calls_happen_in_order_on_the_trace() {
+        let dir = std::env::temp_dir().join(format!("cds-wal-order-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("j.wal");
+        let rec = Arc::new(RecordingJournalIo::over(Arc::new(OsJournalIo::new())));
+        let wal = WalWriter::create_with_io(rec.clone(), &path, 42, 2).expect("create");
+        wal.accept(1, &opt(), Priority::High).expect("accept");
+        wal.accept(2, &opt(), Priority::High).expect("accept");
+        wal.done(0, 100.0).expect("done");
+        wal.done(1, 101.0).expect("done"); // cadence hit: fsync + sidecar
+        wal.finalize().expect("finalize");
+        let trace = rec.trace();
+        assert!(sync_ordering_held(&trace), "write discipline violated: {trace:#?}");
+        // Journal fsync precedes the first sidecar tmp creation.
+        let journal_fsync = trace
+            .iter()
+            .position(|op| matches!(op, JournalOp::Fsync { path: p } if *p == path))
+            .expect("journal fsync present");
+        let tmp_create = trace
+            .iter()
+            .position(
+                |op| matches!(op, JournalOp::Create { path: p } if p.to_string_lossy().contains(".ckpt.tmp")),
+            )
+            .expect("sidecar tmp created");
+        assert!(
+            journal_fsync < tmp_create,
+            "journal must be synced before the sidecar: {trace:#?}"
+        );
+        // The drain marker is the last journal append, after the final
+        // parent-directory sync, and is itself fsynced.
+        let last_dirsync = trace
+            .iter()
+            .rposition(|op| matches!(op, JournalOp::SyncDir { .. }))
+            .expect("dir sync present");
+        let drain_append = trace
+            .iter()
+            .rposition(
+                |op| matches!(op, JournalOp::Append { path: p, bytes } if *p == path && bytes.starts_with(b"drain ")),
+            )
+            .expect("drain marker present");
+        assert!(last_dirsync < drain_append, "drain marker must follow the sidecar sync");
+        let final_fsync = trace
+            .iter()
+            .rposition(|op| matches!(op, JournalOp::Fsync { path: p } if *p == path))
+            .expect("final fsync present");
+        assert!(drain_append < final_fsync, "drain marker must be fsynced");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_makes_the_writer_fail_stop_but_the_prefix_resumable() {
+        let dir = std::env::temp_dir().join(format!("cds-wal-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("dir");
+        let path = dir.join("j.wal");
+        // Append 0 is the header; appends 1..=2 the accepts; append 3
+        // (the first done line) hits injected ENOSPC.
+        let io = Arc::new(FaultyJournalIo::over(
+            Arc::new(OsJournalIo::new()),
+            StorageFaultPlan::new(42).enospc_at(3),
+        ));
+        let wal = WalWriter::create_with_io(io.clone(), &path, 42, 8).expect("create");
+        wal.accept(10, &opt(), Priority::High).expect("accept");
+        wal.accept(11, &opt(), Priority::High).expect("accept");
+        match wal.done(0, 100.0) {
+            Err(WalError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::StorageFull),
+            other => panic!("expected ENOSPC, got {other:?}"),
+        }
+        assert!(wal.is_degraded());
+        assert!(io.counters().any());
+        // Fail-stop: everything after the failure is refused…
+        assert!(matches!(wal.done(1, 101.0), Err(WalError::Degraded)));
+        assert!(matches!(wal.accept(12, &opt(), Priority::High), Err(WalError::Degraded)));
+        assert!(matches!(wal.finalize(), Err(WalError::Degraded)));
+        // …so the on-disk journal is a clean resumable prefix.
+        let state = read_wal(&path).expect("prefix resumes");
+        assert_eq!(state.accepted.len(), 2);
+        assert_eq!(state.done.len(), 0);
+        assert_eq!(state.pending().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecar_ahead_of_journal_is_typed_cross_validation_corruption() {
+        let path = tmp("ahead.wal");
+        let wal = WalWriter::create(&path, 7, 1).expect("create");
+        wal.accept(1, &opt(), Priority::High).expect("accept");
+        wal.done(0, 100.0).expect("done"); // publishes a sidecar
+        drop(wal);
+        // Truncate the journal back to its header: the sidecar now
+        // summarizes work the journal never recorded (the state a
+        // missing journal fsync could leave behind).
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let header_end = text.match_indices('\n').nth(2).map(|(i, _)| i + 1).expect("header lines");
+        std::fs::write(&path, &text[..header_end]).expect("truncate");
+        match read_wal(&path) {
+            Err(WalError::Corrupt(report)) => {
+                assert_eq!(report.file, sidecar_path(&path));
+                assert!(report.cause.contains("ahead of its journal"), "cause: {}", report.cause);
+            }
+            other => panic!("sidecar-ahead must be typed, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(sidecar_path(&path));
+    }
+
+    #[test]
+    fn truncated_bits_never_misparse_as_a_valid_spread() {
+        assert_eq!(
+            f64_wire_strict("0x4059000000000000").expect("full pattern").to_bits(),
+            0x4059_0000_0000_0000
+        );
+        // A torn tail of the same record must be rejected, not read as
+        // the (valid, wrong) tiny float 0x4059.
+        assert!(f64_wire_strict("0x4059").is_err());
+        assert!(f64_wire_strict("103.5").is_err());
+        assert!(f64_wire_strict("0x").is_err());
+    }
+
+    #[test]
+    fn wal_fault_specs_parse_and_reject() {
+        assert_eq!(
+            "enospc@3".parse::<WalFaultSpec>().expect("parse"),
+            WalFaultSpec { kind: WalFaultKind::Enospc, at: 3 }
+        );
+        assert_eq!(
+            "liar@0".parse::<WalFaultSpec>().expect("parse"),
+            WalFaultSpec { kind: WalFaultKind::LyingFsync, at: 0 }
+        );
+        assert!("enospc".parse::<WalFaultSpec>().is_err());
+        assert!("gremlin@3".parse::<WalFaultSpec>().is_err());
+        assert!("eio@many".parse::<WalFaultSpec>().is_err());
     }
 }

@@ -12,14 +12,15 @@ use cds_server::ladder::{DegradationLadder, LadderConfig, LadderTelemetry, Rung}
 use proptest::prelude::*;
 
 fn telemetry_strategy() -> impl Strategy<Value = LadderTelemetry> {
-    (0u64..200, 1u64..200, 0usize..5, 1usize..5).prop_map(|(depth, capacity, dead, total)| {
-        LadderTelemetry {
+    (0u64..200, 1u64..200, 0usize..5, 1usize..5, 0u32..2).prop_map(
+        |(depth, capacity, dead, total, degraded)| LadderTelemetry {
             queue_depth: depth,
             queue_capacity: capacity,
             shards_dead: dead.min(total),
             shards_total: total,
-        }
-    })
+            wal_degraded: degraded == 1,
+        },
+    )
 }
 
 proptest! {
@@ -31,11 +32,13 @@ proptest! {
         t in telemetry_strategy(),
         extra_depth in 0u64..100,
         extra_dead in 0usize..4,
+        extra_degraded in 0u32..2,
     ) {
         let config = LadderConfig::default();
         let worse = LadderTelemetry {
             queue_depth: t.queue_depth + extra_depth,
             shards_dead: (t.shards_dead + extra_dead).min(t.shards_total),
+            wal_degraded: t.wal_degraded || extra_degraded == 1,
             ..t
         };
         let base = DegradationLadder::target(&t, &config);
@@ -76,13 +79,9 @@ proptest! {
             queue_capacity: 100,
             shards_dead: 0,
             shards_total: 4,
+            wal_degraded: false,
         };
-        let calm = LadderTelemetry {
-            queue_depth: 0,
-            queue_capacity: 100,
-            shards_dead: 0,
-            shards_total: 4,
-        };
+        let calm = LadderTelemetry { queue_depth: 0, ..saturated };
         for expected in [Rung::ShedLowPriority, Rung::CpuFallback, Rung::RejectRetryAfter] {
             prop_assert_eq!(ladder.observe(&saturated), expected);
         }
