@@ -129,3 +129,34 @@ impl SpreadModel for LgdFloor {
         ReferenceModel.spread_bps(market, &clamped)
     }
 }
+
+/// Carries hidden per-call state: every quote drifts multiplicatively
+/// by a further 1e-13 — think a caching layer whose accumulator is
+/// never reset. Each individual answer is within any reasonable
+/// tolerance of the truth, so the monotonicity, homogeneity and limit
+/// relations all still hold, but re-publishing bit-identical inputs no
+/// longer returns bit-identical quotes. Caught by `zero-delta-tick`.
+#[derive(Default)]
+pub struct StatefulDrift {
+    calls: std::cell::Cell<u64>,
+}
+
+impl StatefulDrift {
+    /// A fresh drifting model (counter at zero).
+    #[must_use]
+    pub fn new() -> Self {
+        StatefulDrift::default()
+    }
+}
+
+impl SpreadModel for StatefulDrift {
+    fn name(&self) -> &str {
+        "mutant/stateful-drift"
+    }
+
+    fn spread_bps(&self, market: &MarketData<f64>, option: &CdsOption) -> Result<f64, String> {
+        let n = self.calls.get() + 1;
+        self.calls.set(n);
+        ReferenceModel.spread_bps(market, option).map(|s| s * (1.0 + 1e-13 * n as f64))
+    }
+}

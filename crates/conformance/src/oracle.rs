@@ -13,6 +13,7 @@
 //! | schedule refinement | halving the payment period moves the spread by geometrically shrinking steps (first-order convergence in Δ) |
 //! | degenerate: zero hazard | no default risk ⇒ zero spread |
 //! | degenerate: full recovery | `recovery → 1` ⇒ the spread collapses proportionally to the residual LGD |
+//! | zero-delta tick | re-publishing bit-identical curve points changes nothing: quotes stay bit-stable and the incremental affected set is empty |
 //!
 //! A mutation suite (`crate::mutants`, exercised in `tests/mutation.rs`)
 //! proves every relation can actually fail: for each relation there is a
@@ -91,11 +92,13 @@ pub enum Relation {
     ZeroHazardLimit,
     /// Recovery → 1 ⇒ spread → 0 proportionally to residual LGD.
     FullRecoveryLimit,
+    /// Re-publishing identical curve points is a bitwise no-op.
+    ZeroDeltaTick,
 }
 
 impl Relation {
     /// Every relation, in report order.
-    pub const ALL: [Relation; 7] = [
+    pub const ALL: [Relation; 8] = [
         Relation::ParFixedPoint,
         Relation::MonotoneInHazard,
         Relation::MonotoneInRecovery,
@@ -103,6 +106,7 @@ impl Relation {
         Relation::ScheduleRefinement,
         Relation::ZeroHazardLimit,
         Relation::FullRecoveryLimit,
+        Relation::ZeroDeltaTick,
     ];
 
     /// Stable machine-readable label.
@@ -116,6 +120,7 @@ impl Relation {
             Relation::ScheduleRefinement => "schedule-refinement",
             Relation::ZeroHazardLimit => "zero-hazard-limit",
             Relation::FullRecoveryLimit => "full-recovery-limit",
+            Relation::ZeroDeltaTick => "zero-delta-tick",
         }
     }
 
@@ -285,6 +290,66 @@ impl Relation {
                 }
                 Ok(())
             }
+            Relation::ZeroDeltaTick => {
+                // A zero-delta tick re-publishes the value already at a
+                // knot: the curves rebuilt from those points carry the
+                // same bits, so *every* quote must be bit-identical
+                // (`to_bits`, not ULP) — spreads are pure functions of
+                // the curve values. Models with hidden per-call state
+                // drift here even when each individual quote looks fine.
+                let s_before = spread(market, option)?;
+                let republished = republish(market).map_err(&fail)?;
+                let s_after = spread(&republished, option)?;
+                if s_before.to_bits() != s_after.to_bits() {
+                    return Err(fail(format!(
+                        "re-publishing identical curve points moved the quote: \
+                         {s_before} bps ({:#018x}) -> {s_after} bps ({:#018x})",
+                        s_before.to_bits(),
+                        s_after.to_bits()
+                    )));
+                }
+                let s_again = spread(market, option)?;
+                if s_before.to_bits() != s_again.to_bits() {
+                    return Err(fail(format!(
+                        "repeated quote on unchanged inputs drifted: \
+                         {s_before} bps ({:#018x}) -> {s_again} bps ({:#018x})",
+                        s_before.to_bits(),
+                        s_again.to_bits()
+                    )));
+                }
+                // Dataflow half of the contract: the incremental
+                // engine's arrangement must classify a zero-delta tick
+                // as affecting nothing and emit no deltas, on every
+                // knot of both curves.
+                use cds_engine::incremental::{CurveKind, CurveTick, IncrementalEngine};
+                let mut inc = IncrementalEngine::new(market.clone());
+                let id = inc.insert(*option);
+                let stored = inc.spread_bits(id);
+                for curve in [CurveKind::Interest, CurveKind::Hazard] {
+                    for knot in 0..inc.tenors(curve).len() {
+                        let value = match inc.curve_value(curve, knot) {
+                            Some(v) => v,
+                            None => return Err(fail(format!("{curve} knot {knot} vanished"))),
+                        };
+                        let report = inc
+                            .apply_tick(CurveTick { curve, knot, value })
+                            .map_err(|e| fail(format!("zero-delta tick rejected: {e}")))?;
+                        if !report.zero_delta || report.affected != 0 || !report.deltas.is_empty() {
+                            return Err(fail(format!(
+                                "zero-delta tick at {curve} knot {knot} reported \
+                                 zero_delta={}, affected={}, {} deltas",
+                                report.zero_delta,
+                                report.affected,
+                                report.deltas.len()
+                            )));
+                        }
+                    }
+                }
+                if inc.spread_bits(id) != stored {
+                    return Err(fail("zero-delta ticks moved stored spread bits".to_string()));
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -339,6 +404,17 @@ fn scale_hazard(market: &MarketData<f64>, factor: f64) -> Result<MarketData<f64>
 /// Replace the hazard curve with an identically-shaped zero curve.
 fn zero_hazard(market: &MarketData<f64>) -> Result<MarketData<f64>, String> {
     scale_hazard(market, 0.0)
+}
+
+/// Rebuild both curves from their own points — the market a zero-delta
+/// tick publishes. Bit-identical values in, so any quote difference out
+/// is the model's fault.
+fn republish(market: &MarketData<f64>) -> Result<MarketData<f64>, String> {
+    use cds_quant::curve::Curve;
+    Ok(MarketData {
+        interest: Curve::new(market.interest.points().to_vec()).map_err(|e| e.to_string())?,
+        hazard: Curve::new(market.hazard.points().to_vec()).map_err(|e| e.to_string())?,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Differential fuzz for the incremental tick engine: random
+//! interleavings of option inserts, removals and curve point ticks
+//! (including deliberate zero-delta ticks), with the stored spreads
+//! compared **bit-for-bit** (`f64::to_bits`) against a from-scratch full
+//! reprice after every single step.
+//!
+//! The op sequence is re-derived deterministically from the case
+//! contents, so a failing case shrinks through the same
+//! [`cds_conformance::generator::shrink`] machinery as the route fuzzer:
+//! the predicate replays the whole sequence on each shrink candidate.
+
+use cds_conformance::case::ConformanceCase;
+use cds_conformance::generator::{generate_case, shrink};
+use cds_engine::incremental::{CurveKind, CurveTick, IncrementalEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Steps per replayed sequence. Every step ends in a full-reprice
+/// comparison, so this bounds the oracle cost per case.
+const STEPS: usize = 48;
+
+/// Deterministic sequence seed derived from the case *contents* (FNV-1a
+/// over the corpus text), so shrunk candidates replay their own
+/// sequence rather than the parent's.
+fn sequence_seed(case: &ConformanceCase) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in case.to_text().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Replay one interleaved insert/remove/tick sequence against the
+/// full-reprice oracle. `Err` carries the first divergence.
+fn run_sequence(case: &ConformanceCase) -> Result<(), String> {
+    let market = case.build_market().map_err(|e| format!("unbuildable market: {e}"))?;
+    let mut rng = StdRng::seed_from_u64(sequence_seed(case));
+    let mut engine = IncrementalEngine::new(market);
+    // Seed the book so early ticks have something to invalidate.
+    engine.insert_batch(&case.options);
+
+    for step in 0..STEPS {
+        let op = rng.gen_range(0..6u32);
+        match op {
+            // Insert an option from the case pool.
+            0 | 1 => {
+                let o = case.options[rng.gen_range(0..case.options.len())];
+                engine.insert(o);
+            }
+            // Remove a random live option (skip on an empty book).
+            2 => {
+                let live = engine.spreads();
+                if !live.is_empty() {
+                    let (id, _) = live[rng.gen_range(0..live.len())];
+                    if engine.remove(id).is_none() {
+                        return Err(format!("step {step}: live id {id} refused removal"));
+                    }
+                }
+            }
+            // Zero-delta tick: re-publish the exact current value.
+            3 => {
+                let curve = if rng.gen_range(0..2u32) == 0 {
+                    CurveKind::Interest
+                } else {
+                    CurveKind::Hazard
+                };
+                let knot = rng.gen_range(0..engine.tenors(curve).len());
+                let value = engine
+                    .curve_value(curve, knot)
+                    .ok_or_else(|| format!("step {step}: {curve} knot {knot} vanished"))?;
+                let report = engine
+                    .apply_tick(CurveTick { curve, knot, value })
+                    .map_err(|e| format!("step {step}: zero-delta tick rejected: {e}"))?;
+                if !report.zero_delta || report.affected != 0 || !report.deltas.is_empty() {
+                    return Err(format!(
+                        "step {step}: zero-delta tick at {curve} knot {knot} reported \
+                         zero_delta={}, affected={}, {} deltas",
+                        report.zero_delta,
+                        report.affected,
+                        report.deltas.len()
+                    ));
+                }
+            }
+            // Value tick: scale one knot (hazard stays non-negative).
+            _ => {
+                let curve = if rng.gen_range(0..2u32) == 0 {
+                    CurveKind::Interest
+                } else {
+                    CurveKind::Hazard
+                };
+                let knot = rng.gen_range(0..engine.tenors(curve).len());
+                let old = engine
+                    .curve_value(curve, knot)
+                    .ok_or_else(|| format!("step {step}: {curve} knot {knot} vanished"))?;
+                let factor = rng.gen_range(0.5..1.5f64);
+                let value = match curve {
+                    CurveKind::Interest => old * factor + rng.gen_range(-1e-4..1e-4),
+                    CurveKind::Hazard => old * factor + rng.gen_range(0.0..1e-4),
+                };
+                engine.apply_tick(CurveTick { curve, knot, value }).map_err(|e| {
+                    format!("step {step}: tick {curve} knot {knot} -> {value}: {e}")
+                })?;
+            }
+        }
+
+        // The oracle: every stored spread bit-identical to a fresh
+        // full reprice of the same book under the same curves.
+        let incremental = engine.spreads();
+        let full = engine.full_reprice();
+        if incremental != full {
+            let diverged = incremental.iter().zip(&full).find(|(a, b)| a != b).map_or_else(
+                String::new,
+                |((id, inc), (_, f))| {
+                    format!(" (first: id {id} incremental {inc:#018x} vs full {f:#018x})")
+                },
+            );
+            return Err(format!(
+                "step {step} (op {op}): incremental spreads diverged from full reprice \
+                 over {} live options{diverged}",
+                incremental.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn interleaved_ticks_stay_bit_equal_to_full_reprice() {
+    for seed in [2u64, 29, 71] {
+        for index in 0..3u64 {
+            let case = generate_case(seed, index);
+            if let Err(first) = run_sequence(&case) {
+                let shrunk = shrink(&case, &mut |c| run_sequence(c).is_err());
+                let evidence = run_sequence(&shrunk).err().unwrap_or(first);
+                panic!(
+                    "incremental/full divergence (seed {seed} index {index}): {evidence}\n\
+                     shrunk reproducer:\n{}",
+                    shrunk.to_text()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_sequence_seed_tracks_case_contents() {
+    // Shrink candidates must replay their own sequence: different case
+    // text, different seed; identical text, identical seed.
+    let a = generate_case(5, 0);
+    let b = generate_case(5, 1);
+    assert_eq!(sequence_seed(&a), sequence_seed(&a));
+    assert_ne!(sequence_seed(&a), sequence_seed(&b));
+}

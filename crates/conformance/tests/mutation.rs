@@ -19,6 +19,7 @@ fn mutant_for(relation: Relation) -> Box<dyn SpreadModel> {
         Relation::ScheduleRefinement => Box::new(mutants::RefinementDiverging),
         Relation::ZeroHazardLimit => Box::new(mutants::FlooredQuote),
         Relation::FullRecoveryLimit => Box::new(mutants::LgdFloor),
+        Relation::ZeroDeltaTick => Box::new(mutants::StatefulDrift::new()),
     }
 }
 

@@ -56,11 +56,20 @@ fn schedule_panic(reason: &'static str) -> ! {
 /// the first period). The scalar loop visits points `1..=k` and then the
 /// stub, so `time_points = k + 1`.
 ///
+/// Public because the incremental arrangement in `cds-engine` must
+/// derive an option's read set from *exactly* the schedule the kernel
+/// walks — a reimplementation that disagreed by one boundary comparison
+/// would silently under- or over-invalidate.
+///
 /// Validation (and its panic wording) mirrors
 /// `PaymentSchedule::generate`, and the guard trips in exactly the same
 /// cases as the streaming scalar loop: a schedule is rejected iff
 /// `k + 1 > 4_000_000`.
-fn full_points(option: &CdsOption) -> usize {
+///
+/// # Panics
+/// Panics on an invalid schedule (non-positive/non-finite maturity, or
+/// more than 4M points), matching the scalar path.
+pub fn full_points(option: &CdsOption) -> usize {
     if option.maturity <= 0.0 || !option.maturity.is_finite() {
         schedule_panic("maturity must be positive and finite");
     }
@@ -91,8 +100,11 @@ fn full_points(option: &CdsOption) -> usize {
     k
 }
 
-/// Map a payment frequency to its grid slot.
-fn freq_slot(frequency: PaymentFrequency) -> usize {
+/// Map a payment frequency to its grid slot (annual, semi-annual,
+/// quarterly, monthly → 0..=3). Shared with the arrangement index in
+/// `cds-engine` so its per-frequency buckets line up with the kernel's
+/// grids.
+pub fn freq_slot(frequency: PaymentFrequency) -> usize {
     match frequency.per_year() {
         1 => 0,
         2 => 1,
@@ -194,15 +206,52 @@ impl<'e> LaneKernel<'e> {
     /// Panics on an invalid schedule, with the same message schedule
     /// generation (and the scalar path) would have produced.
     pub fn price_into(&mut self, options: &[CdsOption], out: &mut Vec<f64>) -> CpuBatchStats {
+        self.price_positions_into(options, options.len(), |i| i, out)
+    }
+
+    /// Price a *sparse* selection of `options`: position `j` of `out`
+    /// receives the spread of `options[indices[j]]`. Bit-for-bit
+    /// identical to gathering the selected options into a dense batch
+    /// and calling [`LaneKernel::price_into`] — both entry points run
+    /// the same gather/transcendental/arithmetic passes, only the index
+    /// mapping differs. This is the tick-repricing entry point: the
+    /// incremental arrangement hands the kernel the affected ids over
+    /// the resident slab without materialising a gathered copy.
+    ///
+    /// Duplicate indices are allowed (each position prices
+    /// independently); indices need not be sorted.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds for `options`, or on an
+    /// invalid schedule (same wording as the scalar path).
+    pub fn price_indices_into(
+        &mut self,
+        options: &[CdsOption],
+        indices: &[u32],
+        out: &mut Vec<f64>,
+    ) -> CpuBatchStats {
+        self.price_positions_into(options, indices.len(), |i| indices[i] as usize, out)
+    }
+
+    /// Shared core of the dense and sparse entry points: price the `n`
+    /// positions `options[map(0)], …, options[map(n-1)]` into `out`.
+    fn price_positions_into(
+        &mut self,
+        options: &[CdsOption],
+        n: usize,
+        map: impl Fn(usize) -> usize,
+        out: &mut Vec<f64>,
+    ) -> CpuBatchStats {
         out.clear();
-        out.resize(options.len(), 0.0);
+        out.resize(n, 0.0);
         self.ks.clear();
-        self.ks.reserve(options.len());
+        self.ks.reserve(n);
         let mut time_points = 0u64;
 
         // Pass 1: validate, locate each option's last full point, and
         // grow the shared grids to cover the batch.
-        for option in options {
+        for i in 0..n {
+            let option = &options[map(i)];
             let k = full_points(option);
             self.grids[freq_slot(option.frequency)].ensure(self.engine, k);
             self.ks.push(k as u32);
@@ -212,8 +261,8 @@ impl<'e> LaneKernel<'e> {
         // Pass 2: stub evaluation in lane groups. Tail lanes of the
         // final partial group keep neutral values and are never stored.
         let mut base = 0usize;
-        while base < options.len() {
-            let active = (options.len() - base).min(LANES);
+        while base < n {
+            let active = (n - base).min(LANES);
 
             // Gather: per-lane inputs and prefix state.
             let mut maturity = [0.0f64; LANES];
@@ -224,7 +273,7 @@ impl<'e> LaneKernel<'e> {
             let mut protection = [0.0f64; LANES];
             let mut accrual = [0.0f64; LANES];
             for lane in 0..active {
-                let option = &options[base + lane];
+                let option = &options[map(base + lane)];
                 let k = self.ks[base + lane] as usize;
                 let grid = &self.grids[freq_slot(option.frequency)];
                 maturity[lane] = option.maturity;
@@ -269,9 +318,9 @@ impl<'e> LaneKernel<'e> {
         }
 
         CpuBatchStats {
-            options: options.len() as u64,
+            options: n as u64,
             time_points,
-            fused_groups: (options.len() as u64).div_ceil(LANES as u64),
+            fused_groups: (n as u64).div_ceil(LANES as u64),
             scalar_fallbacks: 0,
             threads: 1,
         }
@@ -331,6 +380,66 @@ mod tests {
             let lanes: Vec<u64> = out.iter().map(|s| s.to_bits()).collect();
             assert_eq!(lanes, scalar_bits(&engine, batch), "batch len {n}");
         }
+    }
+
+    #[test]
+    fn price_indices_bitwise_identical_across_remainders() {
+        // The sparse entry point at every lane-remainder length 0..=17,
+        // with shuffled, strided and duplicated index patterns over a
+        // larger resident slab — out[j] must match the scalar price of
+        // slab[indices[j]] bit-for-bit, as in the lane_vs_scalar suite.
+        let market = MarketData::paper_workload(7);
+        let engine = CpuCdsEngine::new(&market);
+        let slab = PortfolioGenerator::new(11).portfolio(64);
+        let mut kernel = engine.lane_kernel();
+        let mut out = Vec::new();
+        for n in 0..=17usize {
+            let patterns: [Vec<u32>; 3] = [
+                (0..n as u32).collect(),                                      // dense prefix
+                (0..n).map(|i| ((i * 13 + 5) % slab.len()) as u32).collect(), // stride
+                (0..n).map(|i| ((i / 2) * 7 % slab.len()) as u32).collect(),  // duplicates
+            ];
+            for (p, indices) in patterns.iter().enumerate() {
+                let stats = kernel.price_indices_into(&slab, indices, &mut out);
+                assert_eq!(out.len(), n, "pattern {p}, len {n}");
+                assert_eq!(stats.options, n as u64);
+                for (j, &ix) in indices.iter().enumerate() {
+                    assert_eq!(
+                        out[j].to_bits(),
+                        engine.price(&slab[ix as usize]).spread_bps.to_bits(),
+                        "pattern {p}, len {n}, position {j} (slab index {ix})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn price_indices_matches_gathered_dense_batch() {
+        // Sparse pricing over the slab == dense pricing of the gathered
+        // options, including grid growth order effects.
+        let market = MarketData::paper_workload(13);
+        let engine = CpuCdsEngine::new(&market);
+        let slab = PortfolioGenerator::new(29).portfolio(40);
+        let indices: Vec<u32> = (0..slab.len() as u32).rev().step_by(3).collect();
+        let gathered: Vec<CdsOption> = indices.iter().map(|&i| slab[i as usize]).collect();
+        let mut sparse_out = Vec::new();
+        let sparse_stats =
+            engine.lane_kernel().price_indices_into(&slab, &indices, &mut sparse_out);
+        let mut dense_out = Vec::new();
+        let dense_stats = engine.lane_kernel().price_into(&gathered, &mut dense_out);
+        assert_eq!(sparse_out, dense_out);
+        assert_eq!(sparse_stats, dense_stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn price_indices_out_of_bounds_panics() {
+        let market = MarketData::paper_workload(1);
+        let engine = CpuCdsEngine::new(&market);
+        let slab = PortfolioGenerator::new(2).portfolio(4);
+        let mut out = Vec::new();
+        let _ = engine.lane_kernel().price_indices_into(&slab, &[4], &mut out);
     }
 
     #[test]

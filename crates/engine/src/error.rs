@@ -51,6 +51,13 @@ pub enum CdsError {
         /// What was wrong with the journal/checkpoint data.
         reason: String,
     },
+    /// A curve point tick could not be ingested by the incremental
+    /// repricing engine (knot out of bounds, or a value the curve
+    /// validation rejects).
+    Tick {
+        /// What was wrong with the tick.
+        reason: String,
+    },
     /// The storage substrate failed while persisting or loading a
     /// journal/checkpoint (ENOSPC, EIO, a failed rename or sync).
     Storage {
@@ -75,6 +82,7 @@ impl std::fmt::Display for CdsError {
                 write!(f, "{unpriced} option(s) unpriced after {attempts} recovery attempt(s)")
             }
             CdsError::Journal { reason } => write!(f, "invalid run journal: {reason}"),
+            CdsError::Tick { reason } => write!(f, "invalid curve tick: {reason}"),
             CdsError::Storage { path, cause } => {
                 write!(f, "journal storage failure at {path}: {cause}")
             }
@@ -125,6 +133,7 @@ mod tests {
             (CdsError::OptionsLost { lost: vec![3, 4] }, "lost"),
             (CdsError::Exhausted { attempts: 2, unpriced: 5 }, "unpriced"),
             (CdsError::Journal { reason: "bad magic".to_string() }, "journal"),
+            (CdsError::Tick { reason: "knot 9 out of bounds".to_string() }, "tick"),
             (
                 CdsError::Storage {
                     path: "/tmp/x.ckpt".to_string(),

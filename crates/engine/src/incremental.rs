@@ -1,0 +1,442 @@
+//! Incremental tick repricing over the dependency arrangement.
+//!
+//! ROADMAP item 1: a single hazard- or yield-curve point tick must not
+//! force a full batch reprice of 1M+ resident options. The
+//! [`IncrementalEngine`] holds the resident book in a
+//! [`PortfolioState`] arrangement, ingests *value* ticks against
+//! individual curve knots, computes the exact affected set from the
+//! arrangement, reprices only those options through the lane kernel's
+//! sparse entry point, and emits [`SpreadDelta`]s (old bits → new bits)
+//! for the options whose quotes actually moved.
+//!
+//! # Bit-identity argument
+//!
+//! Every result the engine stores is required to be **bit-identical**
+//! (`f64::to_bits`, not ULP) to a from-scratch full reprice under the
+//! same epoch. That holds structurally, not statistically:
+//!
+//! 1. A spread is a deterministic pure function of `(engine, option)`,
+//!    and the lane kernel is bit-identical to the scalar reference
+//!    (pinned by the `lane_vs_scalar` suite).
+//! 2. *Affected* options are repriced by that kernel against the
+//!    freshly rebuilt engine — definitionally equal to the full
+//!    reprice.
+//! 3. *Unaffected* options' stored bits stay valid because a value tick
+//!    moves no tenor: segment lookup structures depend only on tenors,
+//!    interest interpolation at a time outside the ticked knot's
+//!    [`crate::portfolio::interest_window`] touches only unchanged
+//!    knots, and the cumulative-hazard prefix below the ticked knot is
+//!    a left-to-right sum of unchanged terms, hence reproduced
+//!    bit-for-bit by the rebuild. The arrangement windows are derived
+//!    from the interpolator's own branch structure, so "outside the
+//!    window" is exactly "reads no changed input".
+//!
+//! The differential fuzz suite and the `tick-storm` bench gate verify
+//! the claim wholesale against real full reprices.
+
+use crate::error::CdsError;
+use crate::portfolio::PortfolioState;
+use crate::report::{SpreadDelta, TickReport};
+use cds_cpu::CpuCdsEngine;
+use cds_quant::curve::{Curve, CurvePoint};
+use cds_quant::option::{CdsOption, MarketData};
+
+/// Which curve a tick targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveKind {
+    /// The interest (discount) curve.
+    Interest,
+    /// The hazard (default intensity) curve.
+    Hazard,
+}
+
+impl CurveKind {
+    /// Stable lower-case wire name (`interest` / `hazard`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CurveKind::Interest => "interest",
+            CurveKind::Hazard => "hazard",
+        }
+    }
+}
+
+impl std::fmt::Display for CurveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for CurveKind {
+    type Err = &'static str;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interest" => Ok(CurveKind::Interest),
+            "hazard" => Ok(CurveKind::Hazard),
+            _ => Err("curve must be `interest` or `hazard`"),
+        }
+    }
+}
+
+/// One curve point tick: replace the *value* at an existing knot.
+/// Tenors are immutable — the term structure's shape is fixed at boot,
+/// only levels move — which is what keeps unaffected quotes bit-stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveTick {
+    /// Target curve.
+    pub curve: CurveKind,
+    /// Knot index into that curve's points.
+    pub knot: usize,
+    /// New value at the knot.
+    pub value: f64,
+}
+
+/// Resident book plus current epoch's curves and pricing engine, with
+/// incremental tick ingestion.
+#[derive(Debug, Clone)]
+pub struct IncrementalEngine {
+    market: MarketData<f64>,
+    engine: CpuCdsEngine,
+    interest_tenors: Vec<f64>,
+    hazard_tenors: Vec<f64>,
+    portfolio: PortfolioState,
+    /// Stored spread bits, indexed by portfolio id (stale for dead ids).
+    spread_bits: Vec<u64>,
+    epoch: u64,
+    affected: Vec<u32>,
+    repriced: Vec<f64>,
+}
+
+impl IncrementalEngine {
+    /// Boot an empty book over `market` at epoch 0.
+    pub fn new(market: MarketData<f64>) -> Self {
+        let engine = CpuCdsEngine::new(&market);
+        let interest_tenors = market.interest.points().iter().map(|p| p.tenor).collect();
+        let hazard_tenors = market.hazard.points().iter().map(|p| p.tenor).collect();
+        IncrementalEngine {
+            market,
+            engine,
+            interest_tenors,
+            hazard_tenors,
+            portfolio: PortfolioState::new(),
+            spread_bits: Vec::new(),
+            epoch: 0,
+            affected: Vec::new(),
+            repriced: Vec::new(),
+        }
+    }
+
+    /// The current epoch's market curves.
+    pub fn market(&self) -> &MarketData<f64> {
+        &self.market
+    }
+
+    /// Current epoch (0 at boot, +1 per ingested tick, including
+    /// zero-delta ticks).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of resident options.
+    pub fn len(&self) -> usize {
+        self.portfolio.len()
+    }
+
+    /// True when the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.portfolio.is_empty()
+    }
+
+    /// The arrangement itself (read access, e.g. for knot selection).
+    pub fn portfolio(&self) -> &PortfolioState {
+        &self.portfolio
+    }
+
+    /// Tenors of one curve (immutable for the engine's lifetime).
+    pub fn tenors(&self, curve: CurveKind) -> &[f64] {
+        match curve {
+            CurveKind::Interest => &self.interest_tenors,
+            CurveKind::Hazard => &self.hazard_tenors,
+        }
+    }
+
+    /// Current value at a curve knot, if the knot exists.
+    pub fn curve_value(&self, curve: CurveKind, knot: usize) -> Option<f64> {
+        let points = match curve {
+            CurveKind::Interest => self.market.interest.points(),
+            CurveKind::Hazard => self.market.hazard.points(),
+        };
+        points.get(knot).map(|p| p.value)
+    }
+
+    /// Insert one option, price it under the current epoch, and return
+    /// its stable id.
+    ///
+    /// # Panics
+    /// Panics on an invalid schedule (same wording as the kernels).
+    pub fn insert(&mut self, option: CdsOption) -> u32 {
+        let id = self.portfolio.insert(option);
+        let bits = self.engine.price(&option).spread_bps.to_bits();
+        if self.spread_bits.len() <= id as usize {
+            self.spread_bits.resize(id as usize + 1, 0);
+        }
+        self.spread_bits[id as usize] = bits;
+        id
+    }
+
+    /// Insert a batch, pricing through one lane-kernel pass (bit-equal
+    /// to inserting one by one, far cheaper for large books). Returns
+    /// the ids in option order.
+    pub fn insert_batch(&mut self, options: &[CdsOption]) -> Vec<u32> {
+        let ids: Vec<u32> = options.iter().map(|&o| self.portfolio.insert(o)).collect();
+        if self.spread_bits.len() < self.portfolio.slab_len() {
+            self.spread_bits.resize(self.portfolio.slab_len(), 0);
+        }
+        let mut kernel = self.engine.lane_kernel();
+        kernel.price_indices_into(self.portfolio.raw_options(), &ids, &mut self.repriced);
+        for (&id, &spread) in ids.iter().zip(&self.repriced) {
+            self.spread_bits[id as usize] = spread.to_bits();
+        }
+        ids
+    }
+
+    /// Remove a resident option (its spread bits are dropped with it).
+    pub fn remove(&mut self, id: u32) -> Option<CdsOption> {
+        self.portfolio.remove(id)
+    }
+
+    /// Stored spread bits of a live option.
+    pub fn spread_bits(&self, id: u32) -> Option<u64> {
+        self.portfolio.option(id).map(|_| self.spread_bits[id as usize])
+    }
+
+    /// `(id, spread bits)` for every live option, in id order.
+    pub fn spreads(&self) -> Vec<(u32, u64)> {
+        self.portfolio.iter().map(|(id, _)| (id, self.spread_bits[id as usize])).collect()
+    }
+
+    /// Reprice the whole book from scratch (fresh engine, fresh kernel)
+    /// and return `(id, spread bits)` in id order — the oracle the
+    /// incremental state is measured against, and the slow path the
+    /// tick-storm bench compares to.
+    pub fn full_reprice(&self) -> Vec<(u32, u64)> {
+        let engine = CpuCdsEngine::new(&self.market);
+        let mut kernel = engine.lane_kernel();
+        let ids: Vec<u32> = self.portfolio.iter().map(|(id, _)| id).collect();
+        let mut out = Vec::new();
+        kernel.price_indices_into(self.portfolio.raw_options(), &ids, &mut out);
+        ids.into_iter().zip(out.into_iter().map(f64::to_bits)).collect()
+    }
+
+    /// Ingest one curve point tick: publish the new epoch, compute the
+    /// affected set from the arrangement, reprice exactly those options
+    /// and report the spread deltas.
+    ///
+    /// A tick whose value bits equal the current knot value is a
+    /// **zero-delta tick**: the epoch still advances, but the affected
+    /// set is empty by construction and nothing reprices.
+    pub fn apply_tick(&mut self, tick: CurveTick) -> Result<TickReport, CdsError> {
+        let tenors_len = self.tenors(tick.curve).len();
+        if tick.knot >= tenors_len {
+            return Err(CdsError::Tick {
+                reason: format!(
+                    "knot {} out of bounds for the {} curve ({} knots)",
+                    tick.knot, tick.curve, tenors_len
+                ),
+            });
+        }
+        let old = match self.curve_value(tick.curve, tick.knot) {
+            Some(v) => v,
+            None => unreachable!("knot bounds checked above"),
+        };
+        if tick.value.to_bits() == old.to_bits() {
+            self.epoch += 1;
+            return Ok(TickReport {
+                epoch: self.epoch,
+                zero_delta: true,
+                affected: 0,
+                deltas: Vec::new(),
+            });
+        }
+
+        // Publish: rebuild the ticked curve (re-validated) and the
+        // pricing engine. Tenors are untouched, so the arrangement and
+        // the unaffected options' stored bits both survive the swap.
+        let target = match tick.curve {
+            CurveKind::Interest => &self.market.interest,
+            CurveKind::Hazard => &self.market.hazard,
+        };
+        let mut points: Vec<CurvePoint<f64>> = target.points().to_vec();
+        points[tick.knot].value = tick.value;
+        let rebuilt = Curve::new(points).map_err(|e| CdsError::Tick {
+            reason: format!("curve rejected ticked value {}: {e}", tick.value),
+        })?;
+        match tick.curve {
+            CurveKind::Interest => self.market.interest = rebuilt,
+            CurveKind::Hazard => self.market.hazard = rebuilt,
+        }
+        self.engine = CpuCdsEngine::new(&self.market);
+
+        let mut affected = std::mem::take(&mut self.affected);
+        match tick.curve {
+            CurveKind::Interest => {
+                self.portfolio.affected_by_interest(&self.interest_tenors, tick.knot, &mut affected)
+            }
+            CurveKind::Hazard => {
+                self.portfolio.affected_by_hazard(&self.hazard_tenors, tick.knot, &mut affected)
+            }
+        }
+        let mut kernel = self.engine.lane_kernel();
+        kernel.price_indices_into(self.portfolio.raw_options(), &affected, &mut self.repriced);
+        let mut deltas = Vec::new();
+        for (&id, &spread) in affected.iter().zip(&self.repriced) {
+            let new_bits = spread.to_bits();
+            let old_bits = self.spread_bits[id as usize];
+            if new_bits != old_bits {
+                deltas.push(SpreadDelta { id, old_bits, new_bits });
+                self.spread_bits[id as usize] = new_bits;
+            }
+        }
+        self.epoch += 1;
+        let report =
+            TickReport { epoch: self.epoch, zero_delta: false, affected: affected.len(), deltas };
+        self.affected = affected;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_quant::option::PortfolioGenerator;
+
+    fn book(seed: u64, residents: usize) -> IncrementalEngine {
+        let mut eng = IncrementalEngine::new(MarketData::paper_workload_sized(seed, 64));
+        let options = PortfolioGenerator::new(seed ^ 0x5EED).portfolio(residents);
+        eng.insert_batch(&options);
+        eng
+    }
+
+    fn assert_bits_match_full(eng: &IncrementalEngine, what: &str) {
+        assert_eq!(eng.spreads(), eng.full_reprice(), "{what}");
+    }
+
+    #[test]
+    fn insert_batch_matches_scalar_inserts() {
+        let market = MarketData::paper_workload_sized(3, 64);
+        let options = PortfolioGenerator::new(5).portfolio(33);
+        let mut batched = IncrementalEngine::new(market.clone());
+        batched.insert_batch(&options);
+        let mut single = IncrementalEngine::new(market);
+        for &o in &options {
+            single.insert(o);
+        }
+        assert_eq!(batched.spreads(), single.spreads());
+    }
+
+    #[test]
+    fn every_knot_tick_stays_bit_equal_to_full_reprice() {
+        let mut eng = book(7, 257);
+        let mut value_shift = 1.0001;
+        for curve in [CurveKind::Interest, CurveKind::Hazard] {
+            for knot in 0..eng.tenors(curve).len() {
+                let old = eng.curve_value(curve, knot).unwrap_or(0.0);
+                let tick = CurveTick { curve, knot, value: old * value_shift + 1e-6 };
+                value_shift = -value_shift; // exercise sign changes on interest
+                let tick = if curve == CurveKind::Hazard {
+                    // Hazard values stay non-negative to keep survival sane.
+                    CurveTick { value: old * 1.01 + 1e-6, ..tick }
+                } else {
+                    tick
+                };
+                let report = match eng.apply_tick(tick) {
+                    Ok(r) => r,
+                    Err(e) => panic!("tick {curve} knot {knot}: {e}"),
+                };
+                assert!(!report.zero_delta);
+                assert_bits_match_full(&eng, &format!("{curve} knot {knot}"));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_delta_tick_is_empty_and_advances_the_epoch() {
+        let mut eng = book(11, 64);
+        let before = eng.spreads();
+        let old = eng.curve_value(CurveKind::Interest, 17).unwrap_or(0.0);
+        let report =
+            match eng.apply_tick(CurveTick { curve: CurveKind::Interest, knot: 17, value: old }) {
+                Ok(r) => r,
+                Err(e) => panic!("{e}"),
+            };
+        assert!(report.zero_delta);
+        assert_eq!(report.affected, 0);
+        assert!(report.deltas.is_empty());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(eng.spreads(), before);
+    }
+
+    #[test]
+    fn deltas_carry_old_and_new_bits() {
+        let mut eng = book(13, 128);
+        let before = eng.spreads();
+        let old = eng.curve_value(CurveKind::Hazard, 0).unwrap_or(0.0);
+        let report =
+            match eng.apply_tick(CurveTick { curve: CurveKind::Hazard, knot: 0, value: old * 2.0 })
+            {
+                Ok(r) => r,
+                Err(e) => panic!("{e}"),
+            };
+        // A front-of-curve hazard tick moves (essentially) every quote.
+        assert!(!report.deltas.is_empty());
+        assert!(report.deltas.len() <= report.affected);
+        let before: std::collections::HashMap<u32, u64> = before.into_iter().collect();
+        for d in &report.deltas {
+            assert_eq!(Some(&d.old_bits), before.get(&d.id));
+            assert_eq!(Some(d.new_bits), eng.spread_bits(d.id));
+            assert_ne!(d.old_bits, d.new_bits);
+        }
+    }
+
+    #[test]
+    fn removed_options_never_reappear_in_deltas() {
+        let mut eng = book(17, 96);
+        let victims: Vec<u32> = eng.spreads().iter().map(|&(id, _)| id).take(48).collect();
+        for id in victims {
+            assert!(eng.remove(id).is_some());
+        }
+        let old = eng.curve_value(CurveKind::Hazard, 0).unwrap_or(0.0);
+        let report =
+            match eng.apply_tick(CurveTick { curve: CurveKind::Hazard, knot: 0, value: old * 3.0 })
+            {
+                Ok(r) => r,
+                Err(e) => panic!("{e}"),
+            };
+        let live: std::collections::HashSet<u32> =
+            eng.spreads().iter().map(|&(id, _)| id).collect();
+        for d in &report.deltas {
+            assert!(live.contains(&d.id));
+        }
+        assert_bits_match_full(&eng, "after removals + tick");
+    }
+
+    #[test]
+    fn invalid_ticks_are_typed_errors() {
+        let mut eng = book(19, 8);
+        let oob =
+            eng.apply_tick(CurveTick { curve: CurveKind::Interest, knot: 10_000, value: 0.1 });
+        assert!(matches!(oob, Err(CdsError::Tick { .. })), "{oob:?}");
+        let nan = eng.apply_tick(CurveTick { curve: CurveKind::Hazard, knot: 0, value: f64::NAN });
+        assert!(matches!(nan, Err(CdsError::Tick { .. })), "{nan:?}");
+        // The failed ticks published nothing.
+        assert_bits_match_full(&eng, "after rejected ticks");
+    }
+
+    #[test]
+    fn curve_kind_wire_round_trip() {
+        for kind in [CurveKind::Interest, CurveKind::Hazard] {
+            assert_eq!(kind.as_str().parse::<CurveKind>(), Ok(kind));
+        }
+        assert!("INTEREST".parse::<CurveKind>().is_err());
+    }
+}

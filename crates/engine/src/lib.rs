@@ -37,8 +37,10 @@ pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod host;
+pub mod incremental;
 pub mod journal_io;
 pub mod multi;
+pub mod portfolio;
 pub mod report;
 pub mod retry;
 pub mod route;
@@ -95,12 +97,17 @@ pub mod prelude {
     pub use crate::checkpoint::{streaming_checkpoints, Checkpoint, CompletedOption};
     pub use crate::config::{EngineConfig, EngineVariant, HazardIiMode};
     pub use crate::error::CdsError;
+    pub use crate::incremental::{CurveKind, CurveTick, IncrementalEngine};
     pub use crate::journal_io::{
         enumerate_crash_states, sync_ordering_held, CrashPlan, CrashState, FaultyJournalIo,
         JournalIo, JournalOp, OsJournalIo, RecordingJournalIo, StorageFaultPlan,
     };
     pub use crate::multi::MultiEngine;
-    pub use crate::report::EngineRunReport;
+    pub use crate::portfolio::{
+        hazard_window, interest_window, option_reads_hazard, option_reads_interest, PortfolioState,
+        ReadWindow,
+    };
+    pub use crate::report::{EngineRunReport, SpreadDelta, TickReport};
     pub use crate::retry::{RetryPolicy, RetryPolicyError};
     pub use crate::route::PriceRoute;
     pub use crate::scrub::{scrub_spreads, QuarantineRecord, ScrubPolicy, ScrubReport};

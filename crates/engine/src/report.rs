@@ -93,9 +93,59 @@ impl EngineRunReport {
     }
 }
 
+/// One resident option whose fair spread changed under a curve tick.
+///
+/// Spreads travel as raw `f64` bits: the incremental engine's contract
+/// is *bit* identity with a from-scratch full reprice, and carrying
+/// bits end-to-end keeps every consumer honest about it (no silent
+/// re-rounding through text or comparison through tolerances).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpreadDelta {
+    /// Stable portfolio id of the repriced option.
+    pub id: u32,
+    /// Spread bits under the previous epoch.
+    pub old_bits: u64,
+    /// Spread bits under the new epoch.
+    pub new_bits: u64,
+}
+
+impl SpreadDelta {
+    /// The spread before the tick, in basis points.
+    pub fn old_spread_bps(&self) -> f64 {
+        f64::from_bits(self.old_bits)
+    }
+
+    /// The spread after the tick, in basis points.
+    pub fn new_spread_bps(&self) -> f64 {
+        f64::from_bits(self.new_bits)
+    }
+}
+
+/// Outcome of ingesting one curve point tick incrementally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// Epoch published by this tick (monotonically increasing).
+    pub epoch: u64,
+    /// True when the tick re-published the identical value bits: the
+    /// affected set is empty by construction and no option repriced.
+    pub zero_delta: bool,
+    /// Number of options whose read set touches the ticked knot (all of
+    /// them were repriced; not all necessarily changed spread bits).
+    pub affected: usize,
+    /// The options whose spread bits actually changed, in id order.
+    pub deltas: Vec<SpreadDelta>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spread_delta_round_trips_bits() {
+        let d = SpreadDelta { id: 7, old_bits: 101.25f64.to_bits(), new_bits: 99.75f64.to_bits() };
+        assert_eq!(d.old_spread_bps(), 101.25);
+        assert_eq!(d.new_spread_bps(), 99.75);
+    }
 
     #[test]
     fn report_arithmetic() {

@@ -1,0 +1,239 @@
+//! Property tests for the dependency arrangement (ISSUE satellite):
+//!
+//! 1. **Exactness.** For every curve knot, the arrangement's affected
+//!    set equals the set of options whose pricing pass *actually reads*
+//!    that knot — validated against a recording curve walk that
+//!    re-derives the schedule and the interpolation branches
+//!    independently of both the arrangement and `SegmentIndex`.
+//! 2. **Insertion-order stability.** The affected sets (as option
+//!    multisets) do not depend on the order options were inserted.
+//! 3. **No leaks.** Removing an option removes every index entry it
+//!    owns; removed options never appear in affected sets and freed ids
+//!    are recycled without ghosts.
+
+use cds_engine::portfolio::PortfolioState;
+use cds_quant::option::{CdsOption, MarketData, PortfolioGenerator};
+use std::collections::BTreeSet;
+
+/// Knot tenors of a curve.
+fn tenors(curve: &cds_quant::curve::Curve) -> Vec<f64> {
+    curve.points().iter().map(|p| p.tenor).collect()
+}
+
+/// Which knots a linear interpolation at time `x` reads — a deliberate
+/// reimplementation of the `Curve`/`SegmentIndex` branch structure with
+/// a linear scan, so a bug in the real index cannot hide itself here.
+fn interp_reads(ts: &[f64], x: f64, into: &mut BTreeSet<usize>) {
+    let last = ts.len() - 1;
+    if x >= ts[last] {
+        into.insert(last);
+    } else if x <= ts[0] {
+        into.insert(0);
+    } else {
+        for lo in 0..last {
+            if ts[lo] < x && x <= ts[lo + 1] {
+                into.insert(lo);
+                into.insert(lo + 1);
+                return;
+            }
+        }
+        unreachable!("interior read at {x} found no segment");
+    }
+}
+
+/// Which knots a cumulative-hazard evaluation at time `t` reads: the
+/// prefix of stored trapezoid terms plus the bracketing values.
+fn hazard_reads(ts: &[f64], t: f64, into: &mut BTreeSet<usize>) {
+    let last = ts.len() - 1;
+    if t <= 0.0 {
+        return;
+    }
+    if t <= ts[0] {
+        into.insert(0);
+    } else if t >= ts[last] {
+        into.extend(0..=last);
+    } else {
+        for lo in 0..last {
+            if ts[lo] < t && t <= ts[lo + 1] {
+                // The stored prefix integral through ts[lo] consumes
+                // values 0..=lo; the in-segment trapezoid reads lo+1 too.
+                into.extend(0..=lo + 1);
+                return;
+            }
+        }
+        unreachable!("interior hazard read at {t} found no segment");
+    }
+}
+
+/// Every curve knot the pricing pass of `option` reads, recorded by
+/// walking the scalar schedule loop's exact time sequence.
+fn recorded_reads(
+    interest_ts: &[f64],
+    hazard_ts: &[f64],
+    option: &CdsOption,
+) -> (BTreeSet<usize>, BTreeSet<usize>) {
+    let mut interest = BTreeSet::new();
+    let mut hazard = BTreeSet::new();
+    let delta = 1.0 / option.frequency.per_year() as f64;
+    let mut prev_t = 0.0f64;
+    let mut i = 1usize;
+    loop {
+        let step = delta * i as f64;
+        let last = step >= option.maturity;
+        let t = if last { option.maturity } else { step };
+        let mid = 0.5 * (prev_t + t);
+        hazard_reads(hazard_ts, t, &mut hazard); // survival(t)
+        interp_reads(interest_ts, t, &mut interest); // discount_factor(t)
+        interp_reads(interest_ts, mid, &mut interest); // discount_factor(mid)
+        if last {
+            break;
+        }
+        prev_t = t;
+        i += 1;
+        assert!(i <= 4_000_000, "runaway schedule in recorder");
+    }
+    (interest, hazard)
+}
+
+/// A stable value key for comparing option multisets across differently
+/// ordered insertions.
+fn option_key(o: &CdsOption) -> (u64, u32, u64) {
+    (o.maturity.to_bits(), o.frequency.per_year(), o.recovery_rate.to_bits())
+}
+
+#[test]
+fn affected_sets_equal_recorded_read_sets() {
+    for seed in [1u64, 8, 21] {
+        let market = MarketData::paper_workload_sized(seed, 48);
+        let its = tenors(&market.interest);
+        let hts = tenors(&market.hazard);
+        let options = PortfolioGenerator::new(seed.wrapping_mul(31) + 5).portfolio(96);
+        let mut state = PortfolioState::new();
+        let ids: Vec<u32> = options.iter().map(|&o| state.insert(o)).collect();
+        let recorded: Vec<_> = options.iter().map(|o| recorded_reads(&its, &hts, o)).collect();
+
+        let mut affected = Vec::new();
+        for knot in 0..its.len() {
+            state.affected_by_interest(&its, knot, &mut affected);
+            for ((&id, o), (interest, _)) in ids.iter().zip(&options).zip(&recorded) {
+                assert_eq!(
+                    affected.contains(&id),
+                    interest.contains(&knot),
+                    "seed {seed}: interest knot {knot} vs option {o:?}"
+                );
+            }
+        }
+        for knot in 0..hts.len() {
+            state.affected_by_hazard(&hts, knot, &mut affected);
+            for ((&id, o), (_, hazard)) in ids.iter().zip(&options).zip(&recorded) {
+                assert_eq!(
+                    affected.contains(&id),
+                    hazard.contains(&knot),
+                    "seed {seed}: hazard knot {knot} vs option {o:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn affected_sets_are_stable_under_insertion_order() {
+    let market = MarketData::paper_workload_sized(4, 32);
+    let its = tenors(&market.interest);
+    let hts = tenors(&market.hazard);
+    let options = PortfolioGenerator::new(77).portfolio(64);
+
+    // Three insertion orders: as generated, reversed, and interleaved.
+    let mut forward = PortfolioState::new();
+    let fwd_ids: Vec<u32> = options.iter().map(|&o| forward.insert(o)).collect();
+    let mut reversed = PortfolioState::new();
+    let rev_ids: Vec<u32> = options.iter().rev().map(|&o| reversed.insert(o)).collect();
+    let mut interleaved = PortfolioState::new();
+    let mut il_pairs: Vec<(u32, CdsOption)> = Vec::new();
+    for pair in options.chunks(2).rev() {
+        for &o in pair {
+            il_pairs.push((interleaved.insert(o), o));
+        }
+    }
+
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut c = Vec::new();
+    let keys = |ids: &[u32], opts: &[CdsOption], affected: &Vec<u32>| -> Vec<(u64, u32, u64)> {
+        let mut keys: Vec<_> = affected
+            .iter()
+            .map(|id| {
+                let pos = ids.iter().position(|i| i == id).expect("unknown id");
+                option_key(&opts[pos])
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
+    };
+    let rev_options: Vec<CdsOption> = options.iter().rev().copied().collect();
+    let (il_ids, il_options): (Vec<u32>, Vec<CdsOption>) = il_pairs.into_iter().unzip();
+    for knot in 0..its.len() {
+        forward.affected_by_interest(&its, knot, &mut a);
+        reversed.affected_by_interest(&its, knot, &mut b);
+        interleaved.affected_by_interest(&its, knot, &mut c);
+        let fwd = keys(&fwd_ids, &options, &a);
+        assert_eq!(fwd, keys(&rev_ids, &rev_options, &b), "interest knot {knot} (reversed)");
+        assert_eq!(fwd, keys(&il_ids, &il_options, &c), "interest knot {knot} (interleaved)");
+    }
+    for knot in 0..hts.len() {
+        forward.affected_by_hazard(&hts, knot, &mut a);
+        reversed.affected_by_hazard(&hts, knot, &mut b);
+        interleaved.affected_by_hazard(&hts, knot, &mut c);
+        let fwd = keys(&fwd_ids, &options, &a);
+        assert_eq!(fwd, keys(&rev_ids, &rev_options, &b), "hazard knot {knot} (reversed)");
+        assert_eq!(fwd, keys(&il_ids, &il_options, &c), "hazard knot {knot} (interleaved)");
+    }
+}
+
+#[test]
+fn removal_leaves_no_index_entries_behind() {
+    let market = MarketData::paper_workload_sized(6, 32);
+    let its = tenors(&market.interest);
+    let hts = tenors(&market.hazard);
+    let options = PortfolioGenerator::new(123).portfolio(80);
+    let mut state = PortfolioState::new();
+    let ids: Vec<u32> = options.iter().map(|&o| state.insert(o)).collect();
+    assert_eq!(state.index_entries(), 3 * options.len());
+
+    // Remove a scattered half and verify no affected set mentions them.
+    let removed: Vec<u32> = ids.iter().copied().step_by(2).collect();
+    for &id in &removed {
+        assert!(state.remove(id).is_some());
+    }
+    assert_eq!(state.index_entries(), 3 * (options.len() - removed.len()));
+    let mut affected = Vec::new();
+    for knot in 0..its.len() {
+        state.affected_by_interest(&its, knot, &mut affected);
+        for id in &removed {
+            assert!(!affected.contains(id), "removed id {id} in interest knot {knot}");
+        }
+    }
+    for knot in 0..hts.len() {
+        state.affected_by_hazard(&hts, knot, &mut affected);
+        for id in &removed {
+            assert!(!affected.contains(id), "removed id {id} in hazard knot {knot}");
+        }
+    }
+
+    // Remove everything: the index must be completely empty.
+    let survivors: Vec<u32> = ids.iter().copied().skip(1).step_by(2).collect();
+    for &id in &survivors {
+        assert!(state.remove(id).is_some());
+    }
+    assert!(state.is_empty());
+    assert_eq!(state.index_entries(), 0);
+    for knot in 0..its.len() {
+        state.affected_by_interest(&its, knot, &mut affected);
+        assert!(affected.is_empty());
+    }
+
+    // Recycled slots must behave like fresh ones (no stale entries).
+    let reborn = state.insert(options[0]);
+    assert!(ids.contains(&reborn), "freed ids should be recycled");
+    assert_eq!(state.index_entries(), 3);
+}

@@ -246,7 +246,7 @@ mod tests {
             Err(e) => panic!("{e}"),
         };
         assert!(report.clean(), "{:?}", report.to_json().pretty());
-        // 1 reference + 17 routes, 7 relations each.
+        // 1 reference + 17 routes, 8 relations each.
         assert_eq!(report.relations.len(), (1 + PriceRoute::ALL.len()) * Relation::ALL.len());
     }
 

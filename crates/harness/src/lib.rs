@@ -26,7 +26,11 @@
 //! whose re-execution must be bit-identical, and the [`throughput`]
 //! module measures real wall-clock options/second on the host CPU
 //! engines and gates them against a committed floor (the only gate that
-//! would notice a hot-path regression). The [`loadgen`] module drives
+//! would notice a hot-path regression). The [`tick_storm`] module storms
+//! the incremental tick-repricing engine with single-point curve ticks
+//! against a ≥1M-option resident book and gates the incremental-vs-full
+//! speedup ratio (and bitwise cleanliness) against its committed
+//! baseline. The [`loadgen`] module drives
 //! the `cds-server` serving front-end with open-loop zipf traffic and
 //! gates its latency quantiles against committed SLO ceilings, and the
 //! [`server_chaos`] module replays serving failure modes (shard death
@@ -51,6 +55,7 @@ pub mod server_chaos;
 pub mod storage_chaos;
 pub mod tables;
 pub mod throughput;
+pub mod tick_storm;
 pub mod validate;
 pub mod workload;
 

@@ -22,6 +22,7 @@
 //!   host-cpu            measure the real CPU engine on this machine
 //!   bench               machine-readable benchmark ladder (BENCH.json)
 //!   bench --throughput  wall-clock options/s of the CPU engines (gated)
+//!   bench --tick-storm  incremental tick repricing vs full reprice (gated)
 //!   chaos               seeded fault-injection matrix (CHAOS.json)
 //!   loadgen             open-loop load against cds-server, SLO-gated
 //!   loadgen --abuser    hostile-client run: tenant flood, slowloris, fuzz
@@ -42,7 +43,12 @@
 //! wall-clock options/s; `--threads N` pins the multi-threaded row
 //! (default 2), the gate tolerance defaults to 0.40 for runner noise,
 //! and `--check results/throughput_baseline.json` additionally enforces
-//! the ≥4x lane-kernel speedup floor. `replay --json`
+//! the ≥4x lane-kernel speedup floor. With `--tick-storm`, `bench`
+//! storms the incremental repricing engine with single-point curve
+//! ticks against a resident book (`--options` sets the book size,
+//! default 1,048,576) and `--check results/tick_storm_baseline.json`
+//! enforces the ≥100x incremental-vs-full speedup ratio plus bitwise
+//! cleanliness of the stored spreads. `replay --json`
 //! records a checkpointed run as a journal (`--scenario` picks the named
 //! fault scenario, default `corrupt-spread`); `replay --check` re-executes
 //! a journal and exits 1 unless the spreads and write-ahead checkpoint
@@ -65,6 +71,7 @@ use cds_harness::server_chaos;
 use cds_harness::storage_chaos;
 use cds_harness::tables;
 use cds_harness::throughput;
+use cds_harness::tick_storm;
 use cds_harness::validate;
 use cds_harness::workload::Workload;
 use std::path::{Path, PathBuf};
@@ -80,6 +87,9 @@ struct Args {
     /// (bench 0.10, throughput 0.40).
     tolerance: Option<f64>,
     throughput: bool,
+    /// `--tick-storm`, run the incremental tick-storm bench instead of
+    /// the ladder.
+    tick_storm: bool,
     threads: Option<usize>,
     scenario: String,
     /// `--rate`, open-loop arrival rate for `loadgen` (requests/s).
@@ -121,6 +131,7 @@ fn parse_args() -> Args {
         check_baseline: None,
         tolerance: None,
         throughput: false,
+        tick_storm: false,
         threads: None,
         scenario: "corrupt-spread".to_string(),
         rate: None,
@@ -171,6 +182,7 @@ fn parse_args() -> Args {
                 );
             }
             "--throughput" => parsed.throughput = true,
+            "--tick-storm" => parsed.tick_storm = true,
             "--rate" => {
                 parsed.rate = Some(
                     args.next()
@@ -201,7 +213,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: cds-harness <table1|table2|fig1|fig2|fig3|listing1|ablation-vector|\
          ablation-ii|ablation-depth|ablation-precision|ablation-curve|ablation-restart|fit|futurework|streaming|validate|trace|host-cpu|bench|chaos|loadgen|server-chaos|storage-chaos|replay|conformance|all> \
-         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--throughput] [--threads N] [--scenario NAME] [--rate R] [--no-faults] [--abuser] [--isolation]"
+         [--options N] [--seed S] [--csv DIR] [--json PATH] [--check BASELINE] [--tolerance F] [--throughput] [--tick-storm] [--threads N] [--scenario NAME] [--rate R] [--no-faults] [--abuser] [--isolation]"
     );
     std::process::exit(2);
 }
@@ -569,9 +581,64 @@ fn cmd_bench_throughput(args: &Args) -> CliResult {
     Ok(())
 }
 
+fn cmd_bench_tick_storm(args: &Args) -> CliResult {
+    let residents = args.options.unwrap_or(tick_storm::DEFAULT_TICK_RESIDENTS);
+    let tolerance = args.tolerance.unwrap_or(tick_storm::DEFAULT_TICK_TOLERANCE);
+    // Fail fast on an unreadable/malformed baseline before measuring.
+    let baseline = match &args.check_baseline {
+        Some(path) => Some((path, read_baseline(path, tick_storm::TickStormReport::parse)?)),
+        None => None,
+    };
+    println!("== Incremental tick storm (seed {}, {residents} resident options) ==\n", args.seed);
+    let report = tick_storm::run(args.seed, residents);
+    let headers = ["Row", "Per second"];
+    let rows: Vec<Vec<String>> =
+        report.rows.iter().map(|r| vec![r.name.clone(), rate(r.per_second)]).collect();
+    println!("{}", render_table(&headers, &rows));
+    println!(
+        "off-lattice 1-point ticks vs full reprice: {} (required ≥ {}); \
+         {} lattice-free knots, mean affected set {:.1} of {residents}",
+        ratio(report.incremental_speedup),
+        ratio(report.min_tick_speedup),
+        report.free_knots,
+        report.mean_affected
+    );
+    println!(
+        "bitwise clean: {} mismatches vs full reprice; zero-delta contract: {}\n",
+        report.bit_mismatches,
+        if report.zero_delta_clean { "clean" } else { "VIOLATED" }
+    );
+    if let Some(path) = &args.json_path {
+        write_json_report(path, &report.pretty())?;
+        println!("[tick-storm report written to {}]", path.display());
+    }
+    if let Some((path, baseline)) = baseline {
+        let problems = tick_storm::compare(&baseline, &report, tolerance);
+        if problems.is_empty() {
+            println!(
+                "check against {}: PASS ({} rows within {:.0}%, speedup floor {:.1}x cleared)",
+                path.display(),
+                baseline.rows.len(),
+                tolerance * 100.0,
+                baseline.min_tick_speedup
+            );
+        } else {
+            eprintln!("check against {}: FAIL", path.display());
+            for p in &problems {
+                eprintln!("  regression: {p}");
+            }
+            return Err(CliError::GateFailed);
+        }
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &Args) -> CliResult {
     if args.throughput {
         return cmd_bench_throughput(args);
+    }
+    if args.tick_storm {
+        return cmd_bench_tick_storm(args);
     }
     let batch = args.options.unwrap_or(bench::DEFAULT_BENCH_BATCH);
     // Fail fast on an unreadable/malformed baseline before the ladder runs.

@@ -1,0 +1,508 @@
+//! `cds-harness bench --tick-storm` — wall-clock tick-storm measurement
+//! of the incremental repricing engine, with a CI regression gate.
+//!
+//! The scenario is ROADMAP item 1 made measurable: a resident book of
+//! ≥1M options, a storm of single-point curve ticks, and the question
+//! "how much faster is arrangement-driven invalidation than repricing
+//! the whole book?". Three rows are timed after warm-up:
+//!
+//! * `full/reprice` — from-scratch full-book passes per second (the
+//!   pre-incremental behaviour, and the oracle);
+//! * `incremental/off-lattice-1pt` — single-point interest ticks at
+//!   **lattice-free** knots (windows containing no shared payment-grid
+//!   time of any resident frequency, so only per-option maturity and
+//!   stub-midpoint reads are invalidated — see
+//!   `docs/PERFORMANCE.md`), ticks per second;
+//! * `incremental/hazard-mid` — deliberately *hot* ticks at the middle
+//!   hazard knot, whose prefix window invalidates most of the book.
+//!   Reported and floored, but excluded from the speedup gate: no
+//!   arrangement can make a tick that every option reads cheap.
+//!
+//! [`compare`] gates a run against `results/tick_storm_baseline.json`:
+//! absolute per-row floors carry the runner-noise tolerance, while the
+//! headline `incremental_speedup` (off-lattice ticks/s over full
+//! passes/s) is checked **without tolerance** against
+//! [`MIN_TICK_SPEEDUP`] — both sides of the ratio see the same machine.
+//! The gate also requires bitwise cleanliness: after the storm the
+//! stored spreads must be bit-identical to a full reprice
+//! (`bit_mismatches == 0`), no measured tick may have degenerated into
+//! a zero-delta no-op, and a zero-delta probe must report an empty
+//! affected set.
+
+use crate::json::Json;
+use cds_engine::incremental::{CurveKind, CurveTick, IncrementalEngine};
+use cds_quant::option::{MarketData, PortfolioGenerator};
+use std::time::{Duration, Instant};
+
+/// Version of the tick-storm JSON schema. Bump on any incompatible
+/// change so `--check` refuses stale baselines loudly (exit 2).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default resident book of a tick-storm run: the ISSUE's ≥1M options.
+pub const DEFAULT_TICK_RESIDENTS: usize = 1_048_576;
+
+/// Default relative gate width for the absolute per-row floors (same
+/// rationale as the throughput gate: shared CI runners jitter).
+pub const DEFAULT_TICK_TOLERANCE: f64 = 0.40;
+
+/// Machine-independent floor on `incremental_speedup`: off-lattice
+/// single-point ticks must process at least this many times faster than
+/// full-book repricing. Checked without tolerance — the ratio cancels
+/// machine speed.
+pub const MIN_TICK_SPEEDUP: f64 = 100.0;
+
+/// Minimum timed window per row.
+const DEFAULT_MIN_SAMPLE: Duration = Duration::from_millis(300);
+
+/// Minimum timed passes per row.
+const MIN_SAMPLE_ITERS: u32 = 3;
+
+/// One measured tick-storm row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickStormRow {
+    /// Stable row name (`full/reprice`, `incremental/off-lattice-1pt`,
+    /// `incremental/hazard-mid`).
+    pub name: String,
+    /// Full passes or ticks per second, depending on the row.
+    pub per_second: f64,
+}
+
+/// One wall-clock tick-storm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickStormReport {
+    /// Schema version of the serialised form ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// RNG seed of the resident book.
+    pub seed: u64,
+    /// Resident options during the storm; the gate requires baseline
+    /// and current to agree, so floors stay comparable.
+    pub residents: usize,
+    /// Interest-curve knot count (fixed by the market; gated likewise).
+    pub knots: usize,
+    /// How many interest knots were lattice-free for this book.
+    pub free_knots: usize,
+    /// Mean affected-set size over the measured off-lattice ticks.
+    pub mean_affected: f64,
+    /// Off-lattice ticks/s over full reprices/s — the headline ratio.
+    pub incremental_speedup: f64,
+    /// The speedup floor this report is gated against
+    /// ([`MIN_TICK_SPEEDUP`]).
+    pub min_tick_speedup: f64,
+    /// Stored spreads that differed bitwise from a post-storm full
+    /// reprice. Must be zero: the whole point of the arrangement.
+    pub bit_mismatches: u64,
+    /// True when no measured tick degenerated into a zero-delta no-op,
+    /// no tick was rejected, and the explicit zero-delta probe reported
+    /// `zero_delta` with an empty affected set and no deltas.
+    pub zero_delta_clean: bool,
+    /// All measured rows, in a stable order.
+    pub rows: Vec<TickStormRow>,
+}
+
+impl TickStormReport {
+    /// Look a row up by its stable name.
+    pub fn find(&self, name: &str) -> Option<&TickStormRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Serialise to the versioned JSON schema.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("schema_version", Json::Number(self.schema_version as f64)),
+            ("seed", Json::Number(self.seed as f64)),
+            ("residents", Json::Number(self.residents as f64)),
+            ("knots", Json::Number(self.knots as f64)),
+            ("free_knots", Json::Number(self.free_knots as f64)),
+            ("mean_affected", Json::Number(self.mean_affected)),
+            ("incremental_speedup", Json::Number(self.incremental_speedup)),
+            ("min_tick_speedup", Json::Number(self.min_tick_speedup)),
+            ("bit_mismatches", Json::Number(self.bit_mismatches as f64)),
+            ("zero_delta_clean", Json::Bool(self.zero_delta_clean)),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::object(vec![
+                                ("name", Json::Str(r.name.clone())),
+                                ("per_second", Json::Number(r.per_second)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-printed JSON document (stable: object keys are sorted).
+    pub fn pretty(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parse a serialised report, validating the schema version.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let num = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("tick-storm report missing numeric field '{key}'"))
+        };
+        let schema_version = num("schema_version")? as u64;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "tick-storm schema version {schema_version} != supported {SCHEMA_VERSION} — regenerate the baseline"
+            ));
+        }
+        let zero_delta_clean = match value.get("zero_delta_clean") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("tick-storm report missing boolean 'zero_delta_clean'".to_string()),
+        };
+        let rows = value
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "tick-storm report missing 'rows' array".to_string())?
+            .iter()
+            .map(|row| {
+                let name = row
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "tick-storm row missing 'name'".to_string())?;
+                let per_second = row
+                    .get("per_second")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| "tick-storm row missing 'per_second'".to_string())?;
+                Ok(TickStormRow { name: name.to_string(), per_second })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TickStormReport {
+            schema_version,
+            seed: num("seed")? as u64,
+            residents: num("residents")? as usize,
+            knots: num("knots")? as usize,
+            free_knots: num("free_knots")? as usize,
+            mean_affected: num("mean_affected")?,
+            incremental_speedup: num("incremental_speedup")?,
+            min_tick_speedup: num("min_tick_speedup")?,
+            bit_mismatches: num("bit_mismatches")? as u64,
+            zero_delta_clean,
+            rows,
+        })
+    }
+
+    /// Parse from JSON text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        Self::from_json(&crate::json::parse(text)?)
+    }
+}
+
+/// Time repeated passes of `pass` after one untimed warm-up, until at
+/// least `min_sample` elapsed *and* [`MIN_SAMPLE_ITERS`] passes ran.
+/// Returns passes per second.
+fn measure(mut pass: impl FnMut(), min_sample: Duration) -> f64 {
+    pass();
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        pass();
+        iters += 1;
+        let elapsed = start.elapsed();
+        if iters >= MIN_SAMPLE_ITERS && elapsed >= min_sample {
+            return f64::from(iters) / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        }
+    }
+}
+
+/// Measure a tick storm with the default sample window.
+pub fn run(seed: u64, residents: usize) -> TickStormReport {
+    run_with(seed, residents, DEFAULT_MIN_SAMPLE)
+}
+
+/// As [`run`], with an explicit minimum sample window (tests use a tiny
+/// window; CI uses the default).
+pub fn run_with(seed: u64, residents: usize, min_sample: Duration) -> TickStormReport {
+    assert!(residents >= 1, "need at least one resident option");
+    let market = MarketData::paper_workload(seed);
+    let options = PortfolioGenerator::new(seed).portfolio(residents);
+    let mut engine = IncrementalEngine::new(market);
+    engine.insert_batch(&options);
+
+    let interest_tenors: Vec<f64> = engine.tenors(CurveKind::Interest).to_vec();
+    let knots = interest_tenors.len();
+    let mut free = engine.portfolio().lattice_free_interest_knots(&interest_tenors);
+    let free_knots = free.len();
+    if free.is_empty() {
+        // Degenerate book (every knot shares a lattice read): fall back
+        // to the last knot so the storm still runs; the speedup gate
+        // will report the honest (poor) ratio.
+        free.push(knots - 1);
+    }
+
+    let full_passes = measure(
+        || {
+            let _ = engine.full_reprice();
+        },
+        min_sample,
+    );
+
+    // Off-lattice single-point interest ticks, cycling the free knots.
+    // The value factor grows with a global counter, so no tick ever
+    // re-publishes the value already at its knot (which would be a
+    // zero-delta no-op and inflate the rate).
+    let base: Vec<f64> =
+        free.iter().map(|&k| engine.curve_value(CurveKind::Interest, k).unwrap_or(0.0)).collect();
+    let mut n = 0u64;
+    let mut dirty_ticks = 0u64;
+    let mut affected_sum = 0u64;
+    let mut measured_ticks = 0u64;
+    let off_lattice = measure(
+        || {
+            let slot = (n % free.len() as u64) as usize;
+            let value = base[slot] * (1.0 + 1e-9 * (n + 1) as f64) + 1e-12;
+            n += 1;
+            match engine.apply_tick(CurveTick {
+                curve: CurveKind::Interest,
+                knot: free[slot],
+                value,
+            }) {
+                Ok(report) => {
+                    if report.zero_delta {
+                        dirty_ticks += 1;
+                    }
+                    affected_sum += report.affected as u64;
+                    measured_ticks += 1;
+                }
+                Err(_) => dirty_ticks += 1,
+            }
+        },
+        min_sample,
+    );
+
+    // Hot hazard ticks at the middle knot: the prefix window covers
+    // most of the book, the worst case for any invalidation scheme.
+    let hazard_mid = engine.tenors(CurveKind::Hazard).len() / 2;
+    let hazard_base = engine.curve_value(CurveKind::Hazard, hazard_mid).unwrap_or(0.01);
+    let mut hn = 0u64;
+    let hazard_rate = measure(
+        || {
+            let value = hazard_base * (1.0 + 1e-9 * (hn + 1) as f64) + 1e-12;
+            hn += 1;
+            match engine.apply_tick(CurveTick { curve: CurveKind::Hazard, knot: hazard_mid, value })
+            {
+                Ok(report) => {
+                    if report.zero_delta {
+                        dirty_ticks += 1;
+                    }
+                }
+                Err(_) => dirty_ticks += 1,
+            }
+        },
+        min_sample,
+    );
+
+    // Bitwise cleanliness after the whole storm: stored spreads vs a
+    // fresh full reprice, compared as raw bits.
+    let stored = engine.spreads();
+    let full = engine.full_reprice();
+    let bit_mismatches = stored.iter().zip(&full).filter(|(a, b)| a != b).count() as u64
+        + stored.len().abs_diff(full.len()) as u64;
+
+    // Zero-delta probe: re-publishing the current value must advance the
+    // epoch without touching anything.
+    let probe_value = engine.curve_value(CurveKind::Interest, 0).unwrap_or(0.0);
+    let probe_clean = match engine.apply_tick(CurveTick {
+        curve: CurveKind::Interest,
+        knot: 0,
+        value: probe_value,
+    }) {
+        Ok(report) => report.zero_delta && report.affected == 0 && report.deltas.is_empty(),
+        Err(_) => false,
+    };
+
+    TickStormReport {
+        schema_version: SCHEMA_VERSION,
+        seed,
+        residents,
+        knots,
+        free_knots,
+        mean_affected: affected_sum as f64 / (measured_ticks as f64).max(1.0),
+        incremental_speedup: off_lattice / full_passes,
+        min_tick_speedup: MIN_TICK_SPEEDUP,
+        bit_mismatches,
+        zero_delta_clean: probe_clean && dirty_ticks == 0,
+        rows: vec![
+            TickStormRow { name: "full/reprice".to_string(), per_second: full_passes },
+            TickStormRow {
+                name: "incremental/off-lattice-1pt".to_string(),
+                per_second: off_lattice,
+            },
+            TickStormRow { name: "incremental/hazard-mid".to_string(), per_second: hazard_rate },
+        ],
+    }
+}
+
+/// Gate `current` against `baseline`: one message per problem (empty =
+/// pass). Per-row rates may not drop below `baseline·(1−tolerance)` and
+/// the row set, resident count and knot count may not drift; the
+/// headline speedup must clear the baseline's recorded floor and the
+/// run must be bitwise clean — all three checked without tolerance.
+pub fn compare(
+    baseline: &TickStormReport,
+    current: &TickStormReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        problems.push(format!(
+            "schema version mismatch: baseline {} vs current {}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.residents != current.residents {
+        problems.push(format!(
+            "resident book changed: baseline {} vs current {} options — floors are not comparable",
+            baseline.residents, current.residents
+        ));
+    }
+    if baseline.knots != current.knots {
+        problems.push(format!(
+            "knot count changed: baseline {} vs current {} — floors are not comparable",
+            baseline.knots, current.knots
+        ));
+    }
+    for base in &baseline.rows {
+        let Some(cur) = current.find(&base.name) else {
+            problems.push(format!("row '{}' missing from current run", base.name));
+            continue;
+        };
+        if base.per_second > 0.0 && cur.per_second < base.per_second * (1.0 - tolerance) {
+            problems.push(format!(
+                "{}: rate regressed {:.1} -> {:.1} per second (tolerance {:.0}%)",
+                base.name,
+                base.per_second,
+                cur.per_second,
+                tolerance * 100.0
+            ));
+        }
+    }
+    for cur in &current.rows {
+        if baseline.find(&cur.name).is_none() {
+            problems.push(format!(
+                "row '{}' not in baseline — regenerate results/tick_storm_baseline.json",
+                cur.name
+            ));
+        }
+    }
+    if current.incremental_speedup < baseline.min_tick_speedup {
+        problems.push(format!(
+            "incremental speedup {:.1}x fell below the required {:.1}x floor",
+            current.incremental_speedup, baseline.min_tick_speedup
+        ));
+    }
+    if current.bit_mismatches != 0 {
+        problems.push(format!(
+            "{} stored spreads differ bitwise from a full reprice — incremental state corrupt",
+            current.bit_mismatches
+        ));
+    }
+    if !current.zero_delta_clean {
+        problems.push(
+            "zero-delta contract violated: a no-op tick invalidated options or a measured \
+             tick degenerated"
+                .to_string(),
+        );
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_run() -> TickStormReport {
+        // Tiny book and window: a plumbing test, not a benchmark.
+        run_with(11, 512, Duration::from_millis(1))
+    }
+
+    #[test]
+    fn rows_ratio_and_cleanliness_are_populated() {
+        let r = quick_run();
+        for name in ["full/reprice", "incremental/off-lattice-1pt", "incremental/hazard-mid"] {
+            let row = r.find(name).unwrap_or_else(|| panic!("missing row {name}"));
+            assert!(row.per_second > 0.0, "{name} has zero rate");
+        }
+        assert!(r.incremental_speedup > 0.0);
+        assert_eq!(r.min_tick_speedup, MIN_TICK_SPEEDUP);
+        assert_eq!(r.bit_mismatches, 0, "storm left bit-divergent spreads");
+        assert!(r.zero_delta_clean, "zero-delta contract violated");
+        assert!(r.free_knots > 0, "paper curves should have lattice-free knots");
+        assert_eq!(r.residents, 512);
+        assert_eq!(r.knots, 1024);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = quick_run();
+        let back = match TickStormReport::parse(&r.pretty()) {
+            Ok(b) => b,
+            Err(e) => panic!("parse own output: {e}"),
+        };
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut r = quick_run();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let err = match TickStormReport::parse(&r.pretty()) {
+            Ok(_) => panic!("stale schema must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("regenerate the baseline"), "{err}");
+    }
+
+    #[test]
+    fn compare_passes_identical_clean_runs_above_the_floor() {
+        let mut r = quick_run();
+        r.incremental_speedup = MIN_TICK_SPEEDUP + 50.0; // decouple from tiny-run noise
+        assert_eq!(compare(&r, &r, DEFAULT_TICK_TOLERANCE), Vec::<String>::new());
+    }
+
+    #[test]
+    fn compare_flags_every_gate_axis() {
+        let mut base = quick_run();
+        base.incremental_speedup = MIN_TICK_SPEEDUP + 50.0;
+        let mut bad = base.clone();
+        bad.rows[1].per_second = base.rows[1].per_second * 0.4;
+        bad.rows.push(TickStormRow { name: "incremental/new".to_string(), per_second: 1.0 });
+        bad.residents += 1;
+        bad.knots += 1;
+        bad.incremental_speedup = MIN_TICK_SPEEDUP - 1.0;
+        bad.bit_mismatches = 3;
+        bad.zero_delta_clean = false;
+        let problems = compare(&base, &bad, DEFAULT_TICK_TOLERANCE);
+        assert!(problems.iter().any(|p| p.contains("rate regressed")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("not in baseline")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("resident book changed")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("knot count changed")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("fell below")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("differ bitwise")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("zero-delta contract")), "{problems:?}");
+    }
+
+    #[test]
+    fn compare_flags_missing_row_and_tolerates_noise() {
+        let mut base = quick_run();
+        base.incremental_speedup = MIN_TICK_SPEEDUP + 50.0;
+        let mut cur = base.clone();
+        cur.rows.remove(0);
+        let problems = compare(&base, &cur, DEFAULT_TICK_TOLERANCE);
+        assert!(problems.iter().any(|p| p.contains("missing from current")), "{problems:?}");
+
+        let mut wiggle = base.clone();
+        for row in &mut wiggle.rows {
+            row.per_second *= 1.0 - DEFAULT_TICK_TOLERANCE + 0.05;
+        }
+        assert_eq!(compare(&base, &wiggle, DEFAULT_TICK_TOLERANCE), Vec::<String>::new());
+    }
+}

@@ -151,6 +151,79 @@ fn throughput_check_against_impossible_baseline_exits_1() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("throughput regressed"));
 }
 
+/// A tick-storm baseline with controllable floors: permissive
+/// (`min_speedup` 0, rate floors near zero) passes on any machine,
+/// impossible (`min_speedup` astronomically high) fails on all of them —
+/// the ratio gate is machine-independent, so both verdicts are
+/// deterministic.
+fn tick_storm_baseline(rate_floor: f64, min_speedup: f64) -> String {
+    format!(
+        concat!(
+            "{{\"schema_version\": 1, \"seed\": 42, \"residents\": 512, ",
+            "\"knots\": 1024, \"free_knots\": 1, \"mean_affected\": 1.0, ",
+            "\"incremental_speedup\": 1.0, \"min_tick_speedup\": {}, ",
+            "\"bit_mismatches\": 0, \"zero_delta_clean\": true, \"rows\": [",
+            "{{\"name\": \"full/reprice\", \"per_second\": {}}}, ",
+            "{{\"name\": \"incremental/off-lattice-1pt\", \"per_second\": {}}}, ",
+            "{{\"name\": \"incremental/hazard-mid\", \"per_second\": {}}}]}}"
+        ),
+        min_speedup, rate_floor, rate_floor, rate_floor
+    )
+}
+
+#[test]
+fn tick_storm_with_nonexistent_baseline_exits_2_fast() {
+    let out = harness()
+        .args(["bench", "--tick-storm", "--check", "/nonexistent/dir/tick_storm_baseline.json"])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read baseline"));
+}
+
+#[test]
+fn tick_storm_check_against_permissive_baseline_exits_0() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tick-storm-permissive.json");
+    std::fs::write(&path, tick_storm_baseline(0.001, 0.0)).expect("write baseline");
+    let out = harness()
+        .args([
+            "bench",
+            "--tick-storm",
+            "--options",
+            "512",
+            "--check",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
+fn tick_storm_check_against_impossible_speedup_floor_exits_1() {
+    let dir = std::env::temp_dir().join("cds-harness-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tick-storm-impossible.json");
+    // No machine reprices the book 1e9x slower than it ticks.
+    std::fs::write(&path, tick_storm_baseline(0.001, 1.0e9)).expect("write baseline");
+    let out = harness()
+        .args([
+            "bench",
+            "--tick-storm",
+            "--options",
+            "512",
+            "--check",
+            path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("spawn harness");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fell below"));
+}
+
 #[test]
 fn fit_succeeds_with_exit_0() {
     let out = harness().args(["fit", "--options", "4"]).output().expect("spawn harness");

@@ -10,6 +10,7 @@
 //! QUOTE <id> <maturity> <A|S|Q|M> <recovery> [HI|LO]
 //! TENANT <name>
 //! TICK <seed>
+//! TICKPT <interest|hazard> <knot> <value>
 //! FAULT KILL|REVIVE <shard> | FAULT STALL <shard> <millis>
 //! STATS | DRAIN | PING
 //! ```
@@ -23,6 +24,7 @@
 //! sibling of the ladder's `REJECT ... retry_after_ms=`.
 
 use crate::ladder::Rung;
+use cds_engine::incremental::CurveKind;
 use cds_quant::option::PaymentFrequency;
 use std::fmt;
 
@@ -94,6 +96,16 @@ pub enum Request {
     Tick {
         /// `MarketData::paper_workload` seed for the new epoch.
         seed: u64,
+    },
+    /// Publish a new epoch by replacing one curve knot's *value*
+    /// (tenors are immutable): the incremental-repricing tick path.
+    TickPoint {
+        /// Target curve.
+        curve: CurveKind,
+        /// Knot index into that curve.
+        knot: usize,
+        /// New value at the knot (bit-exact on the wire).
+        value: f64,
     },
     /// Fault injection.
     Fault(FaultCmd),
@@ -198,6 +210,15 @@ pub enum Response {
     TickAck {
         /// The newly published epoch.
         epoch: u64,
+    },
+    /// `OK TICKPT epoch=<n> zero_delta=<0|1>` — point tick published.
+    /// `zero_delta=1` means the re-published value bits were identical:
+    /// the epoch advanced but no cached quote was invalidated.
+    TickPointAck {
+        /// The newly published epoch.
+        epoch: u64,
+        /// Whether the tick re-published identical value bits.
+        zero_delta: bool,
     },
     /// `OK FAULT shard=<k> state=<s>`.
     FaultAck {
@@ -362,6 +383,12 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         }
         Some((&"TENANT", _)) => Err(bad("usage: TENANT <name>")),
         Some((&"TICK", [seed])) => Ok(Request::Tick { seed: parse_u64(seed, "seed")? }),
+        Some((&"TICKPT", [curve, knot, value])) => Ok(Request::TickPoint {
+            curve: curve.parse::<CurveKind>().map_err(bad)?,
+            knot: parse_usize(knot, "knot")?,
+            value: f64_from_wire(value)?,
+        }),
+        Some((&"TICKPT", _)) => Err(bad("usage: TICKPT <interest|hazard> <knot> <value>")),
         Some((&"FAULT", rest)) => match rest {
             ["KILL", shard] => {
                 Ok(Request::Fault(FaultCmd::Kill { shard: parse_usize(shard, "shard")? }))
@@ -404,6 +431,9 @@ pub fn format_request(req: &Request) -> String {
         Request::Drain => "DRAIN".to_string(),
         Request::Tenant { name } => format!("TENANT {name}"),
         Request::Tick { seed } => format!("TICK {seed}"),
+        Request::TickPoint { curve, knot, value } => {
+            format!("TICKPT {curve} {knot} {}", f64_to_wire(*value))
+        }
         Request::Fault(FaultCmd::Kill { shard }) => format!("FAULT KILL {shard}"),
         Request::Fault(FaultCmd::Revive { shard }) => format!("FAULT REVIVE {shard}"),
         Request::Fault(FaultCmd::Stall { shard, millis }) => {
@@ -431,6 +461,9 @@ pub fn format_response(resp: &Response) -> String {
         Response::Pong => "PONG".to_string(),
         Response::DrainAck => "OK DRAIN".to_string(),
         Response::TickAck { epoch } => format!("OK TICK epoch={epoch}"),
+        Response::TickPointAck { epoch, zero_delta } => {
+            format!("OK TICKPT epoch={epoch} zero_delta={}", u8::from(*zero_delta))
+        }
         Response::FaultAck { shard, state } => {
             format!("OK FAULT shard={shard} state={}", state.name())
         }
@@ -549,6 +582,13 @@ pub fn parse_response(line: &str) -> Result<Response, ParseError> {
             let pairs = kv(rest)?;
             Ok(Response::TickAck { epoch: parse_u64(kv_get(&pairs, "epoch")?, "epoch")? })
         }
+        Some((&"OK", ["TICKPT", rest @ ..])) => {
+            let pairs = kv(rest)?;
+            Ok(Response::TickPointAck {
+                epoch: parse_u64(kv_get(&pairs, "epoch")?, "epoch")?,
+                zero_delta: parse_u64(kv_get(&pairs, "zero_delta")?, "zero_delta")? != 0,
+            })
+        }
         Some((&"OK", ["FAULT", rest @ ..])) => {
             let pairs = kv(rest)?;
             let state = kv_get(&pairs, "state")?;
@@ -612,6 +652,12 @@ mod tests {
             Request::Stats,
             Request::Drain,
             Request::Tick { seed: 99 },
+            Request::TickPoint { curve: CurveKind::Interest, knot: 511, value: 0.0213 },
+            Request::TickPoint {
+                curve: CurveKind::Hazard,
+                knot: 0,
+                value: f64::from_bits(0x3f94_7ae1_47ae_147b),
+            },
             Request::Fault(FaultCmd::Kill { shard: 2 }),
             Request::Fault(FaultCmd::Revive { shard: 0 }),
             Request::Fault(FaultCmd::Stall { shard: 1, millis: 250 }),
@@ -662,6 +708,8 @@ mod tests {
             Response::Pong,
             Response::DrainAck,
             Response::TickAck { epoch: 3 },
+            Response::TickPointAck { epoch: 4, zero_delta: false },
+            Response::TickPointAck { epoch: 5, zero_delta: true },
             Response::FaultAck { shard: 1, state: ShardState::Dead },
             Response::Stats(StatsReply {
                 rung: 2,
@@ -723,6 +771,11 @@ mod tests {
             "FAULT KILL",
             "FAULT STALL 1",
             "TICK",
+            "TICKPT",
+            "TICKPT interest 3",
+            "TICKPT INTEREST 3 0.02",
+            "TICKPT interest x 0.02",
+            "TICKPT hazard 3 0xzz",
             "TENANT",
             "TENANT two names",
             "TENANT bad/name",

@@ -789,6 +789,12 @@ fn handle_request(
             let epoch = core.book.publish(seed);
             reply(Response::TickAck { epoch });
         }
+        Ok(Request::TickPoint { curve, knot, value }) => {
+            match core.book.publish_point(curve, knot, value) {
+                Ok((epoch, zero_delta)) => reply(Response::TickPointAck { epoch, zero_delta }),
+                Err(reason) => reply(Response::Error { id: None, reason }),
+            }
+        }
         Ok(Request::Fault(cmd)) => {
             let shard = match cmd {
                 FaultCmd::Kill { shard }

@@ -11,11 +11,48 @@
 //! exactly one epoch's curves.
 
 use cds_cpu::engine::CpuCdsEngine;
-use cds_quant::option::MarketData;
+use cds_engine::incremental::CurveKind;
+use cds_engine::portfolio::{
+    hazard_window, interest_window, option_reads_hazard, option_reads_interest, ReadWindow,
+};
+use cds_quant::curve::Curve;
+use cds_quant::option::{CdsOption, MarketData};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::lock_recover;
+
+/// The invalidation set a point tick publishes with its epoch: which
+/// knot moved, and the read-time window it poisons. A reader holding
+/// cached quotes from the previous epoch can keep every quote whose
+/// pricing pass does not read inside the window — they are *bit*-valid
+/// under the new epoch, not merely approximately (see the
+/// `cds_engine::incremental` bit-identity argument).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickInvalidation {
+    /// Curve the tick targeted.
+    pub curve: CurveKind,
+    /// The ticked knot.
+    pub knot: usize,
+    /// Read-time window whose readers must requote.
+    pub window: ReadWindow,
+    /// True when the tick re-published identical value bits — nothing
+    /// is invalidated, the window is advisory only.
+    pub zero_delta: bool,
+}
+
+impl TickInvalidation {
+    /// Must a cached quote for `option` be re-priced under the new
+    /// epoch? Exact, not conservative: `false` guarantees the previous
+    /// epoch's spread bits equal the new epoch's.
+    pub fn invalidates(&self, option: &CdsOption) -> bool {
+        !self.zero_delta
+            && match self.curve {
+                CurveKind::Interest => option_reads_interest(option, &self.window),
+                CurveKind::Hazard => option_reads_hazard(option, &self.window),
+            }
+    }
+}
 
 /// One immutable published epoch: the curves and the CPU engine built
 /// from them (term structures are precomputed once per tick, not per
@@ -32,13 +69,17 @@ pub struct EpochSnapshot {
     /// CPU pricing engine constructed from `market`; bit-identical to
     /// the scalar reference for every quote.
     pub engine: CpuCdsEngine,
+    /// When this epoch was published by a point tick, the invalidation
+    /// set it carries; `None` for seed-published (full-replace) epochs,
+    /// which invalidate everything.
+    pub invalidation: Option<TickInvalidation>,
 }
 
 impl EpochSnapshot {
     fn build(epoch: u64, seed: u64) -> Arc<EpochSnapshot> {
         let market = MarketData::paper_workload(seed);
         let engine = CpuCdsEngine::new(&market);
-        Arc::new(EpochSnapshot { epoch, seed, market, engine })
+        Arc::new(EpochSnapshot { epoch, seed, market, engine, invalidation: None })
     }
 }
 
@@ -72,6 +113,65 @@ impl CurveBook {
         *lock_recover(&self.slot) = snapshot;
         self.epoch.store(next, Ordering::Release);
         next
+    }
+
+    /// Publish a new epoch by replacing the *value* of one curve knot,
+    /// keeping every other point (and all tenors) bit-identical — the
+    /// epoch-swap half of the incremental tick path. Returns the new
+    /// epoch number and whether the tick was zero-delta (identical
+    /// value bits re-published). The snapshot carries a
+    /// [`TickInvalidation`] so readers can keep cached quotes whose
+    /// read sets avoid the ticked knot.
+    ///
+    /// The seed field is inherited from the previous snapshot (the
+    /// curves are no longer a pure function of it once point ticks
+    /// land).
+    pub fn publish_point(
+        &self,
+        curve: CurveKind,
+        knot: usize,
+        value: f64,
+    ) -> Result<(u64, bool), String> {
+        let prev = self.current();
+        let target = match curve {
+            CurveKind::Interest => &prev.market.interest,
+            CurveKind::Hazard => &prev.market.hazard,
+        };
+        let Some(old) = target.points().get(knot) else {
+            return Err(format!(
+                "knot {knot} out of bounds for the {curve} curve ({} knots)",
+                target.len()
+            ));
+        };
+        let zero_delta = value.to_bits() == old.value.to_bits();
+        let mut market = prev.market.clone();
+        if !zero_delta {
+            let mut points = target.points().to_vec();
+            points[knot].value = value;
+            let rebuilt = Curve::new(points)
+                .map_err(|e| format!("curve rejected ticked value {value}: {e}"))?;
+            match curve {
+                CurveKind::Interest => market.interest = rebuilt,
+                CurveKind::Hazard => market.hazard = rebuilt,
+            }
+        }
+        let tenors: Vec<f64> = target.points().iter().map(|p| p.tenor).collect();
+        let window = match curve {
+            CurveKind::Interest => interest_window(&tenors, knot),
+            CurveKind::Hazard => hazard_window(&tenors, knot),
+        };
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        let engine = if zero_delta { prev.engine.clone() } else { CpuCdsEngine::new(&market) };
+        let snapshot = Arc::new(EpochSnapshot {
+            epoch: next,
+            seed: prev.seed,
+            market,
+            engine,
+            invalidation: Some(TickInvalidation { curve, knot, window, zero_delta }),
+        });
+        *lock_recover(&self.slot) = snapshot;
+        self.epoch.store(next, Ordering::Release);
+        Ok((next, zero_delta))
     }
 
     /// Clone the current snapshot `Arc` (takes the slot lock; use
@@ -133,6 +233,85 @@ mod tests {
             snap.engine.price(&opt).spread_bps.to_bits(),
             fresh.price(&opt).spread_bps.to_bits()
         );
+    }
+
+    #[test]
+    fn publish_point_moves_one_knot_and_keeps_the_rest_bit_identical() {
+        let book = CurveBook::new(21);
+        let before = book.current();
+        let old = before.market.hazard.points()[5].value;
+        let (epoch, zero) =
+            book.publish_point(CurveKind::Hazard, 5, old * 1.25).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(epoch, 1);
+        assert!(!zero);
+        let after = book.current();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.seed, before.seed, "point ticks inherit the seed");
+        for (i, (a, b)) in
+            before.market.hazard.points().iter().zip(after.market.hazard.points()).enumerate()
+        {
+            assert_eq!(a.tenor.to_bits(), b.tenor.to_bits(), "tenor {i} moved");
+            if i == 5 {
+                assert_ne!(a.value.to_bits(), b.value.to_bits());
+            } else {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "knot {i} moved");
+            }
+        }
+        assert_eq!(before.market.interest, after.market.interest);
+    }
+
+    #[test]
+    fn invalidation_set_is_exact_for_cached_quotes() {
+        // `invalidates() == false` must guarantee bit-equal spreads
+        // across the epoch swap; `true` must cover every changed quote.
+        let book = CurveBook::new(33);
+        let before = book.current();
+        let options: Vec<CdsOption> = cds_quant::option::PortfolioGenerator::new(44).portfolio(256);
+        let old_bits: Vec<u64> =
+            options.iter().map(|o| before.engine.price(o).spread_bps.to_bits()).collect();
+        for (curve, knot) in
+            [(CurveKind::Interest, 700), (CurveKind::Interest, 3), (CurveKind::Hazard, 17)]
+        {
+            let snap = book.current();
+            let old = match curve {
+                CurveKind::Interest => snap.market.interest.points()[knot].value,
+                CurveKind::Hazard => snap.market.hazard.points()[knot].value,
+            };
+            book.publish_point(curve, knot, old + 17e-4).unwrap_or_else(|e| panic!("{e}"));
+            let after = book.current();
+            let inv = after.invalidation.unwrap_or_else(|| panic!("missing invalidation"));
+            for (o, &bits) in options.iter().zip(&old_bits) {
+                let now = after.engine.price(o).spread_bps.to_bits();
+                if !inv.invalidates(o) {
+                    assert_eq!(now, bits, "{curve} knot {knot}: kept quote moved for {o:?}");
+                }
+            }
+            // Reset for the next round by re-publishing the old value.
+            book.publish_point(curve, knot, old).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn zero_delta_point_tick_invalidates_nothing_and_reuses_the_engine() {
+        let book = CurveBook::new(8);
+        let old = book.current().market.interest.points()[100].value;
+        let (epoch, zero) =
+            book.publish_point(CurveKind::Interest, 100, old).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(epoch, 1);
+        assert!(zero);
+        let snap = book.current();
+        let inv = snap.invalidation.unwrap_or_else(|| panic!("missing invalidation"));
+        assert!(inv.zero_delta);
+        let probe = CdsOption::new(5.0, cds_quant::option::PaymentFrequency::Quarterly, 0.4);
+        assert!(!inv.invalidates(&probe));
+    }
+
+    #[test]
+    fn bad_point_ticks_are_rejected_without_publishing() {
+        let book = CurveBook::new(1);
+        assert!(book.publish_point(CurveKind::Interest, 99_999, 0.02).is_err());
+        assert!(book.publish_point(CurveKind::Hazard, 0, f64::NAN).is_err());
+        assert_eq!(book.epoch(), 0, "failed ticks must not publish an epoch");
     }
 
     #[test]

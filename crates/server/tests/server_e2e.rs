@@ -56,6 +56,59 @@ fn reference_spread(seed: u64, maturity: f64, recovery: f64) -> f64 {
 }
 
 #[test]
+fn point_ticks_publish_incremental_epochs_over_the_wire() {
+    let handle = serve(ServerConfig { shards: 1, seed: 7, ..Default::default() }).expect("serve");
+    let mut client = Client::connect(handle.addr());
+
+    let q0 = expect_quote(client.quote(1, 5.0, 0.4));
+    assert_eq!(q0.epoch, 0);
+
+    // Tick one hazard knot; the server must price later quotes against
+    // the mutated curve, bit-identically to a local engine over the
+    // same mutation.
+    let mut market = MarketData::paper_workload(7);
+    let knot = 12usize;
+    let new_value = market.hazard.points()[knot].value * 1.5;
+    match client.roundtrip(&format!("TICKPT hazard {knot} {}", f64_to_wire(new_value))) {
+        Response::TickPointAck { epoch: 1, zero_delta: false } => {}
+        other => panic!("expected point-tick ack, got {other:?}"),
+    }
+    let mut points = market.hazard.points().to_vec();
+    points[knot].value = new_value;
+    market.hazard = cds_quant::curve::Curve::new(points).expect("curve");
+    let local = CpuCdsEngine::new(&market);
+    let q1 = expect_quote(client.quote(2, 5.0, 0.4));
+    assert_eq!(q1.epoch, 1);
+    assert_eq!(
+        q1.spread_bps.to_bits(),
+        local.price(&CdsOption::new(5.0, PaymentFrequency::Quarterly, 0.4)).spread_bps.to_bits()
+    );
+    assert_ne!(q0.spread_bps.to_bits(), q1.spread_bps.to_bits());
+
+    // A zero-delta re-publish advances the epoch but changes no quote.
+    match client.roundtrip(&format!("TICKPT hazard {knot} {}", f64_to_wire(new_value))) {
+        Response::TickPointAck { epoch: 2, zero_delta: true } => {}
+        other => panic!("expected zero-delta ack, got {other:?}"),
+    }
+    let q2 = expect_quote(client.quote(3, 5.0, 0.4));
+    assert_eq!(q2.epoch, 2);
+    assert_eq!(q2.spread_bps.to_bits(), q1.spread_bps.to_bits());
+
+    // Out-of-range knots are a typed error, not a publish.
+    match client.roundtrip("TICKPT interest 99999 0.02") {
+        Response::Error { id: None, reason } => {
+            assert!(reason.contains("out of bounds"), "reason: {reason}");
+        }
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    let stats = client.stats();
+    assert_eq!(stats.epoch, 2);
+
+    assert_eq!(client.roundtrip("DRAIN"), Response::DrainAck);
+    handle.wait();
+}
+
+#[test]
 fn quotes_price_bit_identically_across_epochs_and_duplicates() {
     let handle = serve(ServerConfig { shards: 2, seed: 42, ..Default::default() }).expect("serve");
     let mut client = Client::connect(handle.addr());
